@@ -1,0 +1,90 @@
+"""A2 — Ablation: the suspect-leader aggressiveness constant (K_lat).
+
+Prime's acceptable turnaround time is ``K_lat * achievable_rtt +
+pre_prepare_interval + slack``. Small K_lat reacts faster to a degraded
+leader but risks spurious view changes under benign jitter; large K_lat
+tolerates more attack-induced delay before rotating. The bench sweeps
+K_lat under (a) a benign jittery network and (b) a 250 ms leader DoS, and
+reports view changes plus latency in each — mapping the trade-off the
+paper's design point (fast detection, no false positives) sits on.
+"""
+
+import dataclasses
+
+from repro.analysis import print_table
+from repro.core import SpireDeployment, SpireOptions
+from repro.simnet import DosAttack, FailureInjector
+
+from common import once, reporter
+
+RUN_MS = 18_000.0
+ATTACK_START = 4_000.0
+ATTACK_LEN = 10_000.0
+
+
+def run_case(k_lat, attacked):
+    deployment = SpireDeployment(SpireOptions(
+        num_substations=3, poll_interval_ms=250.0, seed=71,
+    ))
+    config = dataclasses.replace(
+        deployment.prime_config, tat_latency_factor=k_lat
+    )
+    for replica in deployment.replicas:
+        replica.config = config
+        replica.monitor.config = config
+        replica.view_manager.config = config
+        replica.checkpoints.config = config
+    deployment.prime_config = config
+    deployment.start()
+    deployment.run_for(1_000)
+    if attacked:
+        injector = FailureInjector(deployment.simulator, deployment.network)
+        leader = deployment.current_leader()
+        injector.dos_node(
+            DosAttack(leader, ATTACK_START, ATTACK_LEN,
+                      extra_delay_ms=250.0, extra_loss=0.0),
+            peers=deployment.dos_peers_of(leader),
+        )
+    deployment.run_for(RUN_MS - 1_000)
+    stats = deployment.status_recorder.stats(since=1_000.0)
+    views = max(replica.view for replica in deployment.replicas)
+    return views, stats
+
+
+def test_ablation_tat_bound(benchmark):
+    emit = reporter("ablation_tat")
+
+    def scenario():
+        rows = []
+        for k_lat in (1.5, 3.0, 6.0, 12.0):
+            benign_views, benign_stats = run_case(k_lat, attacked=False)
+            attack_views, attack_stats = run_case(k_lat, attacked=True)
+            rows.append([
+                k_lat, benign_views, benign_stats.mean,
+                attack_views, attack_stats.mean, attack_stats.p99,
+            ])
+        return rows
+
+    rows = once(benchmark, scenario)
+    emit("A2: K_lat sweep — benign network vs 250 ms leader DoS")
+    print_table(
+        "suspect-leader aggressiveness trade-off",
+        ["K_lat", "benign views", "benign mean (ms)",
+         "attacked views", "attacked mean (ms)", "attacked p99 (ms)"],
+        rows,
+        out=emit,
+    )
+    emit("shape check: no spurious view changes at any K_lat under benign "
+         "jitter; every setting eventually detects this DoS (it exceeds "
+         "even the laxest bound), but the latency tail (p99) grows with "
+         "K_lat — the exposure window before replacement lengthens.")
+    by_k = {row[0]: row for row in rows}
+    # benign: never any spurious view change
+    assert all(row[1] == 0 for row in rows)
+    # the design point (3.0) detects the attack
+    assert by_k[3.0][3] >= 1
+    # a more tolerant bound leaves a longer exposure tail
+    assert by_k[12.0][5] >= by_k[1.5][5]
+    # benign latency is unaffected by the bound choice
+    benign_means = [row[2] for row in rows]
+    assert max(benign_means) - min(benign_means) < 10.0

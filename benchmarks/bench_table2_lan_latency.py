@@ -1,0 +1,52 @@
+"""T2 — Fault-free update latency statistics on a LAN (paper Table II
+flavour).
+
+Ten emulated RTUs polled at 10 Hz through the full Spire stack, all six
+replicas co-located on one LAN. The paper reports fault-free LAN latencies
+of a few tens of milliseconds dominated by Prime's aggregation intervals;
+the reproduced distribution should sit in the same range and be tight.
+"""
+
+from repro.analysis import print_table
+from repro.core import SpireDeployment, SpireOptions
+from repro.spines import lan_topology
+
+from common import once, reporter
+
+RUN_MS = 12_000.0
+
+
+def run_lan():
+    deployment = SpireDeployment(
+        SpireOptions(
+            num_substations=10,
+            poll_interval_ms=100.0,
+            prime_preset="lan",
+            placement={"lan0": 6},
+            seed=101,
+        ),
+        topology=lan_topology(1),
+    )
+    deployment.start()
+    deployment.run_for(RUN_MS)
+    return deployment
+
+
+def test_table2_lan_latency(benchmark):
+    emit = reporter("table2_lan_latency")
+    deployment = once(benchmark, run_lan)
+    stats = deployment.status_recorder.stats(since=1_000.0)
+    emit("T2: fault-free LAN latency, 10 RTUs @ 10 Hz, 6 replicas (f=1, k=1)")
+    print_table(
+        "Table II — LAN update latency (ms)",
+        ["updates", "mean", "median", "p90", "p99", "p99.9", "max"],
+        [[stats.count, stats.mean, stats.median, stats.p90, stats.p99,
+          stats.p999, stats.maximum]],
+        out=emit,
+    )
+    throughput = stats.count / ((RUN_MS - 1_000.0) / 1000.0)
+    emit(f"throughput sustained: {throughput:.0f} updates/s "
+         f"(offered: ~100 updates/s)")
+    assert stats.count > 800
+    assert stats.mean < 50.0     # LAN latencies are tens of ms at most
+    assert throughput > 80.0

@@ -1,0 +1,65 @@
+"""T4 — Continuous wide-area operation (the paper's 30-hour test, scaled).
+
+The paper ran Spire for ~30 hours across real East-coast sites, processing
+over a million updates with an average latency around 43 ms and the
+overwhelming majority under 100 ms, with proactive recovery running the
+whole time. Virtual time lets us replay a scaled version — two minutes of
+continuous operation with proactive recovery enabled — and report the same
+distribution table. Absolute counts scale with duration; the shape (tight
+distribution, tail bounded by recovery/view-change windows) is the target.
+"""
+
+from repro.analysis import print_table
+from repro.core import SpireDeployment, SpireOptions
+
+from common import once, reporter
+
+RUN_MS = 120_000.0  # 2 virtual minutes standing in for 30 hours
+
+
+def run_long():
+    deployment = SpireDeployment(SpireOptions(
+        num_substations=5,
+        poll_interval_ms=200.0,
+        seed=77,
+        proactive_recovery=(20_000.0, 600.0),  # rejuvenate continuously
+    ))
+    deployment.start()
+    deployment.run_for(RUN_MS)
+    return deployment
+
+
+def test_table4_long_run(benchmark):
+    emit = reporter("table4_long_run")
+    deployment = once(benchmark, run_long)
+    stats = deployment.status_recorder.stats(since=2_000.0)
+    emit(f"T4: continuous operation, {RUN_MS / 1000:.0f} virtual seconds, "
+         "proactive recovery every 20 s")
+    print_table(
+        "long-run latency distribution (ms)",
+        ["updates", "mean", "median", "p90", "p99", "p99.9", "max"],
+        [[stats.count, stats.mean, stats.median, stats.p90, stats.p99,
+          stats.p999, stats.maximum]],
+        out=emit,
+    )
+    under_100 = sum(
+        1 for at, latency in deployment.status_recorder.samples
+        if at >= 2_000.0 and latency < 100.0
+    ) / max(1, stats.count)
+    availability = deployment.delivery_series.availability(
+        2_000.0, RUN_MS - 1_000.0
+    )
+    recoveries = deployment.recovery_scheduler.recoveries_completed
+    emit(f"fraction under 100 ms: {under_100:.4%}   "
+         f"availability (1 s grain): {availability:.4%}   "
+         f"rejuvenations completed: {recoveries}")
+    emit("paper reference: avg ≈ 43 ms, vast majority < 100 ms over ~1.08 M "
+         "updates / 30 h (absolute numbers are testbed-specific; shape holds)")
+    assert stats.count > 2_000
+    assert stats.mean < 100.0
+    assert under_100 > 0.90
+    assert availability > 0.90
+    assert recoveries >= 4
+    # every submitted update eventually delivered (no silent loss)
+    submissions = deployment.proxy.submissions
+    assert submissions.acked_total >= submissions.submitted_total - 10

@@ -1,0 +1,88 @@
+"""T7 — Red-team exercise outcome: traditional SCADA vs Spire.
+
+Reproduces the paper's resiliency-exercise result as a table: the same
+scripted intrusion campaign run against (a) a traditional single-master
+SCADA system with hot standby, and (b) Spire with diversity and proactive
+recovery. The paper reports the traditional configurations were
+compromised (attacker operated the process), while Spire withstood the
+full exercise with service intact.
+"""
+
+from repro.analysis import print_table
+from repro.attacks import SpireCampaign, TraditionalCampaign
+from repro.baselines import TraditionalDeployment
+from repro.core import SpireDeployment, SpireOptions
+
+from common import once, reporter
+
+RUN_MS = 40_000.0
+
+
+def run_both():
+    traditional = TraditionalDeployment(num_substations=6, seed=21)
+    campaign_t = TraditionalCampaign(
+        traditional, breach_time_ms=8_000.0, sabotage_interval_ms=400.0,
+    )
+    traditional.start()
+    campaign_t.start()
+    traditional.run_for(RUN_MS)
+
+    spire = SpireDeployment(SpireOptions(
+        num_substations=6, poll_interval_ms=250.0, seed=21,
+        proactive_recovery=(8_000.0, 500.0),
+    ))
+    campaign_s = SpireCampaign(
+        spire, first_attempt_ms=8_000.0, dwell_ms=5_000.0,
+        attempt_interval_ms=5_000.0,
+    )
+    spire.start()
+    campaign_s.start()
+    spire.run_for(RUN_MS)
+    return (traditional, campaign_t), (spire, campaign_s)
+
+
+def test_table7_red_team(benchmark):
+    emit = reporter("table7_red_team")
+    (traditional, campaign_t), (spire, campaign_s) = once(benchmark, run_both)
+    total_t = traditional.grid.total_load_mw()
+    total_s = spire.grid.total_load_mw()
+    spire_stats = spire.status_recorder.stats()
+    rows = [
+        [
+            "traditional (1 master + standby)",
+            campaign_t.result.exploit_attempts,
+            campaign_t.result.exploit_successes,
+            campaign_t.result.unauthorized_operations,
+            f"{campaign_t.result.min_served_fraction(total_t):.0%}",
+            "COMPROMISED",
+        ],
+        [
+            "Spire (f=1, diversity, recovery)",
+            campaign_s.result.exploit_attempts,
+            campaign_s.result.exploit_successes,
+            campaign_s.result.unauthorized_operations,
+            f"{campaign_s.result.min_served_fraction(total_s):.0%}",
+            "SERVICE MAINTAINED",
+        ],
+    ]
+    emit("T7: identical intrusion campaign against both systems "
+         f"({RUN_MS / 1000:.0f} s, breach attempts from t=8 s)")
+    print_table(
+        "red-team exercise outcome",
+        ["system", "exploit attempts", "landed", "unauthorized breaker ops",
+         "min served load", "verdict"],
+        rows,
+        out=emit,
+    )
+    evicted = spire.trace.count(component="campaign", kind="evicted")
+    emit(f"Spire: {evicted} intrusions evicted by proactive recovery; "
+         f"{spire_stats.count} updates delivered at mean "
+         f"{spire_stats.mean:.1f} ms throughout the exercise")
+    emit("paper reference: red team took control of the traditional "
+         "configurations; Spire withstood the multi-day exercise")
+    # outcome assertions (the paper's result, in shape)
+    assert campaign_t.result.min_served_fraction(total_t) < 0.2
+    assert campaign_t.result.unauthorized_operations > 10
+    assert campaign_s.result.min_served_fraction(total_s) > 0.95
+    assert spire.grid.served_load_mw() == spire.grid.total_load_mw()
+    assert spire_stats.count > 500

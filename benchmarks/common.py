@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (see DESIGN.md §2 for the experiment index and EXPERIMENTS.md
+for paper-vs-measured results). Because ``pytest`` captures stdout, each
+benchmark writes its table both to the real stdout (so it appears in
+``pytest benchmarks/ --benchmark-only`` output) and to
+``benchmarks/results/<name>.txt`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Callable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def reporter(name: str) -> Callable[[str], None]:
+    """Returns a print-like function writing to real stdout + results file."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    handle = open(path, "w")
+
+    def emit(line: str = "") -> None:
+        print(line, file=sys.__stdout__, flush=True)
+        print(line, file=handle, flush=True)
+
+    return emit
+
+
+def once(benchmark, fn):
+    """Run a scenario exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Wide-area deployment study: latency across placements and overlays.
+
+Reproduces the flavour of the paper's deployment discussion: how update
+latency depends on where the replicas live (single LAN site vs the
+2 CC + 2 DC wide-area placement) and on the overlay's routing mode, and
+what a site outage does to each.
+
+Run:  python examples/wide_area_scada.py
+"""
+
+from repro.core import SpireDeployment, SpireOptions
+from repro.spines import lan_topology, wide_area_topology
+
+
+def run_scenario(label, options, topology, outage_site=None):
+    deployment = SpireDeployment(options, topology=topology)
+    deployment.start()
+    deployment.run_for(3_000)
+    if outage_site is not None:
+        members = [
+            name for name, site in deployment.replica_sites.items()
+            if site == outage_site
+        ]
+        everyone = [
+            p for p in deployment.network.process_names
+            if p not in members and not p.startswith("spines:")
+        ]
+        deployment.network.partition(members, everyone)
+        deployment.network.partition(
+            members, [f"spines:{s.name}" for s in deployment.topology.sites]
+        )
+    deployment.run_for(12_000)
+    stats = deployment.status_recorder.stats(since=4_000.0)
+    acked = deployment.proxy.submissions.acked_total
+    print(f"  {label:44s} n={stats.count:5d}  mean={stats.mean:7.1f} ms  "
+          f"p99={stats.p99:7.1f} ms  acked={acked}")
+    return stats
+
+
+def main() -> None:
+    print("Fault-free latency across deployment shapes "
+          "(10 Hz polling, 4 substations):\n")
+    base = dict(num_substations=4, poll_interval_ms=100.0, seed=11)
+
+    run_scenario(
+        "LAN, single site (all 6 replicas co-located)",
+        SpireOptions(**base, prime_preset="lan",
+                     placement={"lan0": 6}),
+        lan_topology(1),
+    )
+    run_scenario(
+        "wide-area, 2 CC + 2 DC (paper placement)",
+        SpireOptions(**base),
+        wide_area_topology(),
+    )
+    run_scenario(
+        "wide-area, shortest-path overlay (no flooding)",
+        SpireOptions(**base, overlay_mode="shortest"),
+        wide_area_topology(),
+    )
+
+    print("\nWith a data-center outage mid-run "
+          "(dc1's replica cut off; quorum 4-of-6 still available):\n")
+    outage_options = dict(base)
+    outage_options["seed"] = 12
+    run_scenario(
+        "wide-area + dc1 outage, flooding overlay",
+        SpireOptions(**outage_options),
+        wide_area_topology(),
+        outage_site="dc1",
+    )
+    print("\nThe LAN deployment is fastest but survives no site event; the "
+          "wide-area placement pays tens of milliseconds for surviving "
+          "intrusions, recoveries, and a whole-site loss simultaneously.")
+
+
+if __name__ == "__main__":
+    main()

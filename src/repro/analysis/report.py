@@ -1,0 +1,89 @@
+"""Plain-text table/figure rendering for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures; these
+helpers print them in a consistent, diff-friendly format (tables as
+aligned columns, figures as series listings plus ASCII sparklines).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["print_table", "print_series", "sparkline", "format_row"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_row(cells: Sequence[object], widths: Sequence[int]) -> str:
+    parts = []
+    for cell, width in zip(cells, widths):
+        text = f"{cell:.2f}" if isinstance(cell, float) else str(cell)
+        parts.append(text.rjust(width) if _is_numeric(cell) else text.ljust(width))
+    return "  ".join(parts)
+
+
+def _is_numeric(cell: object) -> bool:
+    return isinstance(cell, (int, float)) and not isinstance(cell, bool)
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    out=print,
+) -> None:
+    """Print an aligned table with a title rule."""
+    rows = [list(r) for r in rows]
+    widths = [len(h) for h in headers]
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for index, cell in enumerate(row):
+            text = f"{cell:.2f}" if isinstance(cell, float) else str(cell)
+            cells.append(text)
+            widths[index] = max(widths[index], len(text))
+        rendered.append(cells)
+    out("")
+    out(f"=== {title} ===")
+    out("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out("  ".join("-" * w for w in widths))
+    for row, cells in zip(rows, rendered):
+        out("  ".join(
+            c.rjust(w) if _is_numeric(v) else c.ljust(w)
+            for c, w, v in zip(cells, widths, row)
+        ))
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as a unicode sparkline."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = (high - low) or 1.0
+    return "".join(
+        _SPARK_CHARS[int((v - low) / span * (len(_SPARK_CHARS) - 1))]
+        for v in values
+    )
+
+
+def print_series(
+    title: str,
+    series: Sequence[Tuple[float, float]],
+    unit: str = "",
+    max_points: int = 60,
+    out=print,
+) -> None:
+    """Print a (t, value) series as a sparkline plus summary stats."""
+    out("")
+    out(f"--- {title} ---")
+    if not series:
+        out("(empty)")
+        return
+    values = [v for _, v in series]
+    step = max(1, len(values) // max_points)
+    out(sparkline(values[::step]))
+    out(
+        f"min={min(values):.2f}{unit}  max={max(values):.2f}{unit}  "
+        f"mean={sum(values) / len(values):.2f}{unit}  points={len(values)}"
+    )

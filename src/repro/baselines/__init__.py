@@ -1,0 +1,19 @@
+"""Comparison systems: traditional SCADA (single/hot-standby master)."""
+
+from .traditional import (
+    TCommand,
+    THeartbeat,
+    TraditionalDeployment,
+    TraditionalMaster,
+    TraditionalProxy,
+    TStatus,
+)
+
+__all__ = [
+    "TCommand",
+    "THeartbeat",
+    "TraditionalDeployment",
+    "TraditionalMaster",
+    "TraditionalProxy",
+    "TStatus",
+]

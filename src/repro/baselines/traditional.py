@@ -1,0 +1,292 @@
+"""Traditional (non-intrusion-tolerant) SCADA baseline.
+
+This is the system the paper's red-team exercise broke: a single SCADA
+master (with an optional hot-standby backup) that field proxies trust on
+the basis of a shared credential. It has no Byzantine tolerance: whoever
+controls the master host controls every breaker in the field. The
+red-team benchmark compromises it and measures the grid damage, then runs
+the same campaign against Spire.
+
+The data path mirrors Spire's (same Modbus polling, same grid), so the
+comparison isolates the architecture, not the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..scada.grid import PowerGrid, build_radial_grid
+from ..scada.modbus import (
+    ReadCoilsRequest,
+    ReadCoilsResponse,
+    ReadRequest,
+    ReadResponse,
+    WriteCoilRequest,
+    WriteCoilResponse,
+    encode_frame,
+    unscale_measurement,
+)
+from ..scada.rtu import MEASUREMENT_ORDER, RtuDevice
+from ..simnet import LinkSpec, Network, Process, Simulator, Trace
+
+__all__ = [
+    "TStatus",
+    "TCommand",
+    "THeartbeat",
+    "TraditionalMaster",
+    "TraditionalProxy",
+    "TraditionalDeployment",
+]
+
+
+@dataclass(frozen=True)
+class TStatus:
+    """Proxy -> master: plain status report (no cryptographic protection)."""
+
+    proxy: str
+    substation: str
+    poll_seq: int
+    measurements: Tuple[Tuple[str, float], ...]
+    breakers: Tuple[Tuple[str, bool], ...]
+
+
+@dataclass(frozen=True)
+class TCommand:
+    """Master -> proxy: operate a breaker, authenticated by a shared token."""
+
+    token: str
+    substation: str
+    breaker_id: str
+    close: bool
+
+
+@dataclass(frozen=True)
+class THeartbeat:
+    sender: str
+
+
+@dataclass(frozen=True)
+class TOperatorCommand:
+    """HMI -> master."""
+
+    substation: str
+    breaker_id: str
+    close: bool
+
+
+class TraditionalMaster(Process):
+    """Single (or hot-standby) SCADA master."""
+
+    def __init__(
+        self,
+        name: str,
+        simulator: Simulator,
+        network: Network,
+        token: str,
+        proxies: List[str],
+        is_primary: bool = True,
+        peer_master: Optional[str] = None,
+        heartbeat_interval_ms: float = 500.0,
+        failover_timeout_ms: float = 2000.0,
+    ) -> None:
+        super().__init__(name, simulator, network)
+        self.token = token
+        self.proxies = list(proxies)
+        self.is_primary = is_primary
+        self.peer_master = peer_master
+        self.heartbeat_interval_ms = heartbeat_interval_ms
+        self.failover_timeout_ms = failover_timeout_ms
+        self.latest_status: Dict[str, TStatus] = {}
+        self.commands_issued = 0
+        self.compromised = False
+        self._last_peer_heartbeat = 0.0
+
+    def start(self) -> None:
+        self.every(self.heartbeat_interval_ms, self._heartbeat_tick)
+        if not self.is_primary:
+            self.every(self.failover_timeout_ms / 2, self._failover_check)
+
+    def _heartbeat_tick(self) -> None:
+        if self.peer_master is not None and self.is_primary:
+            self.send(self.peer_master, THeartbeat(self.name), size_bytes=32)
+
+    def _failover_check(self) -> None:
+        if self.is_primary:
+            return
+        if self.simulator.now - self._last_peer_heartbeat > self.failover_timeout_ms:
+            self.is_primary = True  # promote: hot-standby takeover
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, TStatus):
+            current = self.latest_status.get(payload.substation)
+            if current is None or current.poll_seq < payload.poll_seq:
+                self.latest_status[payload.substation] = payload
+        elif isinstance(payload, THeartbeat):
+            self._last_peer_heartbeat = self.simulator.now
+        elif isinstance(payload, TOperatorCommand):
+            if self.is_primary:
+                self.issue_command(payload.substation, payload.breaker_id, payload.close)
+
+    def issue_command(self, substation: str, breaker_id: str, close: bool) -> None:
+        """Send an authenticated command to every proxy (the right one
+        will act on it)."""
+        self.commands_issued += 1
+        command = TCommand(self.token, substation, breaker_id, close)
+        for proxy in self.proxies:
+            self.send(proxy, command, size_bytes=96)
+
+    # ------------------------------------------------------------------
+    def compromise(self) -> None:
+        """Attacker takes over this master host: it holds the shared token
+        and full knowledge of the field layout."""
+        self.compromised = True
+
+
+class TraditionalProxy(Process):
+    """Field proxy: Modbus toward devices, token-checked commands inward."""
+
+    def __init__(
+        self,
+        name: str,
+        simulator: Simulator,
+        network: Network,
+        token: str,
+        masters: List[str],
+        devices: List[Tuple[str, str, int, Tuple[str, ...]]],
+        poll_interval_ms: float = 100.0,
+    ) -> None:
+        """``devices``: (substation, device_name, unit_id, coil_ids)."""
+        super().__init__(name, simulator, network)
+        self.token = token
+        self.masters = list(masters)
+        self.poll_interval_ms = poll_interval_ms
+        self.devices = {d[0]: d for d in devices}
+        self._by_unit = {d[2]: d for d in devices}
+        self._poll_seq: Dict[str, int] = {d[0]: 0 for d in devices}
+        self._registers: Dict[str, Tuple[int, ...]] = {}
+        self.commands_executed = 0
+        self.status_sent = 0
+
+    def start(self) -> None:
+        self.every(self.poll_interval_ms, self._poll_tick, jitter=2.0)
+
+    def _poll_tick(self) -> None:
+        for substation, (_, device_name, unit_id, _) in self.devices.items():
+            frame = encode_frame(ReadRequest(unit_id, 0, len(MEASUREMENT_ORDER)))
+            self.send(device_name, RtuDevice.wrap(frame), size_bytes=16)
+
+    def on_message(self, src: str, payload: Any) -> None:
+        frame = RtuDevice.unwrap(payload)
+        if frame is not None:
+            self._on_modbus(frame)
+            return
+        if isinstance(payload, TCommand):
+            self._on_command(payload)
+
+    def _on_modbus(self, frame: bytes) -> None:
+        from ..scada.modbus import ModbusError, decode_frame
+
+        try:
+            message = decode_frame(frame)
+        except ModbusError:
+            return
+        device = self._by_unit.get(getattr(message, "unit", None))
+        if device is None:
+            return
+        substation, device_name, unit_id, coil_ids = device
+        if isinstance(message, ReadResponse):
+            self._registers[substation] = message.values
+            frame_out = encode_frame(ReadCoilsRequest(unit_id, 0, len(coil_ids)))
+            self.send(device_name, RtuDevice.wrap(frame_out), size_bytes=16)
+        elif isinstance(message, ReadCoilsResponse):
+            registers = self._registers.get(substation, ())
+            self._poll_seq[substation] += 1
+            status = TStatus(
+                proxy=self.name,
+                substation=substation,
+                poll_seq=self._poll_seq[substation],
+                measurements=tuple(
+                    (key, unscale_measurement(reg))
+                    for key, reg in zip(MEASUREMENT_ORDER, registers)
+                ),
+                breakers=tuple(sorted(zip(coil_ids, message.values))),
+            )
+            for master in self.masters:
+                self.send(master, status, size_bytes=200)
+            self.status_sent += 1
+        elif isinstance(message, WriteCoilResponse):
+            self.commands_executed += 1
+
+    def _on_command(self, command: TCommand) -> None:
+        if command.token != self.token:
+            return  # the only protection: a static shared credential
+        device = self.devices.get(command.substation)
+        if device is None:
+            return
+        _, device_name, unit_id, coil_ids = device
+        try:
+            address = coil_ids.index(command.breaker_id)
+        except ValueError:
+            return
+        frame = encode_frame(WriteCoilRequest(unit_id, address, command.close))
+        self.send(device_name, RtuDevice.wrap(frame), size_bytes=16)
+
+
+class TraditionalDeployment:
+    """A complete traditional-SCADA system over the same grid model."""
+
+    def __init__(
+        self,
+        num_substations: int = 5,
+        seed: int = 1,
+        poll_interval_ms: float = 100.0,
+        with_backup: bool = True,
+        wan_latency_ms: float = 8.0,
+    ) -> None:
+        self.simulator = Simulator(seed=seed)
+        self.network = Network(self.simulator, LinkSpec(latency_ms=0.2, jitter_ms=0.05))
+        self.trace = Trace(self.simulator)
+        self.grid = build_radial_grid(num_substations=num_substations, seed=seed)
+        self.token = f"scada-secret-{seed}"
+        master_names = ["master:primary"] + (["master:backup"] if with_backup else [])
+        devices = []
+        self.rtus: Dict[str, RtuDevice] = {}
+        for unit_id, substation in enumerate(sorted(self.grid.substations), start=1):
+            rtu = RtuDevice(
+                f"rtu:{substation}", self.simulator, self.network,
+                self.grid, substation, unit_id,
+            )
+            self.rtus[substation] = rtu
+            devices.append((substation, rtu.name, unit_id, tuple(rtu.coil_ids())))
+        self.proxy = TraditionalProxy(
+            "tproxy:field", self.simulator, self.network, self.token,
+            masters=master_names, devices=devices,
+            poll_interval_ms=poll_interval_ms,
+        )
+        self.primary = TraditionalMaster(
+            "master:primary", self.simulator, self.network, self.token,
+            proxies=[self.proxy.name], is_primary=True,
+            peer_master="master:backup" if with_backup else None,
+        )
+        self.backup: Optional[TraditionalMaster] = None
+        if with_backup:
+            self.backup = TraditionalMaster(
+                "master:backup", self.simulator, self.network, self.token,
+                proxies=[self.proxy.name], is_primary=False,
+                peer_master="master:primary",
+            )
+        # WAN link between control center (masters) and the field site
+        for master in master_names:
+            self.network.set_link(
+                master, self.proxy.name, LinkSpec(latency_ms=wan_latency_ms, jitter_ms=0.5)
+            )
+
+    def start(self) -> None:
+        self.primary.start()
+        if self.backup is not None:
+            self.backup.start()
+        self.proxy.start()
+
+    def run_for(self, duration_ms: float) -> None:
+        self.simulator.run_for(duration_ms)

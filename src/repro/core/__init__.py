@@ -1,0 +1,65 @@
+"""Spire core: the paper's primary contribution, assembled.
+
+Public API: the deployment builder (:class:`SpireDeployment` /
+:class:`SpireOptions`), the replica (:class:`SpireReplica`), endpoints
+(:class:`RtuProxy`, :class:`HmiClient`), the replicated master app, the
+resilience-configuration framework, proactive recovery, diversity, and the
+measurement utilities.
+"""
+
+from .client import SubmissionManager
+from .collector import DeliveryCollector
+from .config import (
+    ResilienceConfig,
+    configuration_table,
+    minimal_placement,
+    minimal_replicas,
+    placement_survives,
+)
+from .deployment import SpireDeployment, SpireOptions
+from .diversity import DiversityManager, Exploit
+from .hmi import HmiClient
+from .master import Alarm, ScadaMasterApp
+from .metrics import IntervalSeries, LatencyRecorder, LatencyStats
+from .proxy import DeviceBinding, RtuProxy
+from .recovery import ProactiveRecoveryScheduler
+from .replica import THRESHOLD_GROUP, SpireReplica
+from .update import (
+    BreakerCommand,
+    DeliveryRecord,
+    DeliveryShare,
+    StatusReading,
+    UpdateSubmission,
+    record_for,
+)
+
+__all__ = [
+    "SubmissionManager",
+    "DeliveryCollector",
+    "ResilienceConfig",
+    "configuration_table",
+    "minimal_placement",
+    "minimal_replicas",
+    "placement_survives",
+    "SpireDeployment",
+    "SpireOptions",
+    "DiversityManager",
+    "Exploit",
+    "HmiClient",
+    "Alarm",
+    "ScadaMasterApp",
+    "IntervalSeries",
+    "LatencyRecorder",
+    "LatencyStats",
+    "DeviceBinding",
+    "RtuProxy",
+    "ProactiveRecoveryScheduler",
+    "THRESHOLD_GROUP",
+    "SpireReplica",
+    "BreakerCommand",
+    "DeliveryRecord",
+    "DeliveryShare",
+    "StatusReading",
+    "UpdateSubmission",
+    "record_for",
+]

@@ -1,0 +1,121 @@
+"""Client-side submission management shared by proxies and HMIs.
+
+A Spire client (RTU proxy or HMI) signs updates, submits them to one
+SCADA-master replica, and fails over to the next replica when no verified
+delivery acknowledges the update in time. Because updates are deduplicated
+at execution by ``(client, client_seq)``, retries are safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..crypto.provider import CryptoProvider
+from ..prime.messages import ClientUpdate
+from ..prime.node import sign_client_update
+from .metrics import LatencyRecorder
+from .update import UpdateSubmission
+
+__all__ = ["SubmissionManager"]
+
+#: send_fn(replica_endpoint, payload, size_bytes) -> bool
+SendFn = Callable[[str, Any, int], bool]
+
+
+@dataclass
+class _Outstanding:
+    update: ClientUpdate
+    first_submit: float
+    last_submit: float
+    attempts: int
+    target_index: int
+
+
+class SubmissionManager:
+    """Signs, submits, retries, and accounts for one client's updates."""
+
+    def __init__(
+        self,
+        client_name: str,
+        crypto: CryptoProvider,
+        replicas: List[str],
+        send_fn: SendFn,
+        now_fn: Callable[[], float],
+        recorder: Optional[LatencyRecorder] = None,
+        resubmit_timeout_ms: float = 500.0,
+        start_index: int = 0,
+    ) -> None:
+        if not replicas:
+            raise ValueError("need at least one replica endpoint")
+        self.client_name = client_name
+        self.crypto = crypto
+        self.replicas = list(replicas)
+        self.send_fn = send_fn
+        self.now_fn = now_fn
+        self.recorder = recorder
+        self.resubmit_timeout_ms = resubmit_timeout_ms
+        self._next_seq = 0
+        self._target = start_index % len(self.replicas)
+        self._outstanding: Dict[Tuple[str, int], _Outstanding] = {}
+        self.submitted_total = 0
+        self.retries_total = 0
+        self.acked_total = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, payload: Any) -> Tuple[str, int]:
+        """Sign and submit a new update; returns its (client, seq) key."""
+        self._next_seq += 1
+        update = sign_client_update(
+            self.crypto, self.client_name, self._next_seq, payload
+        )
+        now = self.now_fn()
+        key = (self.client_name, self._next_seq)
+        self._outstanding[key] = _Outstanding(
+            update, now, now, 1, self._target
+        )
+        if self.recorder is not None:
+            self.recorder.submitted(key, now)
+        self._send(update, self._target)
+        self.submitted_total += 1
+        return key
+
+    def _send(self, update: ClientUpdate, target_index: int) -> None:
+        replica = self.replicas[target_index % len(self.replicas)]
+        self.send_fn(replica, UpdateSubmission(update), 400)
+
+    # ------------------------------------------------------------------
+    def acknowledged(self, client: str, client_seq: int) -> Optional[float]:
+        """Mark an update delivered; returns end-to-end latency if known."""
+        if client != self.client_name:
+            return None
+        key = (client, client_seq)
+        entry = self._outstanding.pop(key, None)
+        if entry is None:
+            return None
+        self.acked_total += 1
+        if self.recorder is not None:
+            return self.recorder.acknowledged(key, self.now_fn())
+        return self.now_fn() - entry.first_submit
+
+    # ------------------------------------------------------------------
+    def retry_tick(self) -> int:
+        """Resubmit timed-out updates to the next replica; returns count."""
+        now = self.now_fn()
+        retried = 0
+        for entry in self._outstanding.values():
+            if now - entry.last_submit >= self.resubmit_timeout_ms:
+                entry.target_index += 1
+                entry.attempts += 1
+                entry.last_submit = now
+                self._send(entry.update, entry.target_index)
+                retried += 1
+                self.retries_total += 1
+        if retried:
+            # rotate the default target away from an unresponsive replica
+            self._target = (self._target + 1) % len(self.replicas)
+        return retried
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding)

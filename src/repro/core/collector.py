@@ -1,0 +1,73 @@
+"""Threshold-share collection at endpoints (proxies and HMIs).
+
+An endpoint receives :class:`DeliveryShare` messages from individual
+replicas. It may act on a delivery record only once it can produce — and
+verify — a combined threshold signature from ``threshold`` distinct shares.
+Corrupted shares from compromised replicas are tolerated by robust
+combining; duplicate records (delivered again after retries or view
+changes) are deduplicated by record key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..crypto.provider import CryptoProvider, ThresholdSignature
+from .update import DeliveryRecord, DeliveryShare
+
+__all__ = ["DeliveryCollector"]
+
+
+class DeliveryCollector:
+    """Collects shares and yields verified, deduplicated records."""
+
+    def __init__(
+        self,
+        crypto: CryptoProvider,
+        group: str,
+        max_pending: int = 10_000,
+    ) -> None:
+        self.crypto = crypto
+        self.group = group
+        self.max_pending = max_pending
+        #: record key -> record digest variants -> shares by sender
+        self._pending: Dict[Tuple, Dict[DeliveryRecord, Dict[str, DeliveryShare]]] = {}
+        self._done: Set[Tuple] = set()
+        self.verified = 0
+        self.rejected_shares = 0
+
+    def add(self, share: DeliveryShare) -> Optional[Tuple[DeliveryRecord, ThresholdSignature]]:
+        """Add one share; returns (record, signature) on first verification."""
+        record = share.record
+        key = record.key()
+        if key in self._done:
+            return None
+        variants = self._pending.setdefault(key, {})
+        by_sender = variants.setdefault(record, {})
+        by_sender[share.sender] = share
+        _, threshold = self.crypto.threshold_parameters(self.group)
+        if len(by_sender) < threshold:
+            return None
+        signature = self.crypto.threshold_combine(
+            self.group, record, [s.share for s in by_sender.values()]
+        )
+        if signature is None:
+            # some shares were corrupt; wait for more honest ones
+            self.rejected_shares += 1
+            return None
+        if not self.crypto.threshold_verify(signature, record):
+            self.rejected_shares += 1
+            return None
+        self._done.add(key)
+        del self._pending[key]
+        if len(self._done) > self.max_pending:
+            # bounded memory: forget oldest half (keys are unordered; this
+            # only affects very-long-lived endpoints re-seeing old records)
+            for old in list(self._done)[: self.max_pending // 2]:
+                self._done.discard(old)
+        self.verified += 1
+        return record, signature
+
+    @property
+    def pending_records(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,175 @@
+"""Resilience-configuration framework (the paper's Table I).
+
+Prime with ``n = 3f + 2k + 1`` replicas tolerates ``f`` simultaneous
+intrusions while ``k`` replicas are down for proactive recovery. Spire
+extends this to *site* resilience: replicas are spread over control
+centers (which can command field devices) and data centers (which only
+participate in ordering), such that after the failure or disconnection of
+any single site the surviving replicas still satisfy the base requirement
+— and at least one control center survives.
+
+This module derives minimal balanced placements and generates the
+configuration table the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ResilienceConfig", "minimal_replicas", "minimal_placement",
+           "placement_survives", "configuration_table"]
+
+
+def base_requirement(f: int, k: int) -> int:
+    """Replicas required with no site-failure tolerance: 3f + 2k + 1."""
+    return 3 * f + 2 * k + 1
+
+
+def quorum(f: int, k: int) -> int:
+    """Prime ordering quorum: 2f + k + 1."""
+    return 2 * f + k + 1
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """A deployment shape: replica counts per site."""
+
+    f: int
+    k: int
+    control_centers: Tuple[int, ...]   # replicas per control center
+    data_centers: Tuple[int, ...]      # replicas per data center
+    tolerates_site_failure: bool
+
+    @property
+    def n(self) -> int:
+        return sum(self.control_centers) + sum(self.data_centers)
+
+    @property
+    def sites(self) -> Tuple[int, ...]:
+        return self.control_centers + self.data_centers
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+    def placement(self) -> Dict[str, int]:
+        """Site-name -> replica-count map (cc1..ccN, dc1..dcM)."""
+        out: Dict[str, int] = {}
+        for index, count in enumerate(self.control_centers, start=1):
+            out[f"cc{index}"] = count
+        for index, count in enumerate(self.data_centers, start=1):
+            out[f"dc{index}"] = count
+        return out
+
+    def describe(self) -> str:
+        cc = "+".join(str(c) for c in self.control_centers) or "-"
+        dc = "+".join(str(c) for c in self.data_centers) or "-"
+        return (
+            f"f={self.f} k={self.k}  CC[{cc}] DC[{dc}]  n={self.n}  "
+            f"site-failure={'yes' if self.tolerates_site_failure else 'no'}"
+        )
+
+
+def minimal_replicas(f: int, k: int, num_sites: int,
+                     tolerate_site_failure: bool) -> int:
+    """Minimum total replicas over ``num_sites`` balanced sites."""
+    base = base_requirement(f, k)
+    if not tolerate_site_failure or num_sites <= 1:
+        return base
+    n = base
+    while True:
+        largest_site = -(-n // num_sites)  # ceil division
+        if n - largest_site >= base:
+            return n
+        n += 1
+
+
+def _balanced_split(total: int, parts: int) -> List[int]:
+    if parts <= 0:
+        return []
+    small = total // parts
+    remainder = total % parts
+    return [small + (1 if index < remainder else 0) for index in range(parts)]
+
+
+def minimal_placement(
+    f: int,
+    k: int,
+    num_control_centers: int,
+    num_data_centers: int,
+    tolerate_site_failure: bool = True,
+) -> ResilienceConfig:
+    """Minimal balanced placement over the given site layout.
+
+    Raises ValueError for layouts that cannot meet the requirement (e.g.
+    demanding site-failure tolerance with a single control center and no
+    data centers leaves no surviving control center).
+    """
+    if num_control_centers < 1:
+        raise ValueError("need at least one control center")
+    num_sites = num_control_centers + num_data_centers
+    if tolerate_site_failure and num_sites < 2:
+        raise ValueError("site-failure tolerance needs at least two sites")
+    if tolerate_site_failure and num_control_centers < 2:
+        raise ValueError(
+            "tolerating the failure of a control center requires a second "
+            "control center (data centers cannot command field devices)"
+        )
+    n = minimal_replicas(f, k, num_sites, tolerate_site_failure)
+    counts = _balanced_split(n, num_sites)
+    # put the larger shares in control centers (they are the trusted sites)
+    control = tuple(counts[:num_control_centers])
+    data = tuple(counts[num_control_centers:])
+    return ResilienceConfig(f, k, control, data, tolerate_site_failure)
+
+
+def placement_survives(
+    config: ResilienceConfig, failed_site: Optional[int] = None
+) -> bool:
+    """Exhaustive check: with ``failed_site`` down (index into
+    ``config.sites``; None = no site failure), can the system still order
+    updates with f compromised and k recovering replicas, and command
+    field devices?"""
+    sites = list(config.sites)
+    if failed_site is not None:
+        surviving_cc = [
+            count for index, count in enumerate(config.control_centers)
+            if index != failed_site
+        ]
+        if failed_site < len(config.control_centers) and not any(
+            c > 0 for c in surviving_cc
+        ):
+            return False  # no control center left to drive field devices
+        sites = [count for index, count in enumerate(sites) if index != failed_site]
+    remaining = sum(sites)
+    available = remaining - config.f - config.k
+    return available >= quorum(config.f, config.k)
+
+
+def configuration_table(
+    f_values: Tuple[int, ...] = (1, 2),
+    k_values: Tuple[int, ...] = (0, 1),
+) -> List[ResilienceConfig]:
+    """The configuration table the paper presents: minimal placements for
+    representative (f, k, layout) combinations."""
+    layouts = [
+        # (num_cc, num_dc, tolerate_site_failure)
+        (1, 0, False),
+        (2, 0, True),
+        (2, 1, True),
+        (2, 2, True),
+        (3, 0, True),
+        (3, 3, True),
+    ]
+    table: List[ResilienceConfig] = []
+    for f in f_values:
+        for k in k_values:
+            for num_cc, num_dc, tolerate in layouts:
+                try:
+                    table.append(
+                        minimal_placement(f, k, num_cc, num_dc, tolerate)
+                    )
+                except ValueError:
+                    continue
+    return table

@@ -1,0 +1,278 @@
+"""Deployment builder: assembles a complete Spire system in one call.
+
+This is the reproduction of the paper's deployed architecture:
+
+* a Spines overlay across control centers, data centers and field sites;
+* ``n = 3f + 2k + 1`` SCADA-master replicas placed across the sites per a
+  :class:`~repro.core.config.ResilienceConfig`-style placement;
+* a power grid with one RTU per substation, fronted by an RTU proxy at the
+  field site;
+* one or more HMIs at the primary control center;
+* threshold-signature keys dealt to the replicas;
+* optional proactive recovery (with diversity re-randomization).
+
+Everything rides on one :class:`~repro.simnet.Simulator`, so a scenario is
+fully described by (options, seed) and is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..crypto.provider import CryptoProvider, FastCrypto, RealCrypto
+from ..prime.config import PrimeConfig, lan_prime_config, wan_prime_config
+from ..prime.transport import OverlayTransport
+from ..scada.grid import PowerGrid, build_radial_grid
+from ..scada.rtu import RtuDevice
+from ..simnet import LinkSpec, Network, Simulator, Trace
+from ..spines.overlay import SpinesOverlay
+from ..spines.topology import OverlayTopology, wide_area_topology
+from .diversity import DiversityManager
+from .hmi import HmiClient
+from .master import ScadaMasterApp
+from .metrics import IntervalSeries, LatencyRecorder
+from .proxy import DeviceBinding, RtuProxy
+from .recovery import ProactiveRecoveryScheduler
+from .replica import THRESHOLD_GROUP, SpireReplica
+
+__all__ = ["SpireOptions", "SpireDeployment"]
+
+
+@dataclass
+class SpireOptions:
+    """Knobs for one deployment scenario."""
+
+    f: int = 1
+    k: int = 1
+    #: site name -> replica count; None = the paper's 2+2+1+1 over 4 sites
+    placement: Optional[Dict[str, int]] = None
+    num_substations: int = 5
+    num_hmis: int = 1
+    poll_interval_ms: float = 100.0
+    resubmit_timeout_ms: float = 500.0
+    overlay_mode: str = "flooding"           # or "shortest"
+    prime_preset: str = "wan"                # or "lan"
+    crypto_kind: str = "fast"                # or "real"
+    seed: int = 1
+    #: (period_ms, duration_ms) to enable proactive recovery
+    proactive_recovery: Optional[Tuple[float, float]] = None
+    checkpoint_interval_seqs: int = 50
+
+
+class SpireDeployment:
+    """A fully wired Spire system inside one simulator."""
+
+    def __init__(
+        self,
+        options: Optional[SpireOptions] = None,
+        topology: Optional[OverlayTopology] = None,
+    ) -> None:
+        self.options = options or SpireOptions()
+        opts = self.options
+        self.simulator = Simulator(seed=opts.seed)
+        self.network = Network(self.simulator, LinkSpec(latency_ms=0.2, jitter_ms=0.05))
+        self.trace = Trace(self.simulator)
+        self.crypto: CryptoProvider = (
+            RealCrypto(seed=f"spire/{opts.seed}")
+            if opts.crypto_kind == "real"
+            else FastCrypto(seed=f"spire/{opts.seed}")
+        )
+        self.topology = topology or wide_area_topology()
+        self.overlay = SpinesOverlay(
+            self.simulator,
+            self.network,
+            self.topology,
+            mode=opts.overlay_mode,
+            crypto=self.crypto,
+            trace=self.trace,
+        )
+        self.diversity = DiversityManager(seed=opts.seed)
+        self.status_recorder = LatencyRecorder()
+        self.command_recorder = LatencyRecorder()
+        self.delivery_series = IntervalSeries(interval_ms=1000.0)
+        self._build_replicas()
+        self._build_field()
+        self._build_hmis()
+        self._wire()
+        self.recovery_scheduler: Optional[ProactiveRecoveryScheduler] = None
+        if opts.proactive_recovery is not None:
+            period_ms, duration_ms = opts.proactive_recovery
+            self.recovery_scheduler = ProactiveRecoveryScheduler(
+                self.simulator,
+                list(self.replicas),
+                period_ms=period_ms,
+                recovery_duration_ms=duration_ms,
+                max_concurrent=opts.k if opts.k > 0 else 1,
+                trace=self.trace,
+                on_rejuvenate=lambda r: self.diversity.rejuvenate(r.name),
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _default_placement(self) -> Dict[str, int]:
+        needed = 3 * self.options.f + 2 * self.options.k + 1
+        site_names = [site.name for site in self.topology.sites
+                      if site.kind in ("control", "data")]
+        control_first = sorted(
+            site_names,
+            key=lambda name: (self.topology.site(name).kind != "control", name),
+        )
+        placement = {name: 0 for name in control_first}
+        index = 0
+        for _ in range(needed):
+            placement[control_first[index % len(control_first)]] += 1
+            index += 1
+        return {name: count for name, count in placement.items() if count > 0}
+
+    def _build_replicas(self) -> None:
+        opts = self.options
+        placement = opts.placement or self._default_placement()
+        self.placement = placement
+        names: List[str] = []
+        sites: List[str] = []
+        for site_name in sorted(placement):
+            for _ in range(placement[site_name]):
+                names.append(f"replica:{len(names)}")
+                sites.append(site_name)
+        import dataclasses
+
+        preset = lan_prime_config if opts.prime_preset == "lan" else wan_prime_config
+        config = preset(tuple(names), f=opts.f, k=opts.k)
+        config = dataclasses.replace(
+            config, checkpoint_interval_seqs=opts.checkpoint_interval_seqs
+        )
+        self.prime_config = config
+        self.crypto.create_threshold_group(
+            THRESHOLD_GROUP, config.n, config.signing_threshold
+        )
+        self.replicas: List[SpireReplica] = []
+        self.replica_sites: Dict[str, str] = {}
+        for name, site_name in zip(names, sites):
+            replica = SpireReplica(
+                name, self.simulator, self.network, config, self.crypto,
+                app=ScadaMasterApp(), trace=self.trace,
+            )
+            stack = self.overlay.attach(replica, site_name)
+            replica.transport = OverlayTransport(stack)
+            self.diversity.assign(name)
+            self.replicas.append(replica)
+            self.replica_sites[name] = site_name
+
+    def _build_field(self) -> None:
+        opts = self.options
+        self.grid = build_radial_grid(
+            num_substations=opts.num_substations, seed=opts.seed
+        )
+        field_sites = [s.name for s in self.topology.sites_of_kind("field")]
+        self.field_site = field_sites[0] if field_sites else self.topology.sites[0].name
+        self.rtus: Dict[str, RtuDevice] = {}
+        bindings: List[DeviceBinding] = []
+        for unit_id, substation in enumerate(sorted(self.grid.substations), start=1):
+            rtu = RtuDevice(
+                f"rtu:{substation}", self.simulator, self.network,
+                self.grid, substation, unit_id,
+            )
+            self.rtus[substation] = rtu
+            bindings.append(
+                DeviceBinding(
+                    substation=substation,
+                    device_name=rtu.name,
+                    unit_id=unit_id,
+                    coil_ids=tuple(rtu.coil_ids()),
+                )
+            )
+        self.proxy = RtuProxy(
+            "proxy:field", self.simulator, self.network, self.crypto,
+            replicas=[r.name for r in self.replicas],
+            devices=bindings,
+            recorder=self.status_recorder,
+            trace=self.trace,
+            poll_interval_ms=opts.poll_interval_ms,
+            resubmit_timeout_ms=opts.resubmit_timeout_ms,
+        )
+        self.proxy.stack = self.overlay.attach(self.proxy, self.field_site)
+        for binding in bindings:
+            self.network.set_link(
+                self.proxy.name, binding.device_name,
+                LinkSpec(latency_ms=0.3, jitter_ms=0.05),
+            )
+
+    def _build_hmis(self) -> None:
+        control_sites = [s.name for s in self.topology.sites_of_kind("control")]
+        home = control_sites[0] if control_sites else self.topology.sites[0].name
+        self.hmis: List[HmiClient] = []
+        for index in range(self.options.num_hmis):
+            hmi = HmiClient(
+                f"hmi:{index}", self.simulator, self.network, self.crypto,
+                replicas=[r.name for r in self.replicas],
+                recorder=self.command_recorder,
+                trace=self.trace,
+                resubmit_timeout_ms=self.options.resubmit_timeout_ms,
+            )
+            hmi.stack = self.overlay.attach(hmi, home)
+            self.hmis.append(hmi)
+
+    def _wire(self) -> None:
+        for replica in self.replicas:
+            for hmi in self.hmis:
+                replica.add_subscriber(hmi.name)
+            for substation in self.grid.substations:
+                replica.register_proxy(substation, self.proxy.name)
+        # availability accounting: every verified status delivery at HMI 0
+        if self.hmis:
+            original = self.hmis[0]._on_delivery_share
+
+            def counted(share, _original=original):
+                before = self.hmis[0].collector.verified
+                _original(share)
+                if self.hmis[0].collector.verified > before:
+                    self.delivery_series.record(self.simulator.now)
+
+            self.hmis[0]._on_delivery_share = counted
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start every component (call once, then run the simulator)."""
+        for replica in self.replicas:
+            replica.start()
+        self.proxy.start()
+        for hmi in self.hmis:
+            hmi.start()
+        if self.recovery_scheduler is not None:
+            self.recovery_scheduler.start()
+
+    def run_for(self, duration_ms: float) -> None:
+        self.simulator.run_for(duration_ms)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by benchmarks
+    # ------------------------------------------------------------------
+    def current_leader(self) -> str:
+        views = [r.view for r in self.replicas if r.is_up]
+        view = max(set(views), key=views.count) if views else 0
+        return self.prime_config.leader_of_view(view)
+
+    def replica_names(self) -> List[str]:
+        return [r.name for r in self.replicas]
+
+    def dos_peers_of(self, endpoint_name: str) -> List[str]:
+        """The network neighbours whose links a DoS against ``endpoint_name``
+        degrades: in an overlay deployment that is the access link to the
+        endpoint's site daemon."""
+        from ..spines.daemon import SpinesDaemon
+
+        site = self.overlay.endpoint_site(endpoint_name)
+        if site is None:
+            return []
+        return [SpinesDaemon.daemon_name(site)]
+
+    def master_state(self) -> ScadaMasterApp:
+        """The master app of the first healthy replica."""
+        for replica in self.replicas:
+            if replica.is_up:
+                return replica.app
+        raise RuntimeError("no healthy replica")

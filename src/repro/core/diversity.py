@@ -1,0 +1,82 @@
+"""Software diversity model (the paper's MultiCompiler substitution).
+
+The real Spire compiles each replica (and each rejuvenation image) with a
+diversifying compiler so a single memory-corruption exploit does not work
+against all replicas. We model the *consequence*: every replica runs a
+``variant`` drawn from a large space, an exploit targets one variant, and
+an intrusion attempt succeeds only when the target's current variant
+matches the exploit. Rejuvenation re-randomizes the variant, invalidating
+any exploit the attacker had tailored.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+__all__ = ["Exploit", "DiversityManager"]
+
+
+@dataclass(frozen=True)
+class Exploit:
+    """An attack capability effective against exactly one variant."""
+
+    name: str
+    target_variant: int
+
+
+class DiversityManager:
+    """Variant assignment and exploit-applicability decisions."""
+
+    def __init__(self, variant_space: int = 2 ** 16, seed: int = 0) -> None:
+        if variant_space < 2:
+            raise ValueError("variant space must have at least 2 variants")
+        self.variant_space = variant_space
+        self._rng = random.Random(f"diversity/{seed}")
+        self._variants: Dict[str, int] = {}
+        self.rejuvenations = 0
+
+    # ------------------------------------------------------------------
+    def assign(self, replica: str) -> int:
+        """Assign (or return) the replica's current variant."""
+        if replica not in self._variants:
+            self._variants[replica] = self._rng.randrange(self.variant_space)
+        return self._variants[replica]
+
+    def variant_of(self, replica: str) -> Optional[int]:
+        return self._variants.get(replica)
+
+    def rejuvenate(self, replica: str) -> int:
+        """Re-randomize on proactive recovery; returns the new variant."""
+        self.rejuvenations += 1
+        new_variant = self._rng.randrange(self.variant_space)
+        self._variants[replica] = new_variant
+        return new_variant
+
+    # ------------------------------------------------------------------
+    def exploit_for(self, replica: str, name: Optional[str] = None) -> Exploit:
+        """Craft an exploit tailored to the replica's *current* variant
+        (models an attacker with full knowledge of one binary)."""
+        variant = self.assign(replica)
+        return Exploit(name or f"exploit-{replica}", variant)
+
+    def is_vulnerable(self, replica: str, exploit: Exploit) -> bool:
+        return self._variants.get(replica) == exploit.target_variant
+
+    def vulnerable_replicas(self, exploit: Exploit) -> List[str]:
+        return sorted(
+            replica for replica, variant in self._variants.items()
+            if variant == exploit.target_variant
+        )
+
+    def monoculture_exposure(self, replicas: List[str]) -> float:
+        """Fraction of the fleet sharing the most common variant — 1.0 for
+        an undiversified deployment (one exploit takes everything)."""
+        if not replicas:
+            return 0.0
+        counts: Dict[int, int] = {}
+        for replica in replicas:
+            variant = self.assign(replica)
+            counts[variant] = counts.get(variant, 0) + 1
+        return max(counts.values()) / len(replicas)

@@ -1,0 +1,95 @@
+"""Proactive recovery scheduling.
+
+Spire periodically *rejuvenates* replicas — restarting them from a clean,
+freshly-diversified image — so that an undetected intrusion is bounded in
+time. The scheduler here rotates through the replicas, taking at most
+``k`` down at once (which is exactly what the ``2k`` term in
+``3f + 2k + 1`` budgets for), and coordinates with the diversity manager
+to re-randomize the rejuvenated replica's variant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..simnet import Process, Simulator, Trace
+
+__all__ = ["ProactiveRecoveryScheduler"]
+
+
+class ProactiveRecoveryScheduler:
+    """Round-robin rejuvenation of a replica set."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        replicas: List[Process],
+        period_ms: float,
+        recovery_duration_ms: float,
+        max_concurrent: int = 1,
+        trace: Optional[Trace] = None,
+        on_rejuvenate: Optional[Callable[[Process], None]] = None,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self.simulator = simulator
+        self.replicas = list(replicas)
+        self.period_ms = period_ms
+        self.recovery_duration_ms = recovery_duration_ms
+        self.max_concurrent = max_concurrent
+        self.trace = trace
+        self.on_rejuvenate = on_rejuvenate
+        self._next_index = 0
+        self._in_recovery = 0
+        self._stop: Optional[Callable[[], None]] = None
+        self.recoveries_started = 0
+        self.recoveries_completed = 0
+        self.skipped = 0
+
+    # ------------------------------------------------------------------
+    def start(self, first_delay_ms: Optional[float] = None) -> None:
+        """Begin the rejuvenation rotation."""
+        self._stop = self.simulator.call_every(
+            self.period_ms,
+            self._rejuvenate_next,
+            first_delay=first_delay_ms,
+            rng_name="recovery-scheduler",
+        )
+
+    def stop(self) -> None:
+        if self._stop is not None:
+            self._stop()
+            self._stop = None
+
+    # ------------------------------------------------------------------
+    def _rejuvenate_next(self) -> None:
+        if self._in_recovery >= self.max_concurrent:
+            self.skipped += 1
+            return
+        candidates = len(self.replicas)
+        for _ in range(candidates):
+            replica = self.replicas[self._next_index % candidates]
+            self._next_index += 1
+            if replica.is_up:
+                self._begin(replica)
+                return
+        self.skipped += 1
+
+    def _begin(self, replica: Process) -> None:
+        self._in_recovery += 1
+        self.recoveries_started += 1
+        if self.trace is not None:
+            self.trace.event("recovery-scheduler", "rejuvenate-start",
+                             replica=replica.name)
+        replica.crash()
+        self.simulator.schedule(self.recovery_duration_ms, self._finish, replica)
+
+    def _finish(self, replica: Process) -> None:
+        self._in_recovery -= 1
+        self.recoveries_completed += 1
+        if self.on_rejuvenate is not None:
+            self.on_rejuvenate(replica)
+        replica.recover()
+        if self.trace is not None:
+            self.trace.event("recovery-scheduler", "rejuvenate-done",
+                             replica=replica.name)

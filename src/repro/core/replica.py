@@ -1,0 +1,126 @@
+"""The Spire replica: Prime node + SCADA master + threshold signing.
+
+A :class:`SpireReplica` extends :class:`~repro.prime.node.PrimeNode` with
+the application-layer duties of a Spire SCADA master replica:
+
+* accept :class:`UpdateSubmission` messages from proxies/HMIs over the
+  overlay and inject them into Prime;
+* after each update executes through the agreed order, produce a
+  threshold-signature share over the :class:`DeliveryRecord` and send it to
+  every interested endpoint (the originating client, all HMIs, and — for
+  breaker commands — the proxy that fronts the target substation).
+
+A compromised replica can refuse to do any of this, or send garbage
+shares; with threshold ``f + 1`` and robust combining at the endpoints,
+``f`` such replicas can neither forge a delivery nor block one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from ..crypto.provider import CryptoProvider
+from ..prime.app import ReplicatedApplication
+from ..prime.config import PrimeConfig
+from ..prime.messages import ClientUpdate
+from ..prime.node import PrimeNode
+from ..prime.transport import Transport
+from ..simnet import Network, Simulator, Trace
+from .master import ScadaMasterApp
+from .update import BreakerCommand, DeliveryShare, UpdateSubmission, record_for
+
+__all__ = ["SpireReplica", "THRESHOLD_GROUP"]
+
+#: name of the threshold-signature group shared by the master replicas
+THRESHOLD_GROUP = "spire-masters"
+
+
+class SpireReplica(PrimeNode):
+    """One SCADA-master replica."""
+
+    def __init__(
+        self,
+        name: str,
+        simulator: Simulator,
+        network: Network,
+        config: PrimeConfig,
+        crypto: CryptoProvider,
+        app: Optional[ReplicatedApplication] = None,
+        trace: Optional[Trace] = None,
+        transport: Optional[Transport] = None,
+        threshold_group: str = THRESHOLD_GROUP,
+    ) -> None:
+        super().__init__(
+            name, simulator, network, config,
+            crypto, app or ScadaMasterApp(), trace=trace, transport=transport,
+        )
+        self.threshold_group = threshold_group
+        self.share_index = config.index_of(name) + 1
+        #: endpoints that receive every delivery (HMIs, historians)
+        self.subscribers: List[str] = []
+        #: substation -> proxy endpoint fronting it (for command delivery)
+        self.proxy_of_substation: Dict[str, str] = {}
+        self.deliveries_sent = 0
+        #: attack hook: transform our threshold share before sending
+        #: (models a compromised replica emitting garbage shares)
+        self.share_corruptor = None
+        #: bounded cache of recent shares, to re-answer client retries of
+        #: updates that already executed (their first delivery may be lost)
+        self._recent_shares: "OrderedDict[tuple, DeliveryShare]" = OrderedDict()
+        self._recent_share_cap = 5000
+        self.execution_listeners.append(self._deliver_executed)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def add_subscriber(self, endpoint: str) -> None:
+        if endpoint not in self.subscribers:
+            self.subscribers.append(endpoint)
+
+    def register_proxy(self, substation: str, proxy_endpoint: str) -> None:
+        self.proxy_of_substation[substation] = proxy_endpoint
+
+    # ------------------------------------------------------------------
+    # Incoming submissions
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, payload: Any) -> None:
+        unwrapped = self.transport.unwrap(payload)
+        inner = unwrapped[1] if unwrapped is not None else payload
+        if isinstance(inner, UpdateSubmission):
+            accepted = self.submit(inner.update)
+            if not accepted:
+                # A retry of an already-executed update: re-send our share
+                # so a client whose first delivery was lost can still act.
+                update = inner.update
+                key = (update.client, update.client_seq)
+                cached = self._recent_shares.get(key)
+                if cached is not None:
+                    self.transport.send(update.client, cached, size_bytes=350)
+            return
+        super().on_message(src, payload)
+
+    # ------------------------------------------------------------------
+    # Outgoing deliveries
+    # ------------------------------------------------------------------
+    def _deliver_executed(self, update: ClientUpdate, order_index: int, result: Any) -> None:
+        record = record_for(update, order_index)
+        share = self.crypto.threshold_sign_share(
+            self.threshold_group, self.share_index, record
+        )
+        if self.share_corruptor is not None:
+            share = self.share_corruptor(share)
+        delivery = DeliveryShare(self.name, record, share)
+        self._recent_shares[(update.client, update.client_seq)] = delivery
+        while len(self._recent_shares) > self._recent_share_cap:
+            self._recent_shares.popitem(last=False)
+        targets: Set[str] = set(self.subscribers)
+        targets.add(update.client)
+        if isinstance(update.payload, BreakerCommand):
+            proxy = self.proxy_of_substation.get(update.payload.substation)
+            if proxy is not None:
+                targets.add(proxy)
+        for target in targets:
+            if target != self.name:
+                self.deliveries_sent += 1
+                self.transport.send(target, delivery, size_bytes=350)

@@ -1,0 +1,108 @@
+"""Payload and wire types of the Spire application layer.
+
+Data flow (paper architecture):
+
+* RTU proxies poll field devices over Modbus and package readings as
+  :class:`StatusReading` payloads inside signed ``ClientUpdate``s, which
+  they submit to a SCADA-master replica (:class:`UpdateSubmission`).
+* HMIs submit :class:`BreakerCommand` payloads the same way.
+* Every replica that executes an update through the agreed order produces
+  a :class:`DeliveryRecord` and sends its threshold-signature share
+  (:class:`DeliveryShare`) to the interested endpoints; an endpoint that
+  collects ``f + 1`` matching shares combines them into one compact
+  threshold signature and acts on the record — so a proxy never operates a
+  breaker, and an HMI never updates its display, on the say-so of fewer
+  than one correct replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from ..crypto.provider import ThresholdShare, ThresholdSignature
+from ..prime.messages import ClientUpdate
+
+__all__ = [
+    "StatusReading",
+    "BreakerCommand",
+    "DeliveryRecord",
+    "DeliveryShare",
+    "UpdateSubmission",
+    "record_for",
+]
+
+
+@dataclass(frozen=True)
+class StatusReading:
+    """One polled snapshot of a substation's telemetry and breakers."""
+
+    substation: str
+    poll_seq: int
+    polled_at: float
+    measurements: Tuple[Tuple[str, float], ...]  # sorted (name, value)
+    breakers: Tuple[Tuple[str, bool], ...]       # sorted (breaker_id, closed)
+
+    def measurement(self, name: str) -> Optional[float]:
+        for key, value in self.measurements:
+            if key == name:
+                return value
+        return None
+
+
+@dataclass(frozen=True)
+class BreakerCommand:
+    """An operator (or automation) request to operate a breaker."""
+
+    substation: str
+    breaker_id: str
+    close: bool
+    issued_by: str
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """The agreed fact that an update executed at a global position.
+
+    This is what gets threshold-signed: it binds the update identity and
+    content to its execution order, so endpoints can safely deduplicate
+    and order deliveries.
+    """
+
+    kind: str                 # "status" | "command"
+    client: str
+    client_seq: int
+    order_index: int
+    payload: Any              # the executed StatusReading / BreakerCommand
+
+    def key(self) -> Tuple[str, str, int]:
+        return (self.kind, self.client, self.client_seq)
+
+
+@dataclass(frozen=True)
+class DeliveryShare:
+    """One replica's threshold share over a delivery record."""
+
+    sender: str
+    record: DeliveryRecord
+    share: ThresholdShare
+
+
+@dataclass(frozen=True)
+class UpdateSubmission:
+    """Endpoint -> replica: please order this client update."""
+
+    update: ClientUpdate
+
+
+def record_for(update: ClientUpdate, order_index: int) -> DeliveryRecord:
+    """Build the canonical delivery record for an executed update."""
+    kind = "command" if isinstance(update.payload, BreakerCommand) else "status"
+    return DeliveryRecord(
+        kind=kind,
+        client=update.client,
+        client_seq=update.client_seq,
+        order_index=order_index,
+        payload=update.payload,
+    )

@@ -1,0 +1,44 @@
+"""From-scratch cryptography for the reproduction.
+
+Public API: canonical encoding (:func:`encode`), RSA signatures, Shoup-style
+threshold RSA, and the pluggable :class:`CryptoProvider` (``RealCrypto`` /
+``FastCrypto``) that protocol code consumes.
+"""
+
+from .encoding import EncodingError, digest, encode
+from .provider import (
+    CryptoProvider,
+    FastCrypto,
+    RealCrypto,
+    Signature,
+    ThresholdShare,
+    ThresholdSignature,
+)
+from .rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+from .threshold import (
+    PartialSignature,
+    ThresholdGroup,
+    ThresholdKeyShare,
+    ThresholdPublicKey,
+    generate_threshold_group,
+)
+
+__all__ = [
+    "EncodingError",
+    "digest",
+    "encode",
+    "CryptoProvider",
+    "FastCrypto",
+    "RealCrypto",
+    "Signature",
+    "ThresholdShare",
+    "ThresholdSignature",
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "generate_keypair",
+    "PartialSignature",
+    "ThresholdGroup",
+    "ThresholdKeyShare",
+    "ThresholdPublicKey",
+    "generate_threshold_group",
+]

@@ -1,0 +1,114 @@
+"""Canonical byte encoding for signable protocol objects.
+
+Digital signatures and MACs need a deterministic byte representation of
+protocol messages. Rather than pulling in a serialization framework, this
+module defines a small canonical encoding over the value types protocol
+messages are built from: ints, floats, strings, bytes, bools, None,
+tuples/lists, dicts (sorted by key), frozensets (sorted), and dataclasses
+(encoded as ``(class name, field dict)``).
+
+The encoding is injective on the supported domain, which is what
+unforgeability arguments need: two distinct messages never encode to the
+same bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any
+
+__all__ = ["encode", "encode_cached", "digest", "EncodingError"]
+
+#: per-class dataclass field tuples (dataclasses.fields is surprisingly hot)
+_FIELDS_CACHE: dict = {}
+
+
+class EncodingError(TypeError):
+    """Raised when a value outside the supported domain is encoded."""
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif isinstance(value, int):
+        data = str(value).encode()
+        out += b"i" + len(data).to_bytes(4, "big") + data
+    elif isinstance(value, float):
+        out += b"f" + struct.pack(">d", value)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out += b"s" + len(data).to_bytes(4, "big") + data
+    elif isinstance(value, bytes):
+        out += b"b" + len(value).to_bytes(4, "big") + value
+    elif isinstance(value, (tuple, list)):
+        out += b"l" + len(value).to_bytes(4, "big")
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, frozenset):
+        items = sorted(encode(item) for item in value)
+        out += b"S" + len(items).to_bytes(4, "big")
+        for item in items:
+            out += len(item).to_bytes(4, "big") + item
+    elif isinstance(value, dict):
+        items = sorted((encode(k), v) for k, v in value.items())
+        out += b"d" + len(items).to_bytes(4, "big")
+        for key_bytes, item in items:
+            out += len(key_bytes).to_bytes(4, "big") + key_bytes
+            _encode_into(item, out)
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        cached = _FIELDS_CACHE.get(cls)
+        if cached is None:
+            cached = (
+                cls.__name__.encode(),
+                tuple(f.name for f in dataclasses.fields(value)),
+            )
+            _FIELDS_CACHE[cls] = cached
+        name, field_names = cached
+        out += b"D" + len(name).to_bytes(2, "big") + name
+        out += len(field_names).to_bytes(4, "big")
+        for field_name in field_names:
+            _encode_into(field_name, out)
+            _encode_into(getattr(value, field_name), out)
+    else:
+        raise EncodingError(f"cannot canonically encode {type(value).__name__}")
+
+
+def encode(value: Any) -> bytes:
+    """Return the canonical byte encoding of ``value``."""
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+#: identity-keyed encode memo. Protocol messages are immutable (frozen
+#: dataclasses) and the same object is signed once and verified/forwarded
+#: many times, so caching by identity is both safe (the cache holds a
+#: strong reference, preventing id reuse) and very effective.
+_ENCODE_CACHE: "dict[int, tuple[Any, bytes]]" = {}
+_ENCODE_CACHE_CAP = 60_000
+
+
+def encode_cached(value: Any) -> bytes:
+    """Like :func:`encode`, memoized by object identity."""
+    key = id(value)
+    hit = _ENCODE_CACHE.get(key)
+    if hit is not None and hit[0] is value:
+        return hit[1]
+    encoded = encode(value)
+    if len(_ENCODE_CACHE) >= _ENCODE_CACHE_CAP:
+        _ENCODE_CACHE.clear()  # simple epoch flush; correctness unaffected
+    _ENCODE_CACHE[key] = (value, encoded)
+    return encoded
+
+
+def digest(value: Any) -> str:
+    """Hex SHA-256 digest of the canonical encoding of ``value``."""
+    import hashlib
+
+    return hashlib.sha256(encode_cached(value)).hexdigest()

@@ -1,0 +1,264 @@
+"""Pluggable cryptography provider.
+
+Protocol code never touches key material directly; it asks a
+:class:`CryptoProvider` to sign/verify/MAC on behalf of named principals
+and threshold groups. Two implementations are provided:
+
+* :class:`RealCrypto` — the from-scratch RSA and threshold-RSA of
+  :mod:`repro.crypto.rsa` / :mod:`repro.crypto.threshold`. Used by the
+  crypto-focused tests and available everywhere.
+* :class:`FastCrypto` — a *simulation-faithful* provider: tags are SHA-256
+  digests keyed on secret per-principal strings. Within the simulation's
+  adversary model (an attacker can only invoke signing for principals it
+  controls), tags are unforgeable, and verification behaves identically to
+  real signatures. This keeps the virtual-time benchmarks — which replay
+  hundreds of thousands of updates — from being dominated by bignum math,
+  exactly the substitution DESIGN.md §3 documents.
+
+Both providers share the same threshold semantics: a combined signature
+exists iff at least ``threshold`` distinct genuine shares over the same
+data are presented, and corrupted shares never block combination when
+enough genuine shares are present.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as hmac_module
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from .encoding import encode, encode_cached
+from .rsa import RsaKeyPair, generate_keypair
+from .threshold import (
+    PartialSignature,
+    ThresholdGroup,
+    ThresholdKeyShare,
+    ThresholdPublicKey,
+    generate_threshold_group,
+)
+
+__all__ = [
+    "CryptoProvider",
+    "RealCrypto",
+    "FastCrypto",
+    "Signature",
+    "ThresholdShare",
+    "ThresholdSignature",
+]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An individual principal's signature over canonical-encoded data."""
+
+    signer: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class ThresholdShare:
+    """One replica's share of a threshold signature over some data."""
+
+    group: str
+    index: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class ThresholdSignature:
+    """A combined threshold signature over some data."""
+
+    group: str
+    value: Any
+
+
+class CryptoProvider:
+    """Abstract interface; see module docstring."""
+
+    # -- individual signatures -----------------------------------------
+    def sign(self, signer: str, message: Any) -> Signature:
+        raise NotImplementedError
+
+    def verify(self, signature: Signature, message: Any) -> bool:
+        raise NotImplementedError
+
+    # -- pairwise MACs (link authentication) ----------------------------
+    def mac(self, src: str, dst: str, message: Any) -> bytes:
+        raise NotImplementedError
+
+    def check_mac(self, src: str, dst: str, message: Any, tag: bytes) -> bool:
+        raise NotImplementedError
+
+    # -- threshold signatures -------------------------------------------
+    def create_threshold_group(self, group: str, players: int, threshold: int) -> None:
+        raise NotImplementedError
+
+    def threshold_parameters(self, group: str) -> Tuple[int, int]:
+        """Return ``(players, threshold)`` for a group."""
+        raise NotImplementedError
+
+    def threshold_sign_share(self, group: str, index: int, message: Any) -> ThresholdShare:
+        raise NotImplementedError
+
+    def threshold_combine(
+        self, group: str, message: Any, shares: Iterable[ThresholdShare]
+    ) -> Optional[ThresholdSignature]:
+        raise NotImplementedError
+
+    def threshold_verify(self, signature: ThresholdSignature, message: Any) -> bool:
+        raise NotImplementedError
+
+
+class RealCrypto(CryptoProvider):
+    """RSA-backed provider (keys generated lazily and deterministically)."""
+
+    def __init__(self, seed: str = "real", bits: int = 512) -> None:
+        self.seed = seed
+        self.bits = bits
+        self._keys: Dict[str, RsaKeyPair] = {}
+        self._groups: Dict[str, Tuple[ThresholdPublicKey, Dict[int, ThresholdKeyShare]]] = {}
+
+    def _keypair(self, principal: str) -> RsaKeyPair:
+        if principal not in self._keys:
+            self._keys[principal] = generate_keypair(
+                bits=self.bits, seed=f"{self.seed}/{principal}"
+            )
+        return self._keys[principal]
+
+    def sign(self, signer: str, message: Any) -> Signature:
+        return Signature(signer, self._keypair(signer).sign(encode_cached(message)))
+
+    def verify(self, signature: Signature, message: Any) -> bool:
+        key = self._keypair(signature.signer).public
+        if not isinstance(signature.value, int):
+            return False
+        return key.verify(encode_cached(message), signature.value)
+
+    def _pair_key(self, a: str, b: str) -> bytes:
+        lo, hi = sorted((a, b))
+        return hashlib.sha256(f"{self.seed}/mac/{lo}/{hi}".encode()).digest()
+
+    def mac(self, src: str, dst: str, message: Any) -> bytes:
+        return hmac_module.new(self._pair_key(src, dst), encode_cached(message), "sha256").digest()
+
+    def check_mac(self, src: str, dst: str, message: Any, tag: bytes) -> bool:
+        return hmac_module.compare_digest(self.mac(src, dst, message), tag)
+
+    def create_threshold_group(self, group: str, players: int, threshold: int) -> None:
+        if group in self._groups:
+            public, _ = self._groups[group]
+            if (public.players, public.threshold) != (players, threshold):
+                raise ValueError(f"group {group!r} exists with different parameters")
+            return
+        self._groups[group] = generate_threshold_group(
+            players, threshold, seed=f"{self.seed}/{group}"
+        )
+
+    def threshold_parameters(self, group: str) -> Tuple[int, int]:
+        public, _ = self._groups[group]
+        return public.players, public.threshold
+
+    def threshold_sign_share(self, group: str, index: int, message: Any) -> ThresholdShare:
+        _, shares = self._groups[group]
+        partial = shares[index].sign(encode_cached(message))
+        return ThresholdShare(group, index, partial.value)
+
+    def threshold_combine(
+        self, group: str, message: Any, shares: Iterable[ThresholdShare]
+    ) -> Optional[ThresholdSignature]:
+        public, _ = self._groups[group]
+        combiner = ThresholdGroup(public)
+        partials = [
+            PartialSignature(s.index, s.value)
+            for s in shares
+            if s.group == group and isinstance(s.value, int)
+        ]
+        combined = combiner.combine_robust(encode_cached(message), partials)
+        if combined is None:
+            return None
+        return ThresholdSignature(group, combined)
+
+    def threshold_verify(self, signature: ThresholdSignature, message: Any) -> bool:
+        if signature.group not in self._groups:
+            return False
+        public, _ = self._groups[signature.group]
+        if not isinstance(signature.value, int):
+            return False
+        return public.verify(encode_cached(message), signature.value)
+
+
+class FastCrypto(CryptoProvider):
+    """Hash-based provider with identical observable semantics.
+
+    A signature is ``sha256(secret(signer) || data)``; a threshold share is
+    ``sha256(secret(group, index) || data)``; the combined signature is
+    ``sha256(group-secret || data || sorted(valid share indices)[:threshold])``
+    — but verification only re-derives from the group secret and data, so
+    any valid combination verifies. Corrupt shares are detectable because
+    they fail share-level re-derivation.
+    """
+
+    def __init__(self, seed: str = "fast") -> None:
+        self.seed = seed
+        self._groups: Dict[str, Tuple[int, int]] = {}
+
+    def _secret(self, *parts: str) -> bytes:
+        return hashlib.sha256("/".join((self.seed,) + parts).encode()).digest()
+
+    def sign(self, signer: str, message: Any) -> Signature:
+        tag = hashlib.sha256(self._secret("sig", signer) + encode_cached(message)).hexdigest()
+        return Signature(signer, tag)
+
+    def verify(self, signature: Signature, message: Any) -> bool:
+        return self.sign(signature.signer, message).value == signature.value
+
+    def mac(self, src: str, dst: str, message: Any) -> bytes:
+        lo, hi = sorted((src, dst))
+        return hashlib.sha256(self._secret("mac", lo, hi) + encode_cached(message)).digest()
+
+    def check_mac(self, src: str, dst: str, message: Any, tag: bytes) -> bool:
+        return hmac_module.compare_digest(self.mac(src, dst, message), tag)
+
+    def create_threshold_group(self, group: str, players: int, threshold: int) -> None:
+        existing = self._groups.get(group)
+        if existing is not None and existing != (players, threshold):
+            raise ValueError(f"group {group!r} exists with different parameters")
+        self._groups[group] = (players, threshold)
+
+    def threshold_parameters(self, group: str) -> Tuple[int, int]:
+        return self._groups[group]
+
+    def _share_value(self, group: str, index: int, data: bytes) -> str:
+        return hashlib.sha256(self._secret("tshare", group, str(index)) + data).hexdigest()
+
+    def threshold_sign_share(self, group: str, index: int, message: Any) -> ThresholdShare:
+        players, _ = self._groups[group]
+        if not 1 <= index <= players:
+            raise ValueError(f"share index {index} out of range for group {group!r}")
+        return ThresholdShare(group, index, self._share_value(group, index, encode_cached(message)))
+
+    def threshold_combine(
+        self, group: str, message: Any, shares: Iterable[ThresholdShare]
+    ) -> Optional[ThresholdSignature]:
+        players, threshold = self._groups[group]
+        data = encode_cached(message)
+        valid = {
+            s.index
+            for s in shares
+            if s.group == group
+            and 1 <= s.index <= players
+            and s.value == self._share_value(group, s.index, data)
+        }
+        if len(valid) < threshold:
+            return None
+        tag = hashlib.sha256(self._secret("tsig", group) + data).hexdigest()
+        return ThresholdSignature(group, tag)
+
+    def threshold_verify(self, signature: ThresholdSignature, message: Any) -> bool:
+        if signature.group not in self._groups:
+            return False
+        tag = hashlib.sha256(
+            self._secret("tsig", signature.group) + encode_cached(message)
+        ).hexdigest()
+        return signature.value == tag

@@ -1,0 +1,28 @@
+"""PBFT-style baseline: classical leader-based BFT with static timeouts.
+
+Used by the benchmarks as the comparison point for Prime's bounded-delay
+property (see DESIGN.md experiment F5/F9).
+"""
+
+from .messages import (
+    ForwardedUpdate,
+    PbftCommit,
+    PbftNewView,
+    PbftPrepare,
+    PbftPrepared,
+    PbftPrePrepare,
+    PbftViewChange,
+)
+from .node import PbftConfig, PbftNode
+
+__all__ = [
+    "ForwardedUpdate",
+    "PbftCommit",
+    "PbftNewView",
+    "PbftPrepare",
+    "PbftPrepared",
+    "PbftPrePrepare",
+    "PbftViewChange",
+    "PbftConfig",
+    "PbftNode",
+]

@@ -1,0 +1,77 @@
+"""Wire messages for the PBFT-style baseline protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from ..prime.messages import ClientUpdate, SignedMessage
+
+__all__ = [
+    "PbftPrePrepare",
+    "PbftPrepare",
+    "PbftCommit",
+    "PbftViewChange",
+    "PbftNewView",
+    "PbftPrepared",
+    "ForwardedUpdate",
+]
+
+
+@dataclass(frozen=True)
+class ForwardedUpdate:
+    """A replica forwards a client update to the current leader."""
+
+    sender: str
+    update: ClientUpdate
+
+
+@dataclass(frozen=True)
+class PbftPrePrepare:
+    leader: str
+    view: int
+    seq: int
+    batch: Tuple[ClientUpdate, ...]
+
+
+@dataclass(frozen=True)
+class PbftPrepare:
+    sender: str
+    view: int
+    seq: int
+    digest: str
+
+
+@dataclass(frozen=True)
+class PbftCommit:
+    sender: str
+    view: int
+    seq: int
+    digest: str
+
+
+@dataclass(frozen=True)
+class PbftPrepared:
+    """Prepared certificate carried in a view change."""
+
+    seq: int
+    view: int
+    digest: str
+    pre_prepare: SignedMessage                # SignedMessage[PbftPrePrepare]
+    proof: Tuple[SignedMessage, ...] = ()     # quorum of Prepare/Commit
+
+
+@dataclass(frozen=True)
+class PbftViewChange:
+    sender: str
+    new_view: int
+    last_executed: int
+    prepared: Tuple[PbftPrepared, ...]
+
+
+@dataclass(frozen=True)
+class PbftNewView:
+    leader: str
+    view: int
+    view_changes: Tuple[SignedMessage, ...]
+    pre_prepares: Tuple[SignedMessage, ...]

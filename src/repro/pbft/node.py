@@ -1,0 +1,497 @@
+"""A PBFT-style baseline replica (Castro-Liskov shape).
+
+This is the comparison system the paper's evaluation needs: a classical
+leader-based BFT protocol whose *only* defence against a slow leader is a
+static request timeout. Two consequences the benchmarks demonstrate:
+
+* A network attacker that delays the leader's proposals to just below the
+  timeout degrades latency by orders of magnitude **without ever
+  triggering a view change** — the "slow leader" attack Prime was designed
+  to close.
+* Even when the timeout does fire, latency spikes to the full timeout
+  value before recovery.
+
+Scope: the baseline implements the three-phase ordering, batching,
+forwarding to the leader, timeout-driven view changes with deterministic
+re-proposal derivation, and retransmission against loss. It does not
+implement checkpointing/state transfer or Byzantine-proof view-change
+validation — those are exercised through Prime, which is the system under
+test; the baseline exists to reproduce the performance comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..crypto.encoding import digest
+from ..crypto.provider import CryptoProvider
+from ..prime.app import ReplicatedApplication
+from ..prime.messages import ClientUpdate, SignedMessage
+from ..prime.dedup import ClientDedup
+from ..prime.node import verify_client_update
+from ..prime.transport import DirectTransport, Transport
+from ..simnet import Network, Process, Simulator, Trace
+from .messages import (
+    ForwardedUpdate,
+    PbftCommit,
+    PbftNewView,
+    PbftPrepare,
+    PbftPrepared,
+    PbftPrePrepare,
+    PbftViewChange,
+)
+
+__all__ = ["PbftConfig", "PbftNode"]
+
+
+class PbftConfig:
+    """Static configuration for one PBFT group."""
+
+    def __init__(
+        self,
+        replicas: Tuple[str, ...],
+        num_faults: int = 1,
+        batch_interval_ms: float = 5.0,
+        batch_max_updates: int = 64,
+        request_timeout_ms: float = 2000.0,
+        check_interval_ms: float = 100.0,
+        retrans_interval_ms: float = 50.0,
+        forward_interval_ms: float = 200.0,
+    ) -> None:
+        if len(replicas) < 3 * num_faults + 1:
+            raise ValueError("PBFT needs n >= 3f + 1")
+        self.replicas = tuple(replicas)
+        self.num_faults = num_faults
+        self.batch_interval_ms = batch_interval_ms
+        self.batch_max_updates = batch_max_updates
+        self.request_timeout_ms = request_timeout_ms
+        self.check_interval_ms = check_interval_ms
+        self.retrans_interval_ms = retrans_interval_ms
+        self.forward_interval_ms = forward_interval_ms
+
+    @property
+    def n(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def quorum(self) -> int:
+        """ceil((n + f + 1) / 2): intersection of any two quorums contains
+        a correct replica."""
+        return (self.n + self.num_faults + 2) // 2
+
+    def leader_of_view(self, view: int) -> str:
+        return self.replicas[view % self.n]
+
+
+class _Slot:
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+        self.pre_prepares: Dict[int, SignedMessage] = {}
+        self.prepares: Dict[Tuple[int, str], Dict[str, SignedMessage]] = {}
+        self.commits: Dict[Tuple[int, str], Dict[str, SignedMessage]] = {}
+        self.prepared_vote: Optional[Tuple[int, str]] = None
+        self.committed_vote: Optional[Tuple[int, str]] = None
+        self.prepared_cert: Optional[Tuple[int, str]] = None
+        self.prepared_proof: Optional[Tuple[SignedMessage, ...]] = None
+        self.ordered: Optional[Tuple[int, str, SignedMessage]] = None
+
+
+class PbftNode(Process):
+    """One baseline replica."""
+
+    def __init__(
+        self,
+        name: str,
+        simulator: Simulator,
+        network: Network,
+        config: PbftConfig,
+        crypto: CryptoProvider,
+        app: ReplicatedApplication,
+        trace: Optional[Trace] = None,
+        transport: Optional[Transport] = None,
+    ) -> None:
+        super().__init__(name, simulator, network)
+        self.config = config
+        self.crypto = crypto
+        self.app = app
+        self.trace = trace
+        self.transport: Transport = transport or DirectTransport(self)
+        self.view = 0
+        self.in_view_change = False
+        self.slots: Dict[int, _Slot] = {}
+        self.last_executed = 0
+        self.executed_counter = 0
+        self.client_dedup = ClientDedup()
+        self.execution_listeners: List[Callable[[ClientUpdate, int, Any], None]] = []
+        #: updates awaiting execution: (client, client_seq) -> (update, since)
+        self._pending: Dict[Tuple[str, int], Tuple[ClientUpdate, float]] = {}
+        self._leader_buffer: List[ClientUpdate] = []
+        self._leader_inflight: set = set()
+        self._batch_timer_set = False
+        self._next_seq = 1
+        self._min_fresh_seq = 1
+        self._view_changes: Dict[int, Dict[str, SignedMessage]] = {}
+        self._sent_vc_for: set = set()
+        self._sent_nv_for: set = set()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.every(self.config.check_interval_ms, self._timeout_tick, jitter=2.0)
+        self.every(self.config.retrans_interval_ms, self._retrans_tick, jitter=2.0)
+        self.every(self.config.forward_interval_ms, self._forward_tick, jitter=2.0)
+
+    @property
+    def is_leader(self) -> bool:
+        return self.config.leader_of_view(self.view) == self.name
+
+    def sign_message(self, payload: Any) -> SignedMessage:
+        return SignedMessage(payload, self.crypto.sign(self.name, payload))
+
+    def verify_signed(self, signed: SignedMessage) -> bool:
+        return self.crypto.verify(signed.signature, signed.payload)
+
+    def _broadcast(self, payload: Any, include_self: bool = True) -> SignedMessage:
+        signed = self.sign_message(payload)
+        for peer in self.config.replicas:
+            if peer != self.name:
+                self.transport.send(peer, signed, size_bytes=200)
+        if include_self:
+            self._dispatch(signed)
+        return signed
+
+    def _send_to(self, peer: str, payload: Any) -> None:
+        if peer == self.name:
+            self._dispatch(self.sign_message(payload))
+        else:
+            self.transport.send(peer, self.sign_message(payload), size_bytes=200)
+
+    # ------------------------------------------------------------------
+    # Client path
+    # ------------------------------------------------------------------
+    def submit(self, update: ClientUpdate) -> bool:
+        if not self.is_up:
+            return False
+        if not verify_client_update(self.crypto, update):
+            return False
+        if self.client_dedup.is_duplicate(update.client, update.client_seq):
+            return False
+        self._pending[(update.client, update.client_seq)] = (
+            update, self.simulator.now,
+        )
+        # PBFT clients broadcast to all replicas so every replica starts a
+        # timeout for the request (that is what arms the view change).
+        self._broadcast(ForwardedUpdate(self.name, update), include_self=True)
+        return True
+
+    def _forward_tick(self) -> None:
+        """Re-forward pending updates (leader may have changed or lost them)."""
+        leader = self.config.leader_of_view(self.view)
+        for update, _ in list(self._pending.values()):
+            self._send_to(leader, ForwardedUpdate(self.name, update))
+
+    def _on_forwarded(self, signed: SignedMessage, msg: ForwardedUpdate) -> None:
+        update = msg.update
+        if not verify_client_update(self.crypto, update):
+            return
+        key = (update.client, update.client_seq)
+        if self.client_dedup.is_duplicate(update.client, update.client_seq):
+            return
+        if key not in self._pending:
+            self._pending[key] = (update, self.simulator.now)
+        if not self.is_leader or self.in_view_change:
+            return
+        if key in self._leader_inflight:
+            return
+        self._leader_inflight.add(key)
+        self._leader_buffer.append(update)
+        if not self._batch_timer_set:
+            self._batch_timer_set = True
+            self.set_timer(self.config.batch_interval_ms, self._flush_batch)
+
+    def _flush_batch(self) -> None:
+        self._batch_timer_set = False
+        if not self.is_leader or self.in_view_change or not self._leader_buffer:
+            return
+        batch = tuple(self._leader_buffer[: self.config.batch_max_updates])
+        del self._leader_buffer[: len(batch)]
+        self._broadcast(PbftPrePrepare(self.name, self.view, self._next_seq, batch))
+        self._next_seq += 1
+        if self._leader_buffer:
+            self._batch_timer_set = True
+            self.set_timer(self.config.batch_interval_ms, self._flush_batch)
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, payload: Any) -> None:
+        unwrapped = self.transport.unwrap(payload)
+        if unwrapped is not None:
+            _, payload = unwrapped
+        if isinstance(payload, SignedMessage) and self.verify_signed(payload):
+            self._dispatch(payload)
+
+    def _dispatch(self, signed: SignedMessage) -> None:
+        payload = signed.payload
+        handlers = {
+            ForwardedUpdate: self._on_forwarded,
+            PbftPrePrepare: self._on_pre_prepare,
+            PbftPrepare: self._on_prepare,
+            PbftCommit: self._on_commit,
+            PbftViewChange: self._on_view_change,
+            PbftNewView: self._on_new_view,
+        }
+        handler = handlers.get(type(payload))
+        if handler is not None:
+            handler(signed, payload)
+
+    def _slot(self, seq: int) -> _Slot:
+        if seq not in self.slots:
+            self.slots[seq] = _Slot(seq)
+        return self.slots[seq]
+
+    @staticmethod
+    def _batch_digest(seq: int, batch: Tuple[ClientUpdate, ...]) -> str:
+        return digest((seq, tuple((u.client, u.client_seq, digest(u.payload))
+                                  for u in batch)))
+
+    def _on_pre_prepare(
+        self, signed: SignedMessage, msg: PbftPrePrepare, from_new_view: bool = False
+    ) -> None:
+        if msg.view != self.view or (self.in_view_change and not from_new_view):
+            return
+        if msg.leader != self.config.leader_of_view(msg.view):
+            return
+        if signed.signature.signer != msg.leader:
+            return
+        if not from_new_view and msg.seq < self._min_fresh_seq:
+            return
+        slot = self._slot(msg.seq)
+        if msg.view in slot.pre_prepares:
+            return
+        slot.pre_prepares[msg.view] = signed
+        batch_digest = self._batch_digest(msg.seq, msg.batch)
+        slot.prepares.setdefault((msg.view, batch_digest), {})[msg.leader] = signed
+        if slot.prepared_vote is None or slot.prepared_vote[0] < msg.view:
+            slot.prepared_vote = (msg.view, batch_digest)
+            self._broadcast(PbftPrepare(self.name, msg.view, msg.seq, batch_digest))
+        self._check_prepared(slot, msg.view, batch_digest)
+        self._check_ordered(slot, msg.view, batch_digest)
+
+    def _on_prepare(self, signed: SignedMessage, msg: PbftPrepare) -> None:
+        if msg.sender != signed.signature.signer:
+            return
+        slot = self._slot(msg.seq)
+        slot.prepares.setdefault((msg.view, msg.digest), {})[msg.sender] = signed
+        self._check_prepared(slot, msg.view, msg.digest)
+
+    def _check_prepared(self, slot: _Slot, view: int, batch_digest: str) -> None:
+        voters = slot.prepares.get((view, batch_digest), {})
+        if len(voters) < self.config.quorum:
+            return
+        if slot.prepared_cert is None or slot.prepared_cert[0] <= view:
+            slot.prepared_cert = (view, batch_digest)
+            slot.prepared_proof = tuple(
+                voters[s] for s in sorted(voters)
+            )[: self.config.quorum]
+        if (
+            (slot.committed_vote is None or slot.committed_vote[0] < view)
+            and slot.prepared_vote == (view, batch_digest)
+        ):
+            slot.committed_vote = (view, batch_digest)
+            self._broadcast(PbftCommit(self.name, view, slot.seq, batch_digest))
+
+    def _on_commit(self, signed: SignedMessage, msg: PbftCommit) -> None:
+        if msg.sender != signed.signature.signer:
+            return
+        slot = self._slot(msg.seq)
+        slot.commits.setdefault((msg.view, msg.digest), {})[msg.sender] = signed
+        self._check_ordered(slot, msg.view, msg.digest)
+
+    def _check_ordered(self, slot: _Slot, view: int, batch_digest: str) -> None:
+        if slot.ordered is not None:
+            return
+        commits = slot.commits.get((view, batch_digest), {})
+        if len(commits) < self.config.quorum:
+            return
+        pre_prepare = slot.pre_prepares.get(view)
+        if pre_prepare is None:
+            return
+        if self._batch_digest(slot.seq, pre_prepare.payload.batch) != batch_digest:
+            return
+        slot.ordered = (view, batch_digest, pre_prepare)
+        self._try_execute()
+
+    def _try_execute(self) -> None:
+        while True:
+            slot = self.slots.get(self.last_executed + 1)
+            if slot is None or slot.ordered is None:
+                break
+            _, _, pre_prepare = slot.ordered
+            for update in pre_prepare.payload.batch:
+                self._execute_update(update)
+            self.last_executed += 1
+
+    def _execute_update(self, update: ClientUpdate) -> None:
+        key = (update.client, update.client_seq)
+        self._pending.pop(key, None)
+        self._leader_inflight.discard(key)
+        if self.client_dedup.is_duplicate(update.client, update.client_seq):
+            return
+        if not verify_client_update(self.crypto, update):
+            return
+        self.client_dedup.mark(update.client, update.client_seq)
+        self.executed_counter += 1
+        result = self.app.execute(update, self.executed_counter)
+        for listener in self.execution_listeners:
+            listener(update, self.executed_counter, result)
+
+    # ------------------------------------------------------------------
+    # Retransmission
+    # ------------------------------------------------------------------
+    def _retrans_tick(self) -> None:
+        slot = self.slots.get(self.last_executed + 1)
+        if slot is None or slot.ordered is not None:
+            return
+        pre_prepare = slot.pre_prepares.get(self.view)
+        if pre_prepare is not None:
+            for peer in self.config.replicas:
+                if peer != self.name:
+                    self.transport.send(peer, pre_prepare, size_bytes=300)
+        if slot.committed_vote is not None:
+            view, batch_digest = slot.committed_vote
+            self._broadcast(
+                PbftCommit(self.name, view, slot.seq, batch_digest), include_self=False
+            )
+        elif slot.prepared_vote is not None:
+            view, batch_digest = slot.prepared_vote
+            self._broadcast(
+                PbftPrepare(self.name, view, slot.seq, batch_digest), include_self=False
+            )
+
+    # ------------------------------------------------------------------
+    # Timeout-based view change (the baseline's only defence)
+    # ------------------------------------------------------------------
+    def _timeout_tick(self) -> None:
+        if self.in_view_change:
+            return
+        now = self.simulator.now
+        oldest = min((since for _, since in self._pending.values()), default=None)
+        if oldest is not None and now - oldest > self.config.request_timeout_ms:
+            if self.trace is not None:
+                self.trace.event(self.name, "pbft-timeout", view=self.view,
+                                 age=now - oldest)
+            self._start_view_change(self.view + 1)
+
+    def _start_view_change(self, new_view: int) -> None:
+        if new_view in self._sent_vc_for or new_view < self.view:
+            return
+        self._sent_vc_for.add(new_view)
+        self.view = max(self.view, new_view)
+        self.in_view_change = True
+        if self.trace is not None:
+            self.trace.event(self.name, "pbft-view-change", view=new_view)
+        prepared = []
+        for seq in sorted(self.slots):
+            slot = self.slots[seq]
+            if seq <= self.last_executed:
+                continue
+            if slot.prepared_cert is None or slot.prepared_proof is None:
+                continue
+            view, batch_digest = slot.prepared_cert
+            pre_prepare = slot.pre_prepares.get(view)
+            if pre_prepare is None:
+                continue
+            prepared.append(
+                PbftPrepared(seq, view, batch_digest, pre_prepare, slot.prepared_proof)
+            )
+        vc = PbftViewChange(self.name, new_view, self.last_executed, tuple(prepared))
+        self._broadcast(vc)
+        self.set_timer(
+            self.config.request_timeout_ms, self._view_change_timeout, new_view
+        )
+
+    def _view_change_timeout(self, expected_view: int) -> None:
+        if self.in_view_change and self.view == expected_view:
+            self._start_view_change(expected_view + 1)
+
+    @staticmethod
+    def _derive(view_changes: List[PbftViewChange]):
+        start = max((vc.last_executed for vc in view_changes), default=0)
+        best: Dict[int, PbftPrepared] = {}
+        for vc in view_changes:
+            for entry in vc.prepared:
+                if entry.seq <= start:
+                    continue
+                current = best.get(entry.seq)
+                if current is None or entry.view > current.view or (
+                    entry.view == current.view and entry.digest < current.digest
+                ):
+                    best[entry.seq] = entry
+        max_seq = max(best.keys(), default=start)
+        out = []
+        for seq in range(start + 1, max_seq + 1):
+            entry = best.get(seq)
+            out.append((seq, entry.pre_prepare.payload.batch if entry else ()))
+        return start, out
+
+    def _on_view_change(self, signed: SignedMessage, msg: PbftViewChange) -> None:
+        if msg.sender != signed.signature.signer:
+            return
+        if msg.new_view < self.view:
+            return
+        table = self._view_changes.setdefault(msg.new_view, {})
+        table[msg.sender] = signed
+        if msg.new_view > self.view and len(table) >= self.config.num_faults + 1:
+            self._start_view_change(msg.new_view)
+        if (
+            self.config.leader_of_view(msg.new_view) == self.name
+            and len(table) >= self.config.quorum
+            and msg.new_view not in self._sent_nv_for
+        ):
+            self._sent_nv_for.add(msg.new_view)
+            chosen = [table[s] for s in sorted(table)][: self.config.quorum]
+            _, proposals = self._derive([s.payload for s in chosen])
+            pre_prepares = tuple(
+                self.sign_message(PbftPrePrepare(self.name, msg.new_view, seq, batch))
+                for seq, batch in proposals
+            )
+            self._broadcast(
+                PbftNewView(self.name, msg.new_view, tuple(chosen), pre_prepares)
+            )
+
+    def _on_new_view(self, signed: SignedMessage, msg: PbftNewView) -> None:
+        if msg.view < self.view or (msg.view == self.view and not self.in_view_change):
+            return
+        if msg.leader != self.config.leader_of_view(msg.view):
+            return
+        if signed.signature.signer != msg.leader:
+            return
+        senders = set()
+        payloads = []
+        for vc_signed in msg.view_changes:
+            vc = vc_signed.payload
+            if not isinstance(vc, PbftViewChange) or vc.new_view != msg.view:
+                return
+            if not self.verify_signed(vc_signed):
+                return
+            senders.add(vc.sender)
+            payloads.append(vc)
+        if len(senders) < self.config.quorum:
+            return
+        _, expected = self._derive(payloads)
+        if len(expected) != len(msg.pre_prepares):
+            return
+        for (seq, batch), pp_signed in zip(expected, msg.pre_prepares):
+            pp = pp_signed.payload
+            if pp.seq != seq or pp.batch != batch or pp.view != msg.view:
+                return
+        self.view = msg.view
+        self.in_view_change = False
+        self._min_fresh_seq = (expected[-1][0] if expected else self.last_executed) + 1
+        self._next_seq = max(self._next_seq, self._min_fresh_seq)
+        if self.trace is not None:
+            self.trace.event(self.name, "pbft-new-view", view=msg.view)
+        for pp_signed in msg.pre_prepares:
+            self._on_pre_prepare(pp_signed, pp_signed.payload, from_new_view=True)
+        # re-forward pending work to the new leader
+        self._forward_tick()

@@ -1,0 +1,82 @@
+"""Prime: Byzantine fault-tolerant replication with bounded delay under
+attack — the replication engine of Spire (reimplementation).
+
+Public API: :class:`PrimeConfig` (+ LAN/WAN presets), :class:`PrimeNode`,
+the application interface (:class:`ReplicatedApplication` and sample apps),
+client-update helpers, transports, and all wire messages.
+"""
+
+from .app import KeyValueApp, LoggingApp, NullApp, ReplicatedApplication
+from .checkpoint import CheckpointManager
+from .config import PrimeConfig, lan_prime_config, wan_prime_config
+from .messages import (
+    CheckpointMsg,
+    ClientUpdate,
+    Commit,
+    NewView,
+    OrderedReply,
+    OrderedRequest,
+    Ping,
+    PoAck,
+    Pong,
+    PoRequest,
+    PoSummary,
+    Prepare,
+    PreparedEntry,
+    PrePrepare,
+    ReconReply,
+    ReconRequest,
+    SignedMessage,
+    StateReply,
+    StateRequest,
+    Suspect,
+    ViewChange,
+)
+from .node import PrimeNode, client_update_body, sign_client_update, verify_client_update
+from .state import OrderingSlot, OriginState
+from .suspect import SuspectMonitor
+from .transport import DirectTransport, OverlayTransport, Transport
+from .viewchange import ViewChangeManager
+
+__all__ = [
+    "KeyValueApp",
+    "LoggingApp",
+    "NullApp",
+    "ReplicatedApplication",
+    "CheckpointManager",
+    "PrimeConfig",
+    "lan_prime_config",
+    "wan_prime_config",
+    "CheckpointMsg",
+    "ClientUpdate",
+    "Commit",
+    "NewView",
+    "OrderedReply",
+    "OrderedRequest",
+    "Ping",
+    "PoAck",
+    "Pong",
+    "PoRequest",
+    "PoSummary",
+    "Prepare",
+    "PreparedEntry",
+    "PrePrepare",
+    "ReconReply",
+    "ReconRequest",
+    "SignedMessage",
+    "StateReply",
+    "StateRequest",
+    "Suspect",
+    "ViewChange",
+    "PrimeNode",
+    "client_update_body",
+    "sign_client_update",
+    "verify_client_update",
+    "OrderingSlot",
+    "OriginState",
+    "SuspectMonitor",
+    "DirectTransport",
+    "OverlayTransport",
+    "Transport",
+    "ViewChangeManager",
+]

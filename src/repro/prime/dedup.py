@@ -1,0 +1,84 @@
+"""At-most-once execution filter for client updates.
+
+Replicas must execute each ``(client, client_seq)`` exactly once even
+though clients retry (after failover) and the network — including the
+Spines overlay — can reorder submissions. A plain "monotone sequence"
+filter would drop reordered-but-new updates, so this is a windowed exact
+filter:
+
+* ``low``: every seq <= low has been executed (contiguous floor);
+* ``recent``: executed seqs above ``low``.
+
+The structure is deterministic given the execution sequence, so all
+correct replicas hold identical filters and it participates in
+checkpointed state. ``recent`` stays tiny in practice because client
+retries guarantee that gaps eventually fill; a hard window bounds it
+against pathological clients (anything below the forced floor is treated
+as already executed — documented at-most-once semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set, Tuple
+
+__all__ = ["ClientDedup"]
+
+
+class ClientDedup:
+    """Per-client executed-update filter."""
+
+    def __init__(self, window: int = 4096) -> None:
+        self.window = window
+        self._low: Dict[str, int] = {}
+        self._recent: Dict[str, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    def is_duplicate(self, client: str, seq: int) -> bool:
+        """True if (client, seq) was already executed (or force-expired)."""
+        low = self._low.get(client, 0)
+        if seq <= low:
+            return True
+        return seq in self._recent.get(client, ())
+
+    def mark(self, client: str, seq: int) -> None:
+        """Record an execution. Caller must have checked is_duplicate."""
+        recent = self._recent.setdefault(client, set())
+        recent.add(seq)
+        low = self._low.get(client, 0)
+        while (low + 1) in recent:
+            low += 1
+            recent.discard(low)
+        # hard bound: force the floor up if the gap set grows too large
+        while len(recent) > self.window:
+            low = min(recent)
+            recent.discard(low)
+            while (low + 1) in recent:
+                low += 1
+                recent.discard(low)
+        self._low[client] = low
+
+    # ------------------------------------------------------------------
+    def highest(self, client: str) -> int:
+        """Highest executed seq (for diagnostics)."""
+        recent = self._recent.get(client)
+        if recent:
+            return max(recent)
+        return self._low.get(client, 0)
+
+    def clients(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._low))
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Any:
+        return {
+            client: (self._low.get(client, 0),
+                     tuple(sorted(self._recent.get(client, ()))))
+            for client in set(self._low) | set(self._recent)
+        }
+
+    def restore(self, snapshot: Any) -> None:
+        self._low = {}
+        self._recent = {}
+        for client, (low, recent) in dict(snapshot).items():
+            self._low[client] = int(low)
+            self._recent[client] = set(recent)

@@ -1,0 +1,252 @@
+"""Prime wire messages.
+
+All protocol messages are frozen dataclasses, canonically encodable by
+:mod:`repro.crypto.encoding`, and travel wrapped in :class:`SignedMessage`.
+Receivers drop any message whose signature does not verify against the
+claimed sender, which is what confines Byzantine replicas to lying in
+*their own* messages (the paper's authenticated-link assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from ..crypto.provider import Signature
+
+__all__ = [
+    "ClientUpdate",
+    "PoRequest",
+    "PoAck",
+    "PoSummary",
+    "PrePrepare",
+    "Prepare",
+    "Commit",
+    "Suspect",
+    "ViewChange",
+    "NewView",
+    "PreparedEntry",
+    "CheckpointMsg",
+    "Ping",
+    "Pong",
+    "ReconRequest",
+    "ReconReply",
+    "OrderedRequest",
+    "OrderedReply",
+    "StateRequest",
+    "StateReply",
+    "SignedMessage",
+]
+
+
+@dataclass(frozen=True)
+class SignedMessage:
+    """Envelope: ``payload`` signed by ``signature.signer``."""
+
+    payload: Any
+    signature: Signature
+
+
+@dataclass(frozen=True)
+class ClientUpdate:
+    """An update submitted by a SCADA client (proxy or HMI).
+
+    ``client_seq`` provides at-most-once execution per client.
+    """
+
+    client: str
+    client_seq: int
+    payload: Any
+    signature: Optional[Signature] = None
+
+
+@dataclass(frozen=True)
+class PoRequest:
+    """Pre-order request: ``origin`` binds a batch of client updates to its
+    local pre-order sequence number ``po_seq``."""
+
+    origin: str
+    po_seq: int
+    updates: Tuple[ClientUpdate, ...]
+
+
+@dataclass(frozen=True)
+class PoAck:
+    """Acknowledgement that ``sender`` holds PoRequest (origin, po_seq)
+    with content digest ``digest``."""
+
+    sender: str
+    origin: str
+    po_seq: int
+    digest: str
+
+
+@dataclass(frozen=True)
+class PoSummary:
+    """Cumulative pre-order vector of ``sender``.
+
+    ``vector`` maps (as a sorted tuple of pairs) each origin to the highest
+    po_seq such that the sender holds pre-order certificates for *all*
+    seqs up to it. ``summary_seq`` orders a sender's summaries and is what
+    turnaround-time measurement is keyed on. ``stable_seq`` piggybacks the
+    sender's stable checkpoint so lagging replicas can notice they have
+    fallen behind the garbage-collection horizon.
+    """
+
+    sender: str
+    summary_seq: int
+    vector: Tuple[Tuple[str, int], ...]
+    stable_seq: int = 0
+    #: increments on every recovery; freshness is (epoch, summary_seq) so a
+    #: rejuvenated replica's restarted counter is not mistaken for stale
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class PrePrepare:
+    """Leader proposal binding global sequence ``seq`` (in ``view``) to a
+    proof matrix of signed PO-summaries (one per replica, possibly absent)."""
+
+    leader: str
+    view: int
+    seq: int
+    matrix: Tuple[SignedMessage, ...]  # SignedMessage[PoSummary], distinct senders
+
+
+@dataclass(frozen=True)
+class Prepare:
+    sender: str
+    view: int
+    seq: int
+    digest: str
+
+
+@dataclass(frozen=True)
+class Commit:
+    sender: str
+    view: int
+    seq: int
+    digest: str
+
+
+@dataclass(frozen=True)
+class Suspect:
+    """Accusation that the leader of ``view`` violates its TAT bound."""
+
+    sender: str
+    view: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class PreparedEntry:
+    """A prepared-but-possibly-unordered proposal carried in a ViewChange.
+
+    ``proof`` holds the prepare certificate: signed Prepare/Commit messages
+    from a quorum of replicas (the pre-prepare counts as the leader's
+    prepare). Without it, a Byzantine replica colluding with a Byzantine
+    future leader could fabricate a high-view entry and override a
+    committed proposal.
+    """
+
+    seq: int
+    view: int
+    digest: str
+    pre_prepare: SignedMessage                 # SignedMessage[PrePrepare]
+    proof: Tuple[SignedMessage, ...] = ()      # SignedMessage[Prepare|Commit]
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    sender: str
+    new_view: int
+    checkpoint_seq: int
+    #: q signed CheckpointMsg proving checkpoint_seq is stable (empty for 0)
+    checkpoint_proof: Tuple[SignedMessage, ...]
+    prepared: Tuple[PreparedEntry, ...]
+
+
+@dataclass(frozen=True)
+class NewView:
+    """New leader's certificate: q ViewChanges plus re-proposals."""
+
+    leader: str
+    view: int
+    view_changes: Tuple[SignedMessage, ...]   # SignedMessage[ViewChange]
+    pre_prepares: Tuple[SignedMessage, ...]   # SignedMessage[PrePrepare] in seq order
+
+
+@dataclass(frozen=True)
+class CheckpointMsg:
+    sender: str
+    seq: int
+    state_digest: str
+
+
+@dataclass(frozen=True)
+class Ping:
+    sender: str
+    nonce: int
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class Pong:
+    sender: str
+    nonce: int
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class ReconRequest:
+    """Ask a peer for pre-order data it claims and we lack."""
+
+    sender: str
+    origin: str
+    from_seq: int
+    to_seq: int
+
+
+@dataclass(frozen=True)
+class ReconReply:
+    """Certified pre-order data: the request plus its q acknowledgements."""
+
+    sender: str
+    request: SignedMessage                  # SignedMessage[PoRequest]
+    acks: Tuple[SignedMessage, ...]          # SignedMessage[PoAck] x quorum
+
+
+@dataclass(frozen=True)
+class OrderedRequest:
+    """Ask a peer for the ordered proposal at global ``seq``."""
+
+    sender: str
+    seq: int
+
+
+@dataclass(frozen=True)
+class OrderedReply:
+    """An ordered proposal plus its commit certificate."""
+
+    sender: str
+    seq: int
+    pre_prepare: SignedMessage               # SignedMessage[PrePrepare]
+    commits: Tuple[SignedMessage, ...]       # SignedMessage[Commit] x quorum
+
+
+@dataclass(frozen=True)
+class StateRequest:
+    """A recovering replica asks for a verifiable checkpoint."""
+
+    sender: str
+
+
+@dataclass(frozen=True)
+class StateReply:
+    """Stable checkpoint: snapshot + q signed checkpoint messages."""
+
+    sender: str
+    checkpoint_seq: int
+    snapshot: Any
+    proof: Tuple[SignedMessage, ...]         # SignedMessage[CheckpointMsg] x quorum
+    view: int

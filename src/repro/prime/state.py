@@ -1,0 +1,78 @@
+"""Per-replica protocol state containers for Prime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from .messages import SignedMessage
+
+__all__ = ["OriginState", "OrderingSlot"]
+
+
+@dataclass
+class OriginState:
+    """Pre-ordering state this replica keeps for one origin stream.
+
+    An *origin stream* is one replica incarnation's sequence of PoRequests,
+    keyed ``replica#epoch`` — a recovering replica starts a fresh stream so
+    it can never equivocate against its own pre-recovery messages.
+    """
+
+    origin: str
+    #: po_seq -> signed PoRequest (first valid one received wins)
+    requests: Dict[int, SignedMessage] = field(default_factory=dict)
+    #: po_seq -> content digest of the stored request
+    digests: Dict[int, str] = field(default_factory=dict)
+    #: po_seq -> digest -> sender -> signed PoAck
+    acks: Dict[int, Dict[str, Dict[str, SignedMessage]]] = field(default_factory=dict)
+    #: certificates: po_seq -> (winning digest, ack tuple) once quorum reached
+    certs: Dict[int, Tuple[str, Tuple[SignedMessage, ...]]] = field(default_factory=dict)
+    #: highest po_seq such that certs exist for every seq <= it
+    certified_upto: int = 0
+    #: highest po_seq executed through the global order (agreed, monotone)
+    executed_upto: int = 0
+
+    def has_cert(self, po_seq: int) -> bool:
+        return po_seq <= self.certified_upto or po_seq in self.certs
+
+    def advance_certified(self) -> bool:
+        """Advance the contiguous certified frontier; True if it moved."""
+        moved = False
+        while (self.certified_upto + 1) in self.certs:
+            self.certified_upto += 1
+            moved = True
+        return moved
+
+    def garbage_collect(self, below: int) -> None:
+        """Drop request/ack/cert data at or below ``below`` (checkpointed)."""
+        for table in (self.requests, self.digests, self.acks, self.certs):
+            for seq in [s for s in table if s <= below]:
+                del table[seq]
+
+
+@dataclass
+class OrderingSlot:
+    """Global-ordering state for one (seq) slot."""
+
+    seq: int
+    #: view -> signed PrePrepare received for this slot in that view
+    pre_prepares: Dict[int, SignedMessage] = field(default_factory=dict)
+    #: (view, digest) -> sender -> signed Prepare
+    prepares: Dict[Tuple[int, str], Dict[str, SignedMessage]] = field(default_factory=dict)
+    #: (view, digest) -> sender -> signed Commit
+    commits: Dict[Tuple[int, str], Dict[str, SignedMessage]] = field(default_factory=dict)
+    #: set when this replica sent its Prepare: (view, digest)
+    prepared_vote: Optional[Tuple[int, str]] = None
+    #: set when this replica sent its Commit: (view, digest)
+    committed_vote: Optional[Tuple[int, str]] = None
+    #: highest view in which this slot reached a prepare certificate here
+    prepared_cert: Optional[Tuple[int, str]] = None
+    #: the certificate itself: quorum of signed Prepare/Commit messages
+    prepared_proof: Optional[Tuple[SignedMessage, ...]] = None
+    #: the ordered result: (view, digest, signed PrePrepare, commit proof)
+    ordered: Optional[Tuple[int, str, SignedMessage, Tuple[SignedMessage, ...]]] = None
+
+    @property
+    def is_ordered(self) -> bool:
+        return self.ordered is not None

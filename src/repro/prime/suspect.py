@@ -1,0 +1,111 @@
+"""Suspect-leader monitoring: Prime's bounded-delay mechanism.
+
+Each replica measures the leader's *turnaround time* (TAT): how long it
+takes from sending a PO-summary containing new information until the leader
+issues a pre-prepare that includes (a summary at least as recent as) it.
+Replicas independently compute an *acceptable* TAT from their measured
+round-trip times to all peers: if at least ``f + k + 1`` replicas could —
+based on real RTTs — serve as a timely leader, then a leader slower than
+
+    K_lat * rtt_(f+k+1-th smallest) + pre_prepare_interval + slack
+
+is either faulty or under attack and should be replaced. This makes the
+bound *relative to actual network conditions* rather than a fixed timeout,
+which is why Prime (unlike PBFT-style protocols) cannot be degraded
+indefinitely by a leader that stays just under a static timeout.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from .config import PrimeConfig
+
+__all__ = ["SuspectMonitor"]
+
+
+class SuspectMonitor:
+    """Per-replica TAT bookkeeping. The owning node wires the timers and
+    message flow; this object is pure state + arithmetic (easy to test)."""
+
+    def __init__(self, config: PrimeConfig, name: str) -> None:
+        self.config = config
+        self.name = name
+        #: EWMA round-trip time estimates per peer (ms)
+        self.rtt: Dict[str, float] = {}
+        #: summaries with new info awaiting inclusion: (summary_seq, sent_at)
+        self._pending: Deque[Tuple[int, float]] = deque()
+        #: recent TAT samples: (measured_at, tat_ms)
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=32)
+
+    # ------------------------------------------------------------------
+    # RTT measurement
+    # ------------------------------------------------------------------
+    def record_rtt(self, peer: str, rtt_ms: float) -> None:
+        alpha = self.config.rtt_ewma_alpha
+        previous = self.rtt.get(peer)
+        if previous is None:
+            self.rtt[peer] = rtt_ms
+        else:
+            self.rtt[peer] = (1 - alpha) * previous + alpha * rtt_ms
+
+    # ------------------------------------------------------------------
+    # TAT sampling
+    # ------------------------------------------------------------------
+    def note_summary_sent(self, summary_seq: int, now: float) -> None:
+        """Record that a summary carrying new information was sent."""
+        self._pending.append((summary_seq, now))
+
+    def note_pre_prepare(self, included_summary_seq: int, now: float) -> None:
+        """The current leader issued a pre-prepare whose matrix contains our
+        summary with ``included_summary_seq``; settle pending entries."""
+        oldest_sent: Optional[float] = None
+        while self._pending and self._pending[0][0] <= included_summary_seq:
+            _, sent_at = self._pending.popleft()
+            if oldest_sent is None:
+                oldest_sent = sent_at
+        if oldest_sent is not None:
+            self._samples.append((now, now - oldest_sent))
+
+    def reset_for_new_view(self) -> None:
+        """Give a fresh leader a clean slate (RTTs are kept)."""
+        self._pending.clear()
+        self._samples.clear()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def acceptable_tat(self) -> Optional[float]:
+        """The TAT bound, or None while too few RTTs are known to judge."""
+        others = sorted(
+            rtt for peer, rtt in self.rtt.items() if peer != self.name
+        )
+        needed = self.config.num_faults + self.config.num_recovering + 1
+        if len(others) < needed:
+            return None
+        achievable = others[needed - 1]
+        bound = (
+            self.config.tat_latency_factor * achievable
+            + self.config.pre_prepare_interval_ms
+            + self.config.tat_slack_ms
+        )
+        return max(self.config.tat_floor_ms, bound)
+
+    def current_tat(self, now: float) -> float:
+        """The worst observed/ongoing TAT: the max of recent samples and the
+        age of the oldest still-unanswered summary."""
+        window = 4 * self.config.tat_check_interval_ms
+        recent = [tat for at, tat in self._samples if now - at <= window]
+        ongoing = (now - self._pending[0][1]) if self._pending else 0.0
+        return max(recent + [ongoing])
+
+    def should_suspect(self, now: float) -> Optional[str]:
+        """Return a reason string if the leader violates its TAT bound."""
+        bound = self.acceptable_tat()
+        if bound is None:
+            return None
+        tat = self.current_tat(now)
+        if tat > bound:
+            return f"tat={tat:.1f}ms>bound={bound:.1f}ms"
+        return None

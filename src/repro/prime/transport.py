@@ -1,0 +1,54 @@
+"""Transport abstraction: how replicas reach each other and their clients.
+
+In the paper, all Spire traffic — replica-to-replica Prime messages and
+replica-to-proxy update delivery — flows over the Spines overlay. Tests
+and LAN scenarios can instead use the raw simulated network. Both are
+hidden behind the two-method :class:`Transport` interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from ..simnet import Process
+from ..spines.overlay import OverlayStack
+
+__all__ = ["Transport", "DirectTransport", "OverlayTransport"]
+
+
+class Transport:
+    """Minimal send/unwrap interface used by protocol nodes."""
+
+    def send(self, dst: str, payload: Any, size_bytes: int = 256) -> bool:
+        raise NotImplementedError
+
+    def unwrap(self, message: Any) -> Optional[Tuple[str, Any]]:
+        """Extract (source, payload) from an incoming raw message, or None
+        if the message does not belong to this transport."""
+        raise NotImplementedError
+
+
+class DirectTransport(Transport):
+    """Point-to-point delivery over the raw simulated network."""
+
+    def __init__(self, process: Process) -> None:
+        self._process = process
+
+    def send(self, dst: str, payload: Any, size_bytes: int = 256) -> bool:
+        return self._process.send(dst, payload, size_bytes)
+
+    def unwrap(self, message: Any) -> Optional[Tuple[str, Any]]:
+        return None  # raw network messages arrive with src already split out
+
+
+class OverlayTransport(Transport):
+    """Delivery via a Spines overlay stack."""
+
+    def __init__(self, stack: OverlayStack) -> None:
+        self._stack = stack
+
+    def send(self, dst: str, payload: Any, size_bytes: int = 256) -> bool:
+        return self._stack.send(dst, payload, size_bytes=size_bytes)
+
+    def unwrap(self, message: Any) -> Optional[Tuple[str, Any]]:
+        return OverlayStack.unwrap(message)

@@ -1,0 +1,45 @@
+"""Field layer: the power grid process, Modbus-like protocol, and devices."""
+
+from .grid import Breaker, PowerGrid, Substation, build_radial_grid
+from .modbus import (
+    ExceptionResponse,
+    ModbusError,
+    ReadCoilsRequest,
+    ReadCoilsResponse,
+    ReadRequest,
+    ReadResponse,
+    WriteCoilRequest,
+    WriteCoilResponse,
+    crc16,
+    decode_frame,
+    encode_frame,
+    scale_measurement,
+    unscale_measurement,
+)
+from .plc import PlcDevice, ProtectionRule, undervoltage_rule
+from .rtu import MEASUREMENT_ORDER, RtuDevice
+
+__all__ = [
+    "Breaker",
+    "PowerGrid",
+    "Substation",
+    "build_radial_grid",
+    "ExceptionResponse",
+    "ModbusError",
+    "ReadCoilsRequest",
+    "ReadCoilsResponse",
+    "ReadRequest",
+    "ReadResponse",
+    "WriteCoilRequest",
+    "WriteCoilResponse",
+    "crc16",
+    "decode_frame",
+    "encode_frame",
+    "scale_measurement",
+    "unscale_measurement",
+    "PlcDevice",
+    "ProtectionRule",
+    "undervoltage_rule",
+    "MEASUREMENT_ORDER",
+    "RtuDevice",
+]

@@ -1,0 +1,29 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package substitutes for the paper's physical testbed: a virtual-time
+event loop (:class:`Simulator`), a point-to-point network model with
+latency/jitter/loss/bandwidth and attack hooks (:class:`Network`), a process
+abstraction with crash/recover semantics (:class:`Process`), scenario
+scripting (:class:`FailureInjector`), and structured tracing
+(:class:`Trace`).
+"""
+
+from .engine import SimulationError, Simulator, Timer
+from .failures import DosAttack, FailureInjector
+from .network import LinkSpec, Network, NetworkStats
+from .node import Process
+from .trace import Trace, TraceEvent
+
+__all__ = [
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "DosAttack",
+    "FailureInjector",
+    "LinkSpec",
+    "Network",
+    "NetworkStats",
+    "Process",
+    "Trace",
+    "TraceEvent",
+]

@@ -1,0 +1,170 @@
+"""Failure and attack injection scheduled against the virtual clock.
+
+This module provides the scenario-scripting layer the benchmarks use: crash
+a node at t=X, partition a site between t=X and t=Y, run a DoS against a
+replica's links for a window, etc. All injections are expressed against
+virtual time, which is what makes the attack benchmarks deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from .engine import Simulator
+from .network import Network
+
+__all__ = ["FailureInjector", "DosAttack"]
+
+
+@dataclass
+class DosAttack:
+    """Description of a denial-of-service attack on a target's links.
+
+    The paper's network-level attacker floods the links of chosen replicas
+    (most effectively the current Prime leader). We model the effect on
+    the victim: every link touching ``target`` gains ``extra_delay_ms``
+    and ``extra_loss`` for the duration of the attack.
+    """
+
+    target: str
+    start_ms: float
+    duration_ms: float
+    extra_delay_ms: float = 300.0
+    extra_loss: float = 0.2
+
+    @property
+    def end_ms(self) -> float:
+        return self.start_ms + self.duration_ms
+
+
+class FailureInjector:
+    """Schedules crashes, partitions, and DoS windows on the virtual clock."""
+
+    def __init__(self, simulator: Simulator, network: Network) -> None:
+        self.simulator = simulator
+        self.network = network
+        self._log: List[str] = []
+
+    @property
+    def log(self) -> List[str]:
+        """Human-readable record of every injected event (for reports)."""
+        return list(self._log)
+
+    def _note(self, text: str) -> None:
+        self._log.append(f"[t={self.simulator.now:10.1f}ms] {text}")
+
+    # ------------------------------------------------------------------
+    # Crash / recover
+    # ------------------------------------------------------------------
+    def crash_at(self, when_ms: float, node_name: str) -> None:
+        def do() -> None:
+            self.network.process(node_name).crash()
+            self._note(f"CRASH {node_name}")
+
+        self.simulator.schedule_at(when_ms, do)
+
+    def recover_at(self, when_ms: float, node_name: str) -> None:
+        def do() -> None:
+            self.network.process(node_name).recover()
+            self._note(f"RECOVER {node_name}")
+
+        self.simulator.schedule_at(when_ms, do)
+
+    def crash_window(self, node_name: str, start_ms: float, duration_ms: float) -> None:
+        """Crash a node for a bounded window, then recover it."""
+        self.crash_at(start_ms, node_name)
+        self.recover_at(start_ms + duration_ms, node_name)
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition_window(
+        self,
+        group_a: Iterable[str],
+        group_b: Iterable[str],
+        start_ms: float,
+        duration_ms: float,
+    ) -> None:
+        """Cut connectivity between two groups for a window (site outage)."""
+        group_a = list(group_a)
+        group_b = list(group_b)
+        heal_holder: dict = {}
+
+        def cut() -> None:
+            heal_holder["heal"] = self.network.partition(group_a, group_b)
+            self._note(f"PARTITION {group_a} | {group_b}")
+
+        def heal() -> None:
+            fn = heal_holder.get("heal")
+            if fn is not None:
+                fn()
+            self._note(f"HEAL {group_a} | {group_b}")
+
+        self.simulator.schedule_at(start_ms, cut)
+        self.simulator.schedule_at(start_ms + duration_ms, heal)
+
+    # ------------------------------------------------------------------
+    # DoS
+    # ------------------------------------------------------------------
+    def dos_node(self, attack: DosAttack, peers: Optional[Iterable[str]] = None) -> None:
+        """Degrade every link between the target and its peers for a window.
+
+        ``peers`` defaults to every registered process; narrowing it keeps
+        large scenarios cheap.
+        """
+        peer_list = list(peers) if peers is not None else [
+            name for name in self.network.process_names if name != attack.target
+        ]
+        restores: List[Callable[[], None]] = []
+
+        def start() -> None:
+            for peer in peer_list:
+                restores.append(
+                    self.network.degrade_link(
+                        attack.target,
+                        peer,
+                        extra_delay_ms=attack.extra_delay_ms,
+                        extra_loss=attack.extra_loss,
+                    )
+                )
+            self._note(
+                f"DOS start on {attack.target} "
+                f"(+{attack.extra_delay_ms}ms, +{attack.extra_loss:.0%} loss)"
+            )
+
+        def stop() -> None:
+            for restore in restores:
+                restore()
+            restores.clear()
+            self._note(f"DOS stop on {attack.target}")
+
+        self.simulator.schedule_at(attack.start_ms, start)
+        self.simulator.schedule_at(attack.end_ms, stop)
+
+    def dos_link_window(
+        self,
+        src: str,
+        dst: str,
+        start_ms: float,
+        duration_ms: float,
+        extra_delay_ms: float = 300.0,
+        extra_loss: float = 0.2,
+    ) -> None:
+        """Degrade a single (bidirectional) link for a window."""
+        holder: dict = {}
+
+        def start() -> None:
+            holder["restore"] = self.network.degrade_link(
+                src, dst, extra_delay_ms=extra_delay_ms, extra_loss=extra_loss
+            )
+            self._note(f"DOS-LINK start {src}<->{dst}")
+
+        def stop() -> None:
+            fn = holder.get("restore")
+            if fn is not None:
+                fn()
+            self._note(f"DOS-LINK stop {src}<->{dst}")
+
+        self.simulator.schedule_at(start_ms, start)
+        self.simulator.schedule_at(start_ms + duration_ms, stop)

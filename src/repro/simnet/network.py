@@ -1,0 +1,243 @@
+"""Simulated message-passing network.
+
+Models point-to-point links between named processes with per-link latency,
+jitter, loss, and bandwidth, plus the failure hooks the attack models need
+(partitions, per-link degradation, message filters).
+
+The network is *unauthenticated and unreliable* by design — exactly the
+substrate the paper assumes. Authentication is layered on top by
+``repro.crypto`` and the Spines link protocol; reliability is layered on by
+the protocols themselves (Prime retransmits, Spines floods).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple, TYPE_CHECKING
+
+from .engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .node import Process
+
+__all__ = ["LinkSpec", "Network", "NetworkStats"]
+
+#: A message filter receives (src, dst, payload) and returns either the
+#: payload (possibly replaced), or None to drop the message.
+MessageFilter = Callable[[str, str, Any], Optional[Any]]
+
+
+@dataclass
+class LinkSpec:
+    """Static properties of a directed link.
+
+    latency_ms:     one-way propagation delay.
+    jitter_ms:      uniform extra delay in [0, jitter_ms).
+    loss:           independent drop probability in [0, 1].
+    bandwidth_mbps: serialization rate; 0 means infinite.
+    """
+
+    latency_ms: float = 1.0
+    jitter_ms: float = 0.0
+    loss: float = 0.0
+    bandwidth_mbps: float = 0.0
+
+    def copy(self) -> "LinkSpec":
+        return LinkSpec(self.latency_ms, self.jitter_ms, self.loss, self.bandwidth_mbps)
+
+
+@dataclass
+class _LinkState:
+    """Dynamic, attack-modifiable state of a directed link."""
+
+    spec: LinkSpec
+    extra_delay_ms: float = 0.0
+    extra_loss: float = 0.0
+    blocked: bool = False
+    queue_free_at: float = 0.0  # next time the serialization "wire" is free
+
+
+@dataclass
+class NetworkStats:
+    """Counters kept by the network for reporting."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_partition: int = 0
+    dropped_filter: int = 0
+    dropped_down: int = 0
+    bytes_sent: int = 0
+
+
+class Network:
+    """Registry of processes plus the link model between them.
+
+    Links default to ``default_link`` and can be specialized per directed
+    pair with :meth:`set_link`. Site-aware helpers let deployment code set
+    LAN latencies within a site and WAN latencies between sites.
+    """
+
+    def __init__(self, simulator: Simulator, default_link: Optional[LinkSpec] = None) -> None:
+        self.simulator = simulator
+        self.default_link = default_link or LinkSpec()
+        self._processes: Dict[str, "Process"] = {}
+        self._links: Dict[Tuple[str, str], _LinkState] = {}
+        self._partitions: list[Tuple[frozenset, frozenset]] = []
+        self._filters: list[MessageFilter] = []
+        self.stats = NetworkStats()
+        self._rng = simulator.rng("network")
+
+    # ------------------------------------------------------------------
+    # Registration and topology
+    # ------------------------------------------------------------------
+    def register(self, process: "Process") -> None:
+        if process.name in self._processes:
+            raise ValueError(f"duplicate process name: {process.name}")
+        self._processes[process.name] = process
+
+    def process(self, name: str) -> "Process":
+        return self._processes[name]
+
+    def has_process(self, name: str) -> bool:
+        return name in self._processes
+
+    @property
+    def process_names(self) -> Iterable[str]:
+        return self._processes.keys()
+
+    def _link(self, src: str, dst: str) -> _LinkState:
+        key = (src, dst)
+        if key not in self._links:
+            self._links[key] = _LinkState(self.default_link.copy())
+        return self._links[key]
+
+    def set_link(self, src: str, dst: str, spec: LinkSpec, symmetric: bool = True) -> None:
+        """Set the static link spec between two processes."""
+        self._link(src, dst).spec = spec.copy()
+        if symmetric:
+            self._link(dst, src).spec = spec.copy()
+
+    def link_spec(self, src: str, dst: str) -> LinkSpec:
+        return self._link(src, dst).spec
+
+    # ------------------------------------------------------------------
+    # Failure / attack hooks
+    # ------------------------------------------------------------------
+    def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> Callable[[], None]:
+        """Cut all links between two groups; returns a heal function."""
+        entry = (frozenset(group_a), frozenset(group_b))
+        self._partitions.append(entry)
+
+        def heal() -> None:
+            if entry in self._partitions:
+                self._partitions.remove(entry)
+
+        return heal
+
+    def degrade_link(
+        self,
+        src: str,
+        dst: str,
+        extra_delay_ms: float = 0.0,
+        extra_loss: float = 0.0,
+        symmetric: bool = True,
+    ) -> Callable[[], None]:
+        """Add delay/loss to a link (a targeted DoS); returns a restore fn."""
+        states = [self._link(src, dst)]
+        if symmetric:
+            states.append(self._link(dst, src))
+        for state in states:
+            state.extra_delay_ms += extra_delay_ms
+            state.extra_loss = min(1.0, state.extra_loss + extra_loss)
+
+        def restore() -> None:
+            for state in states:
+                state.extra_delay_ms = max(0.0, state.extra_delay_ms - extra_delay_ms)
+                state.extra_loss = max(0.0, state.extra_loss - extra_loss)
+
+        return restore
+
+    def block_link(self, src: str, dst: str, symmetric: bool = True) -> Callable[[], None]:
+        """Completely block a link; returns an unblock function."""
+        states = [self._link(src, dst)]
+        if symmetric:
+            states.append(self._link(dst, src))
+        for state in states:
+            state.blocked = True
+
+        def unblock() -> None:
+            for state in states:
+                state.blocked = False
+
+        return unblock
+
+    def add_filter(self, fn: MessageFilter) -> Callable[[], None]:
+        """Install a message filter (attack hook); returns a remove fn."""
+        self._filters.append(fn)
+
+        def remove() -> None:
+            if fn in self._filters:
+                self._filters.remove(fn)
+
+        return remove
+
+    def _partitioned(self, src: str, dst: str) -> bool:
+        for group_a, group_b in self._partitions:
+            if (src in group_a and dst in group_b) or (src in group_b and dst in group_a):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: Any, size_bytes: int = 256) -> bool:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Returns True if the message was put on the wire (it may still be
+        lost); False if it was dropped immediately (partition, filter,
+        blocked link, or destination unknown).
+        """
+        self.stats.sent += 1
+        self.stats.bytes_sent += size_bytes
+        if dst not in self._processes:
+            self.stats.dropped_down += 1
+            return False
+        if self._partitioned(src, dst):
+            self.stats.dropped_partition += 1
+            return False
+        for fn in self._filters:
+            payload = fn(src, dst, payload)
+            if payload is None:
+                self.stats.dropped_filter += 1
+                return False
+        link = self._link(src, dst)
+        if link.blocked:
+            self.stats.dropped_partition += 1
+            return False
+        loss = min(1.0, link.spec.loss + link.extra_loss)
+        if loss > 0.0 and self._rng.random() < loss:
+            self.stats.dropped_loss += 1
+            return False
+        delay = link.spec.latency_ms + link.extra_delay_ms
+        if link.spec.jitter_ms > 0.0:
+            delay += self._rng.random() * link.spec.jitter_ms
+        if link.spec.bandwidth_mbps > 0.0:
+            serialize_ms = (size_bytes * 8) / (link.spec.bandwidth_mbps * 1000.0)
+            start = max(self.simulator.now, link.queue_free_at)
+            link.queue_free_at = start + serialize_ms
+            delay += (start - self.simulator.now) + serialize_ms
+        self.simulator.schedule(delay, self._deliver, src, dst, payload)
+        return True
+
+    def _deliver(self, src: str, dst: str, payload: Any) -> None:
+        process = self._processes.get(dst)
+        if process is None or not process.is_up:
+            self.stats.dropped_down += 1
+            return
+        self.stats.delivered += 1
+        process.deliver(src, payload)
+
+    def broadcast(self, src: str, dsts: Iterable[str], payload: Any, size_bytes: int = 256) -> int:
+        """Send ``payload`` to every destination; returns count put on wire."""
+        return sum(1 for dst in dsts if self.send(src, dst, payload, size_bytes))

@@ -1,0 +1,82 @@
+"""Structured tracing for simulated components.
+
+A :class:`Trace` is a bounded, in-memory structured log keyed by virtual
+time. Components emit events (``trace.event("prime", "view-change",
+view=3)``); tests and benchmarks query them to assert protocol behaviour
+(e.g. "exactly one view change happened during the DoS window") without
+parsing text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from .engine import Simulator
+
+__all__ = ["Trace", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record."""
+
+    time: float
+    component: str
+    kind: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        detail = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[t={self.time:10.1f}ms] {self.component:16s} {self.kind} {detail}"
+
+
+class Trace:
+    """Bounded structured event log shared by a simulation's components."""
+
+    def __init__(self, simulator: Simulator, max_events: int = 200_000) -> None:
+        self.simulator = simulator
+        self.max_events = max_events
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def event(self, component: str, kind: str, **details: Any) -> None:
+        """Record one event at the current virtual time."""
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(TraceEvent(self.simulator.now, component, kind, details))
+
+    def events(
+        self,
+        component: Optional[str] = None,
+        kind: Optional[str] = None,
+        since: float = 0.0,
+        until: Optional[float] = None,
+    ) -> List[TraceEvent]:
+        """Query events, optionally filtered by component/kind/time window."""
+        out = []
+        for ev in self._events:
+            if component is not None and ev.component != component:
+                continue
+            if kind is not None and ev.kind != kind:
+                continue
+            if ev.time < since:
+                continue
+            if until is not None and ev.time > until:
+                continue
+            out.append(ev)
+        return out
+
+    def count(self, component: Optional[str] = None, kind: Optional[str] = None) -> int:
+        return len(self.events(component, kind))
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterable[TraceEvent]:
+        return iter(self._events)

@@ -1,0 +1,44 @@
+"""Spines: the intrusion-tolerant overlay network (reimplementation).
+
+Public API: :class:`OverlayTopology` + builders, :class:`SpinesOverlay`
+(daemon fleet + endpoint attachment), :class:`OverlayStack` (endpoint-side
+send/unwrap), routing strategies, and the daemon itself for tests.
+"""
+
+from .daemon import SpinesDaemon
+from .messages import OverlayData, OverlayDeliver, OverlayForward, OverlayIngress
+from .overlay import OverlayStack, SpinesOverlay
+from .routing import (
+    DisjointPathsRouting,
+    FloodingRouting,
+    RoutingStrategy,
+    ShortestPathRouting,
+    make_routing,
+)
+from .topology import (
+    OverlayTopology,
+    Site,
+    continental_topology,
+    lan_topology,
+    wide_area_topology,
+)
+
+__all__ = [
+    "SpinesDaemon",
+    "OverlayData",
+    "OverlayDeliver",
+    "OverlayForward",
+    "OverlayIngress",
+    "OverlayStack",
+    "SpinesOverlay",
+    "DisjointPathsRouting",
+    "FloodingRouting",
+    "RoutingStrategy",
+    "ShortestPathRouting",
+    "make_routing",
+    "OverlayTopology",
+    "Site",
+    "continental_topology",
+    "lan_topology",
+    "wide_area_topology",
+]

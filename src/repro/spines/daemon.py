@@ -1,0 +1,210 @@
+"""Spines overlay daemon.
+
+One daemon runs per site. It accepts datagrams from locally attached
+endpoints, forwards datagrams daemon-to-daemon over authenticated links,
+deduplicates flooded copies, and delivers to attached destination
+endpoints.
+
+Defences modelled from the paper:
+
+* **Per-link authentication** — each daemon-to-daemon hop carries an HMAC
+  keyed on the link; datagrams arriving from non-neighbours or failing the
+  MAC are dropped. This stops an external network attacker from injecting
+  or replaying traffic *inside* the overlay.
+* **Per-source fairness** — outgoing forwarding capacity is scheduled
+  round-robin across origin endpoints, so a compromised client (or daemon)
+  flooding the overlay cannot starve other sources. Disable it
+  (``fairness=False``) to reproduce the unfair baseline.
+
+A compromised daemon is modelled via :meth:`set_behavior`; the attack
+library installs droppers/delayers there.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
+
+from ..crypto.provider import CryptoProvider
+from ..simnet import Network, Process, Simulator, Trace
+from .messages import OverlayData, OverlayDeliver, OverlayForward, OverlayIngress
+from .routing import RoutingStrategy
+
+__all__ = ["SpinesDaemon"]
+
+#: A behaviour hook: (data, default_action) -> None. The hook decides
+#: whether/when to call default_action; not calling it drops the datagram.
+BehaviorHook = Callable[[OverlayData, Callable[[], None]], None]
+
+
+class SpinesDaemon(Process):
+    """One overlay daemon at a site."""
+
+    def __init__(
+        self,
+        site_name: str,
+        simulator: Simulator,
+        network: Network,
+        routing: RoutingStrategy,
+        crypto: CryptoProvider,
+        trace: Optional[Trace] = None,
+        link_auth: bool = True,
+        fairness: bool = True,
+        forward_capacity_per_ms: float = 0.0,
+        dedup_window: int = 50_000,
+    ) -> None:
+        super().__init__(f"spines:{site_name}", simulator, network)
+        self.site_name = site_name
+        self.routing = routing
+        self.crypto = crypto
+        self.trace = trace
+        self.link_auth = link_auth
+        self.fairness = fairness
+        self.forward_capacity_per_ms = forward_capacity_per_ms
+        self.dedup_window = dedup_window
+        self.neighbors: Set[str] = set()          # site names
+        self.attached: Set[str] = set()            # endpoint names homed here
+        self.endpoint_home: Dict[str, str] = {}    # endpoint -> site (global map)
+        self._seen: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
+        self._queues: Dict[str, Deque[Tuple[str, OverlayData]]] = {}
+        self._queue_order: Deque[str] = deque()
+        self._draining = False
+        self._behavior: Optional[BehaviorHook] = None
+        self.stats = {
+            "ingress": 0, "forwarded": 0, "delivered": 0,
+            "dropped_auth": 0, "dropped_dup": 0, "dropped_behavior": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def add_neighbor(self, site_name: str) -> None:
+        self.neighbors.add(site_name)
+
+    def attach_endpoint(self, endpoint_name: str) -> None:
+        self.attached.add(endpoint_name)
+
+    def set_behavior(self, hook: Optional[BehaviorHook]) -> None:
+        """Install (or clear) a compromised-daemon behaviour hook."""
+        self._behavior = hook
+
+    @staticmethod
+    def daemon_name(site_name: str) -> str:
+        return f"spines:{site_name}"
+
+    # ------------------------------------------------------------------
+    # Receive paths
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, OverlayIngress):
+            self._on_ingress(src, payload.data)
+        elif isinstance(payload, OverlayForward):
+            self._on_forward(src, payload)
+
+    def _on_ingress(self, src: str, data: OverlayData) -> None:
+        if src not in self.attached or data.origin != src:
+            self.stats["dropped_auth"] += 1
+            return
+        self.stats["ingress"] += 1
+        if self._record_seen(data):
+            self._route(data, arrived_from=None)
+
+    def _on_forward(self, src: str, message: OverlayForward) -> None:
+        sender_site = message.sender
+        if self.daemon_name(sender_site) != src or sender_site not in self.neighbors:
+            self.stats["dropped_auth"] += 1
+            return
+        if self.link_auth and not self.crypto.check_mac(
+            src, self.name, message.data, message.mac
+        ):
+            self.stats["dropped_auth"] += 1
+            return
+        if not self._record_seen(message.data):
+            self.stats["dropped_dup"] += 1
+            return
+        self._route(message.data, arrived_from=sender_site)
+
+    def _record_seen(self, data: OverlayData) -> bool:
+        """Record (origin, seq); returns False if already seen."""
+        key = (data.origin, data.seq)
+        if key in self._seen:
+            return False
+        self._seen[key] = None
+        while len(self._seen) > self.dedup_window:
+            self._seen.popitem(last=False)
+        return True
+
+    # ------------------------------------------------------------------
+    # Routing / delivery
+    # ------------------------------------------------------------------
+    def _route(self, data: OverlayData, arrived_from: Optional[str]) -> None:
+        def default_action() -> None:
+            self._deliver_local(data)
+            dest_site = self.endpoint_home.get(data.dest)
+            if dest_site is None:
+                return
+            if dest_site == self.site_name and self.routing.name == "shortest":
+                return  # delivered locally; nothing to forward
+            for neighbor in self.routing.forward_targets(
+                self.site_name, dest_site, arrived_from
+            ):
+                self._enqueue_forward(neighbor, data)
+
+        if self._behavior is not None:
+            before = self.stats["forwarded"] + self.stats["delivered"]
+            self._behavior(data, default_action)
+            if self.stats["forwarded"] + self.stats["delivered"] == before:
+                self.stats["dropped_behavior"] += 1
+        else:
+            default_action()
+
+    def _deliver_local(self, data: OverlayData) -> None:
+        if data.dest in self.attached:
+            self.stats["delivered"] += 1
+            self.send(data.dest, OverlayDeliver(data), size_bytes=data.size_bytes)
+
+    # ------------------------------------------------------------------
+    # Forwarding with per-source fairness
+    # ------------------------------------------------------------------
+    def _enqueue_forward(self, neighbor_site: str, data: OverlayData) -> None:
+        if self.forward_capacity_per_ms <= 0:
+            self._forward_now(neighbor_site, data)
+            return
+        source = data.origin if self.fairness else "__fifo__"
+        queue = self._queues.setdefault(source, deque())
+        if source not in self._queue_order:
+            self._queue_order.append(source)
+        queue.append((neighbor_site, data))
+        if not self._draining:
+            self._draining = True
+            self.set_timer(0.0, self._drain)
+
+    def _drain(self) -> None:
+        """Serve one queued forward per 1/capacity ms, round-robin."""
+        while self._queue_order:
+            source = self._queue_order[0]
+            queue = self._queues.get(source)
+            if not queue:
+                self._queue_order.popleft()
+                self._queues.pop(source, None)
+                continue
+            neighbor_site, data = queue.popleft()
+            self._queue_order.rotate(-1)
+            self._forward_now(neighbor_site, data)
+            self.set_timer(1.0 / self.forward_capacity_per_ms, self._drain)
+            return
+        self._draining = False
+
+    def _forward_now(self, neighbor_site: str, data: OverlayData) -> None:
+        dst = self.daemon_name(neighbor_site)
+        mac = self.crypto.mac(self.name, dst, data) if self.link_auth else b""
+        self.stats["forwarded"] += 1
+        self.send(dst, OverlayForward(data, self.site_name, mac), size_bytes=data.size_bytes)
+
+    # ------------------------------------------------------------------
+    def on_recover(self) -> None:
+        """A rejoining daemon loses its dedup/queue state (volatile)."""
+        self._seen.clear()
+        self._queues.clear()
+        self._queue_order.clear()
+        self._draining = False

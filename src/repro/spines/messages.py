@@ -1,0 +1,47 @@
+"""Overlay wire messages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["OverlayData", "OverlayIngress", "OverlayForward", "OverlayDeliver"]
+
+
+@dataclass(frozen=True)
+class OverlayData:
+    """An end-to-end overlay datagram.
+
+    ``origin``/``dest`` are endpoint (not daemon) names; ``seq`` is a
+    per-origin sequence number used for flood deduplication.
+    """
+
+    origin: str
+    dest: str
+    seq: int
+    payload: Any
+    size_bytes: int = 256
+    priority: int = 0
+
+
+@dataclass(frozen=True)
+class OverlayIngress:
+    """Endpoint -> home daemon: please route this datagram."""
+
+    data: OverlayData
+
+
+@dataclass(frozen=True)
+class OverlayForward:
+    """Daemon -> neighbor daemon, authenticated by a per-link MAC."""
+
+    data: OverlayData
+    sender: str
+    mac: bytes
+
+
+@dataclass(frozen=True)
+class OverlayDeliver:
+    """Destination daemon -> attached endpoint."""
+
+    data: OverlayData

@@ -1,0 +1,132 @@
+"""Overlay facade: builds daemons from a topology and attaches endpoints.
+
+The :class:`SpinesOverlay` is what deployment code uses: it instantiates
+one :class:`SpinesDaemon` per site, programs the underlying simnet links
+from the topology's latencies, and hands each endpoint an
+:class:`OverlayStack` — the endpoint-side API (``send``/``unwrap``) that
+plays the role of the Spines client library in the real system.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..crypto.provider import CryptoProvider, FastCrypto
+from ..simnet import LinkSpec, Network, Process, Simulator, Trace
+from .daemon import SpinesDaemon
+from .messages import OverlayData, OverlayDeliver, OverlayIngress
+from .routing import make_routing
+from .topology import OverlayTopology
+
+__all__ = ["SpinesOverlay", "OverlayStack"]
+
+
+class OverlayStack:
+    """Endpoint-side overlay API (the 'Spines library' linked into apps)."""
+
+    def __init__(self, overlay: "SpinesOverlay", endpoint: Process, site: str) -> None:
+        self._overlay = overlay
+        self._endpoint = endpoint
+        self.site = site
+        self._seq = 0
+
+    @property
+    def daemon_name(self) -> str:
+        return SpinesDaemon.daemon_name(self.site)
+
+    def send(self, dest_endpoint: str, payload: Any, size_bytes: int = 256,
+             priority: int = 0) -> bool:
+        """Send ``payload`` to another overlay endpoint by name."""
+        self._seq += 1
+        data = OverlayData(
+            origin=self._endpoint.name,
+            dest=dest_endpoint,
+            seq=self._seq,
+            payload=payload,
+            size_bytes=size_bytes,
+            priority=priority,
+        )
+        return self._endpoint.send(self.daemon_name, OverlayIngress(data),
+                                   size_bytes=size_bytes)
+
+    @staticmethod
+    def unwrap(message: Any) -> Optional[Tuple[str, Any]]:
+        """If ``message`` is an overlay delivery, return (origin, payload)."""
+        if isinstance(message, OverlayDeliver):
+            return message.data.origin, message.data.payload
+        return None
+
+
+class SpinesOverlay:
+    """All daemons of one overlay network plus endpoint attachment state."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        topology: OverlayTopology,
+        mode: str = "flooding",
+        crypto: Optional[CryptoProvider] = None,
+        trace: Optional[Trace] = None,
+        link_auth: bool = True,
+        fairness: bool = True,
+        forward_capacity_per_ms: float = 0.0,
+        last_mile_latency_ms: float = 0.1,
+    ) -> None:
+        self.simulator = simulator
+        self.network = network
+        self.topology = topology
+        self.mode = mode
+        self.crypto = crypto or FastCrypto()
+        self.last_mile_latency_ms = last_mile_latency_ms
+        self.routing = make_routing(mode, topology)
+        self.daemons: Dict[str, SpinesDaemon] = {}
+        self._endpoint_home: Dict[str, str] = {}
+        for site in topology.sites:
+            self.daemons[site.name] = SpinesDaemon(
+                site.name, simulator, network, self.routing, self.crypto,
+                trace=trace, link_auth=link_auth, fairness=fairness,
+                forward_capacity_per_ms=forward_capacity_per_ms,
+            )
+        for a, b in topology.graph.edges:
+            attrs = topology.link_attributes(a, b)
+            spec = LinkSpec(
+                latency_ms=attrs.get("latency_ms", 1.0),
+                jitter_ms=attrs.get("jitter_ms", 0.0),
+                loss=attrs.get("loss", 0.0),
+                bandwidth_mbps=attrs.get("bandwidth_mbps", 0.0),
+            )
+            network.set_link(SpinesDaemon.daemon_name(a), SpinesDaemon.daemon_name(b), spec)
+            self.daemons[a].add_neighbor(b)
+            self.daemons[b].add_neighbor(a)
+        # Daemons share one endpoint-home map so routing can resolve any
+        # destination (link-state routing advertises client attachment).
+        for daemon in self.daemons.values():
+            daemon.endpoint_home = self._endpoint_home
+
+    def attach(self, endpoint: Process, site_name: str) -> OverlayStack:
+        """Attach an endpoint process to its site's daemon."""
+        if site_name not in self.daemons:
+            raise KeyError(f"unknown site {site_name}")
+        if endpoint.name in self._endpoint_home:
+            raise ValueError(f"endpoint {endpoint.name} already attached")
+        self._endpoint_home[endpoint.name] = site_name
+        daemon = self.daemons[site_name]
+        daemon.attach_endpoint(endpoint.name)
+        spec = LinkSpec(latency_ms=self.last_mile_latency_ms, jitter_ms=0.02)
+        self.network.set_link(endpoint.name, daemon.name, spec)
+        return OverlayStack(self, endpoint, site_name)
+
+    def endpoint_site(self, endpoint_name: str) -> Optional[str]:
+        return self._endpoint_home.get(endpoint_name)
+
+    def daemon(self, site_name: str) -> SpinesDaemon:
+        return self.daemons[site_name]
+
+    def total_stats(self) -> Dict[str, int]:
+        """Aggregate daemon counters (for overlay-cost reporting)."""
+        totals: Dict[str, int] = {}
+        for daemon in self.daemons.values():
+            for key, value in daemon.stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

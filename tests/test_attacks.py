@@ -1,0 +1,135 @@
+"""Tests for the attack library against the full system."""
+
+import pytest
+
+from repro.attacks import (
+    FloodingAttacker,
+    LeaderChaser,
+    compromise_daemon_delay,
+    compromise_daemon_drop_all,
+    compromise_daemon_drop_fraction,
+    make_delivery_forger,
+    make_share_corruptor,
+    make_silent,
+)
+from repro.core import BreakerCommand, DeliveryRecord, SpireDeployment, SpireOptions
+
+
+@pytest.fixture
+def deployment():
+    dep = SpireDeployment(SpireOptions(
+        num_substations=3, poll_interval_ms=200.0, seed=9,
+    ))
+    dep.start()
+    dep.run_for(1500)
+    return dep
+
+
+def test_f_corrupt_share_replicas_tolerated(deployment):
+    make_share_corruptor(deployment.replicas[2])
+    before = deployment.proxy.submissions.acked_total
+    deployment.run_for(3000)
+    after = deployment.proxy.submissions.acked_total
+    assert after > before  # service continues despite garbage shares
+    outstanding = deployment.proxy.submissions.outstanding
+    assert outstanding <= 3
+
+
+def test_silent_replica_tolerated(deployment):
+    make_silent(deployment.replicas[4])
+    before = deployment.proxy.submissions.acked_total
+    deployment.run_for(3000)
+    assert deployment.proxy.submissions.acked_total > before
+
+
+def test_forged_delivery_never_executed(deployment):
+    grid = deployment.grid
+    substation = sorted(grid.substations)[0]
+    breaker_id = sorted(grid.substations[substation].breakers)[0]
+
+    def fake_record():
+        return DeliveryRecord(
+            kind="command", client="hmi:0", client_seq=999_999,
+            order_index=999_999,
+            payload=BreakerCommand(substation, breaker_id, close=False,
+                                   issued_by="attacker"),
+        )
+
+    make_delivery_forger(deployment.replicas[1], fake_record, interval_ms=100.0)
+    deployment.run_for(3000)
+    # one replica's shares are below the f+1 threshold: breaker untouched
+    assert grid.breaker_closed(substation, breaker_id) is True
+    assert deployment.proxy.collector.pending_records >= 1
+
+
+def test_two_colluding_forgers_would_reach_threshold_doc(deployment):
+    """Documents the boundary: threshold is f+1=2, so the system tolerates
+    exactly f=1 compromised replica for forgery resistance."""
+    assert deployment.prime_config.signing_threshold == 2
+
+
+def test_leader_chaser_retargets(deployment):
+    chaser = LeaderChaser(
+        deployment.simulator,
+        deployment.network,
+        leader_fn=deployment.current_leader,
+        peers_fn=deployment.dos_peers_of,
+        extra_delay_ms=250.0,
+        retarget_interval_ms=1500.0,
+    )
+    chaser.start()
+    deployment.run_for(12_000)
+    chaser.stop()
+    # the DoS forced at least one view change, so the chaser moved
+    assert chaser.retargets >= 2
+    views = {replica.view for replica in deployment.replicas}
+    assert max(views) >= 1
+    # service continued throughout
+    assert deployment.proxy.submissions.acked_total > 20
+
+
+def test_compromised_daemon_drop_all_flooding_survives(deployment):
+    """Dropping one overlay daemon's traffic cannot stop flooding."""
+    stop = compromise_daemon_drop_all(deployment.overlay.daemon("dc1"))
+    before = deployment.proxy.submissions.acked_total
+    deployment.run_for(2000)
+    assert deployment.proxy.submissions.acked_total > before
+    stop()
+
+
+def test_compromised_daemon_drop_fraction(deployment):
+    stop = compromise_daemon_drop_fraction(
+        deployment.overlay.daemon("dc2"), fraction=0.5
+    )
+    before = deployment.proxy.submissions.acked_total
+    deployment.run_for(2000)
+    assert deployment.proxy.submissions.acked_total > before
+    stop()
+    daemon = deployment.overlay.daemon("dc2")
+    assert daemon.stats["dropped_behavior"] > 0
+
+
+def test_compromised_daemon_delay(deployment):
+    stop = compromise_daemon_delay(deployment.overlay.daemon("cc2"), delay_ms=50.0)
+    before = deployment.proxy.submissions.acked_total
+    deployment.run_for(2000)
+    assert deployment.proxy.submissions.acked_total > before
+    stop()
+
+
+def test_flooding_attacker_counts():
+    from repro.crypto import FastCrypto
+    from repro.simnet import LinkSpec, Network, Simulator
+    from repro.spines import SpinesOverlay, wide_area_topology
+
+    sim = Simulator(seed=4)
+    net = Network(sim, LinkSpec(latency_ms=0.1))
+    overlay = SpinesOverlay(sim, net, wide_area_topology(), crypto=FastCrypto())
+    attacker = FloodingAttacker(
+        "ep:attacker", sim, net, overlay, "dc1", "ep:victim", rate_per_ms=1.0
+    )
+    attacker.start()
+    sim.run_for(100)
+    attacker.stop()
+    sim.run_for(100)
+    assert 90 <= attacker.sent <= 110

@@ -1,0 +1,87 @@
+"""Tests for the traditional SCADA baseline."""
+
+import pytest
+
+from repro.baselines import TCommand, TraditionalDeployment
+from repro.baselines.traditional import TOperatorCommand
+
+
+@pytest.fixture
+def deployment():
+    dep = TraditionalDeployment(num_substations=4, seed=2)
+    dep.start()
+    dep.run_for(2000)
+    return dep
+
+
+def test_status_reaches_master(deployment):
+    assert len(deployment.primary.latest_status) == 4
+    status = deployment.primary.latest_status["sub1"]
+    assert status.poll_seq > 5
+
+
+def test_backup_also_receives_status(deployment):
+    assert len(deployment.backup.latest_status) == 4
+
+
+def test_master_command_operates_breaker(deployment):
+    grid = deployment.grid
+    substation = sorted(grid.substations)[1]
+    breaker_id = sorted(grid.substations[substation].breakers)[0]
+    deployment.primary.issue_command(substation, breaker_id, close=False)
+    deployment.run_for(200)
+    assert grid.breaker_closed(substation, breaker_id) is False
+
+
+def test_wrong_token_rejected(deployment):
+    grid = deployment.grid
+    substation = sorted(grid.substations)[0]
+    breaker_id = sorted(grid.substations[substation].breakers)[0]
+    # attacker without the shared credential sends a command directly
+    deployment.primary.send(
+        deployment.proxy.name,
+        TCommand("wrong-token", substation, breaker_id, False),
+    )
+    deployment.run_for(200)
+    assert grid.breaker_closed(substation, breaker_id) is True
+
+
+def test_operator_command_via_primary(deployment):
+    grid = deployment.grid
+    substation = sorted(grid.substations)[2]
+    breaker_id = sorted(grid.substations[substation].breakers)[0]
+    deployment.proxy.send(
+        deployment.primary.name,
+        TOperatorCommand(substation, breaker_id, False),
+    )
+    deployment.run_for(200)
+    assert grid.breaker_closed(substation, breaker_id) is False
+
+
+def test_backup_promotes_on_primary_crash(deployment):
+    assert deployment.backup.is_primary is False
+    deployment.primary.crash()
+    deployment.run_for(5000)
+    assert deployment.backup.is_primary is True
+
+
+def test_single_compromise_grants_full_control(deployment):
+    """The baseline's fatal property: one host compromise controls the
+    whole field (contrast with Spire's threshold gate)."""
+    grid = deployment.grid
+    deployment.primary.compromise()
+    served_before = grid.served_load_mw()
+    for substation in sorted(grid.substations):
+        for breaker_id in sorted(grid.substations[substation].breakers):
+            deployment.primary.issue_command(substation, breaker_id, close=False)
+    deployment.run_for(500)
+    assert grid.served_load_mw() == 0.0
+    assert grid.served_load_mw() < served_before
+
+
+def test_no_backup_configuration():
+    dep = TraditionalDeployment(num_substations=2, seed=3, with_backup=False)
+    dep.start()
+    dep.run_for(500)
+    assert dep.backup is None
+    assert len(dep.primary.latest_status) == 2

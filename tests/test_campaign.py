@@ -1,0 +1,73 @@
+"""Red-team campaign tests: traditional SCADA falls, Spire stands."""
+
+import pytest
+
+from repro.attacks import SpireCampaign, TraditionalCampaign
+from repro.baselines import TraditionalDeployment
+from repro.core import SpireDeployment, SpireOptions
+
+
+def test_traditional_campaign_takes_the_grid():
+    deployment = TraditionalDeployment(num_substations=5, seed=4)
+    campaign = TraditionalCampaign(
+        deployment, breach_time_ms=2000.0, sabotage_interval_ms=200.0
+    )
+    deployment.start()
+    campaign.start()
+    deployment.run_for(15_000)
+    result = campaign.result
+    assert result.exploit_successes == 1
+    assert result.unauthorized_operations > 10
+    total = deployment.grid.total_load_mw()
+    assert result.min_served_fraction(total) < 0.2  # grid essentially dark
+    # served load was full before the breach
+    pre_breach = [load for at, load in result.served_load if at < 2000.0]
+    assert min(pre_breach) == pytest.approx(total, rel=0.2)
+
+
+def test_spire_campaign_service_survives():
+    deployment = SpireDeployment(SpireOptions(
+        num_substations=5, poll_interval_ms=250.0, seed=4,
+        proactive_recovery=(8_000.0, 500.0),
+    ))
+    campaign = SpireCampaign(
+        deployment,
+        first_attempt_ms=2_000.0,
+        dwell_ms=4_000.0,
+        attempt_interval_ms=6_000.0,
+    )
+    deployment.start()
+    campaign.start()
+    deployment.run_for(40_000)
+    result = campaign.result
+    # attacker landed at most on a couple of replicas and recovery evicted
+    assert result.exploit_attempts >= 5
+    # grid stayed fully served: no unauthorized operation ever executed
+    total = deployment.grid.total_load_mw()
+    assert result.min_served_fraction(total) > 0.95
+    # status updates kept flowing end to end
+    assert deployment.proxy.submissions.acked_total > 100
+    # compromised replicas were eventually evicted by rejuvenation
+    assert result.exploits_invalidated + len(campaign.compromised) \
+        <= result.exploit_attempts
+
+
+def test_spire_campaign_eviction_via_recovery():
+    deployment = SpireDeployment(SpireOptions(
+        num_substations=3, poll_interval_ms=250.0, seed=8,
+        proactive_recovery=(5_000.0, 400.0),
+    ))
+    campaign = SpireCampaign(
+        deployment,
+        first_attempt_ms=1_000.0,
+        dwell_ms=1_000.0,          # fast weaponization: compromises land
+        attempt_interval_ms=4_000.0,
+        behavior="silent",
+    )
+    deployment.start()
+    campaign.start()
+    deployment.run_for(45_000)
+    evictions = deployment.trace.count(component="campaign", kind="evicted")
+    compromises = deployment.trace.count(component="campaign", kind="compromised")
+    assert compromises >= 1
+    assert evictions >= 1  # rejuvenation healed at least one intrusion

@@ -1,0 +1,185 @@
+"""Tests for delivery-share collection and client submission management."""
+
+import pytest
+
+from repro.core import DeliveryCollector, DeliveryRecord, DeliveryShare, SubmissionManager
+from repro.core.metrics import LatencyRecorder
+from repro.crypto import FastCrypto, ThresholdShare
+
+
+@pytest.fixture
+def crypto():
+    provider = FastCrypto(seed="coll")
+    provider.create_threshold_group("g", 6, 2)
+    return provider
+
+
+def record(seq=1, kind="status"):
+    return DeliveryRecord(kind, "proxy:a", seq, order_index=seq, payload=("p", seq))
+
+
+def share_for(crypto, rec, index, sender=None):
+    share = crypto.threshold_sign_share("g", index, rec)
+    return DeliveryShare(sender or f"replica:{index}", rec, share)
+
+
+def test_combines_at_threshold(crypto):
+    collector = DeliveryCollector(crypto, "g")
+    rec = record()
+    assert collector.add(share_for(crypto, rec, 1)) is None
+    result = collector.add(share_for(crypto, rec, 2))
+    assert result is not None
+    combined_record, signature = result
+    assert combined_record == rec
+    assert crypto.threshold_verify(signature, rec)
+
+
+def test_deduplicates_records(crypto):
+    collector = DeliveryCollector(crypto, "g")
+    rec = record()
+    collector.add(share_for(crypto, rec, 1))
+    assert collector.add(share_for(crypto, rec, 2)) is not None
+    # further shares for the same record do nothing
+    assert collector.add(share_for(crypto, rec, 3)) is None
+    assert collector.verified == 1
+
+
+def test_distinct_records_both_verify(crypto):
+    collector = DeliveryCollector(crypto, "g")
+    for seq in (1, 2):
+        rec = record(seq)
+        collector.add(share_for(crypto, rec, 1))
+        assert collector.add(share_for(crypto, rec, 2)) is not None
+    assert collector.verified == 2
+
+
+def test_single_share_insufficient(crypto):
+    collector = DeliveryCollector(crypto, "g")
+    assert collector.add(share_for(crypto, record(), 1)) is None
+    assert collector.pending_records == 1
+
+
+def test_same_sender_does_not_double_count(crypto):
+    collector = DeliveryCollector(crypto, "g")
+    rec = record()
+    collector.add(share_for(crypto, rec, 1, sender="replica:1"))
+    assert collector.add(share_for(crypto, rec, 1, sender="replica:1")) is None
+
+
+def test_corrupt_share_does_not_block(crypto):
+    collector = DeliveryCollector(crypto, "g")
+    rec = record()
+    bogus = DeliveryShare("replica:9", rec, ThresholdShare("g", 3, "junk"))
+    collector.add(bogus)
+    collector.add(share_for(crypto, rec, 1))
+    result = collector.add(share_for(crypto, rec, 2))
+    assert result is not None
+
+
+def test_forged_record_variant_cannot_combine(crypto):
+    """A compromised replica vouching a different payload for the same key
+    never reaches the threshold with honest shares."""
+    collector = DeliveryCollector(crypto, "g")
+    honest = record()
+    forged = DeliveryRecord("status", "proxy:a", 1, order_index=1,
+                            payload=("evil",))
+    collector.add(share_for(crypto, forged, 1))
+    assert collector.add(share_for(crypto, honest, 2)) is None  # split 1/1
+    result = collector.add(share_for(crypto, honest, 3))
+    assert result is not None and result[0] == honest
+
+
+# ----------------------------------------------------------------------
+# SubmissionManager
+# ----------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def manager(sent, clock, recorder=None, **kwargs):
+    return SubmissionManager(
+        client_name="client:a",
+        crypto=FastCrypto(seed="sm"),
+        replicas=["r0", "r1", "r2"],
+        send_fn=lambda replica, payload, size: sent.append((replica, payload)) or True,
+        now_fn=clock,
+        recorder=recorder,
+        **kwargs,
+    )
+
+
+def test_submit_signs_and_sends():
+    sent = []
+    clock = FakeClock()
+    sm = manager(sent, clock, start_index=0)
+    key = sm.submit(("payload",))
+    assert key == ("client:a", 1)
+    assert len(sent) == 1
+    assert sent[0][0] == "r0"
+    update = sent[0][1].update
+    assert update.client == "client:a" and update.client_seq == 1
+    assert update.signature is not None
+
+
+def test_sequences_increment():
+    sent = []
+    sm = manager(sent, FakeClock())
+    assert sm.submit("a")[1] == 1
+    assert sm.submit("b")[1] == 2
+
+
+def test_ack_clears_outstanding_and_measures():
+    sent = []
+    clock = FakeClock()
+    recorder = LatencyRecorder()
+    sm = manager(sent, clock, recorder=recorder)
+    key = sm.submit("x")
+    clock.now = 42.0
+    latency = sm.acknowledged(*key)
+    assert latency == pytest.approx(42.0)
+    assert sm.outstanding == 0
+    assert recorder.stats().count == 1
+
+
+def test_ack_for_unknown_key_ignored():
+    sm = manager([], FakeClock())
+    assert sm.acknowledged("client:a", 99) is None
+    assert sm.acknowledged("client:other", 1) is None
+
+
+def test_retry_rotates_target():
+    sent = []
+    clock = FakeClock()
+    sm = manager(sent, clock, resubmit_timeout_ms=100.0, start_index=0)
+    sm.submit("x")
+    clock.now = 50.0
+    assert sm.retry_tick() == 0  # not timed out yet
+    clock.now = 150.0
+    assert sm.retry_tick() == 1
+    assert sent[-1][0] == "r1"  # failover to the next replica
+    clock.now = 300.0
+    sm.retry_tick()
+    assert sent[-1][0] == "r2"
+    assert sm.retries_total == 2
+
+
+def test_retry_preserves_update_identity():
+    sent = []
+    clock = FakeClock()
+    sm = manager(sent, clock, resubmit_timeout_ms=10.0)
+    key = sm.submit("x")
+    clock.now = 20.0
+    sm.retry_tick()
+    first, second = (payload.update for _, payload in sent)
+    assert first == second  # same signed update, safe to dedup
+
+
+def test_requires_replicas():
+    with pytest.raises(ValueError):
+        SubmissionManager("c", FastCrypto(), [], lambda *a: True, lambda: 0.0)

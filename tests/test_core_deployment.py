@@ -1,0 +1,125 @@
+"""End-to-end tests of the full Spire deployment.
+
+These exercise the entire stack: Modbus polling -> proxy -> overlay ->
+Prime ordering -> replicated master -> threshold-signed delivery -> HMI
+view and field commands. A module-scoped deployment keeps them fast.
+"""
+
+import pytest
+
+from repro.core import SpireDeployment, SpireOptions
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    dep = SpireDeployment(SpireOptions(
+        num_substations=4, poll_interval_ms=200.0, seed=3,
+    ))
+    dep.start()
+    dep.run_for(4000)
+    return dep
+
+
+def test_default_placement_is_paper_shape(deployment):
+    assert deployment.placement == {"cc1": 2, "cc2": 2, "dc1": 1, "dc2": 1}
+    assert len(deployment.replicas) == 6
+
+
+def test_status_updates_flow_and_ack(deployment):
+    submissions = deployment.proxy.submissions
+    assert submissions.submitted_total > 10
+    assert submissions.acked_total == submissions.submitted_total - submissions.outstanding
+    assert submissions.outstanding <= 4  # at most one poll cycle in flight
+
+
+def test_wan_latency_in_paper_ballpark(deployment):
+    stats = deployment.status_recorder.stats()
+    assert stats.count > 10
+    assert 20.0 < stats.mean < 100.0   # paper: ~43-60 ms wide-area
+    assert stats.maximum < 250.0
+
+
+def test_hmi_view_converges(deployment):
+    hmi = deployment.hmis[0]
+    assert sorted(hmi.view) == sorted(deployment.grid.substations)
+    for substation in deployment.grid.substations:
+        reading = hmi.substation_status(substation)
+        assert reading is not None
+        assert (reading.measurement("energized") or 0.0) == 1.0
+
+
+def test_master_state_replicated_consistently(deployment):
+    snapshots = {
+        repr(sorted(replica.app.latest_status))
+        for replica in deployment.replicas
+    }
+    assert len(snapshots) == 1
+
+
+def test_operator_command_reaches_field(deployment):
+    grid = deployment.grid
+    substation = sorted(grid.substations)[1]
+    breaker_id = sorted(grid.substations[substation].breakers)[0]
+    assert grid.breaker_closed(substation, breaker_id)
+    hmi = deployment.hmis[0]
+    hmi.operate_breaker(substation, breaker_id, close=False, reason="test")
+    deployment.run_for(1500)
+    assert grid.breaker_closed(substation, breaker_id) is False
+    assert deployment.command_recorder.stats().count >= 1
+    # HMI eventually observes the new breaker position via polling
+    deployment.run_for(1500)
+    assert hmi.breaker_position(substation, breaker_id) is False
+    # restore for other tests
+    hmi.operate_breaker(substation, breaker_id, close=True, reason="restore")
+    deployment.run_for(1500)
+
+
+def test_confirmed_commands_recorded(deployment):
+    hmi = deployment.hmis[0]
+    assert len(hmi.confirmed_commands) >= 1
+    order_index, command = hmi.confirmed_commands[0]
+    assert command.issued_by == hmi.name
+
+
+def test_current_leader_helper(deployment):
+    leader = deployment.current_leader()
+    assert leader in deployment.replica_names()
+
+
+def test_delivery_series_counts_updates(deployment):
+    series = deployment.delivery_series.series(0.0, deployment.simulator.now)
+    # after warm-up every second sees deliveries
+    active = [count for _, count in series[1:]]
+    assert all(count > 0 for count in active)
+
+
+def test_availability_metric(deployment):
+    availability = deployment.delivery_series.availability(
+        1000.0, deployment.simulator.now
+    )
+    assert availability == 1.0
+
+
+def test_lan_preset_deployment_builds():
+    from repro.spines import lan_topology
+
+    dep = SpireDeployment(
+        SpireOptions(num_substations=2, prime_preset="lan", seed=5,
+                     poll_interval_ms=100.0),
+        topology=lan_topology(1),
+    )
+    dep.start()
+    dep.run_for(2000)
+    stats = dep.status_recorder.stats()
+    assert stats.count > 5
+    assert stats.mean < 40.0  # LAN is much faster than WAN
+
+
+def test_explicit_placement_respected():
+    dep = SpireDeployment(SpireOptions(
+        num_substations=2, seed=7,
+        placement={"cc1": 3, "cc2": 3},
+    ))
+    assert len(dep.replicas) == 6
+    sites = set(dep.replica_sites.values())
+    assert sites == {"cc1", "cc2"}

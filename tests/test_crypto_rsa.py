@@ -1,0 +1,80 @@
+"""Tests for the from-scratch RSA."""
+
+import random
+
+import pytest
+
+from repro.crypto import generate_keypair
+from repro.crypto.rsa import generate_prime, is_probable_prime
+
+
+def test_keygen_deterministic_from_seed():
+    a = generate_keypair(bits=512, seed="k1")
+    b = generate_keypair(bits=512, seed="k1")
+    assert a.n == b.n and a.d == b.d
+
+
+def test_keygen_different_seeds_differ():
+    assert generate_keypair(512, "k1").n != generate_keypair(512, "k2").n
+
+
+def test_modulus_size():
+    pair = generate_keypair(bits=512, seed="size")
+    assert 500 <= pair.n.bit_length() <= 512
+
+
+def test_sign_verify_roundtrip():
+    pair = generate_keypair(bits=512, seed="sv")
+    sig = pair.sign(b"message")
+    assert pair.public.verify(b"message", sig)
+
+
+def test_verify_rejects_other_message():
+    pair = generate_keypair(bits=512, seed="sv")
+    sig = pair.sign(b"message")
+    assert not pair.public.verify(b"other", sig)
+
+
+def test_verify_rejects_tampered_signature():
+    pair = generate_keypair(bits=512, seed="sv")
+    sig = pair.sign(b"message")
+    assert not pair.public.verify(b"message", sig + 1)
+
+
+def test_verify_rejects_out_of_range_signature():
+    pair = generate_keypair(bits=512, seed="sv")
+    assert not pair.public.verify(b"m", 0)
+    assert not pair.public.verify(b"m", pair.n)
+
+
+def test_signatures_differ_per_message():
+    pair = generate_keypair(bits=512, seed="sv")
+    assert pair.sign(b"a") != pair.sign(b"b")
+
+
+def test_cross_key_verification_fails():
+    a = generate_keypair(bits=512, seed="a")
+    b = generate_keypair(bits=512, seed="b")
+    sig = a.sign(b"m")
+    assert not b.public.verify(b"m", sig)
+
+
+def test_is_probable_prime_known_values():
+    rng = random.Random(0)
+    for p in (2, 3, 5, 7, 97, 7919, 2 ** 61 - 1):
+        assert is_probable_prime(p, rng)
+    for c in (0, 1, 4, 100, 7917, 2 ** 61 - 2):
+        assert not is_probable_prime(c, rng)
+
+
+def test_generate_prime_has_requested_size():
+    rng = random.Random(1)
+    p = generate_prime(128, rng)
+    assert p.bit_length() == 128
+    assert is_probable_prime(p, random.Random(2))
+
+
+def test_small_keys_work_fast():
+    pair = generate_keypair(bits=256, seed="small")
+    sig = pair.sign(b"x")
+    assert pair.public.verify(b"x", sig)

@@ -1,0 +1,181 @@
+"""Tests for the PBFT-style baseline."""
+
+import pytest
+
+from repro.attacks import make_slow_proposer
+from repro.crypto import FastCrypto
+from repro.prime import LoggingApp, sign_client_update
+from repro.pbft import PbftConfig, PbftNode
+from repro.simnet import LinkSpec, Network, Simulator, Trace
+
+
+class PbftCluster:
+    def __init__(self, n=6, f=1, seed=3, timeout_ms=1000.0):
+        self.simulator = Simulator(seed=seed)
+        self.network = Network(self.simulator, LinkSpec(latency_ms=0.3, jitter_ms=0.1))
+        self.crypto = FastCrypto(seed=f"pbft/{seed}")
+        self.trace = Trace(self.simulator)
+        names = tuple(f"replica:{i}" for i in range(n))
+        self.config = PbftConfig(names, num_faults=f, request_timeout_ms=timeout_ms)
+        self.nodes = [
+            PbftNode(name, self.simulator, self.network, self.config,
+                     self.crypto, LoggingApp(), trace=self.trace)
+            for name in names
+        ]
+        self._seq = 0
+
+    def start(self):
+        for node in self.nodes:
+            node.start()
+        self.simulator.run_for(20)
+        return self
+
+    def submit(self, payload, index=1):
+        self._seq += 1
+        update = sign_client_update(self.crypto, "client:c", self._seq, payload)
+        node = self.nodes[index]
+        if not node.is_up:
+            node = next(n for n in self.nodes if n.is_up)
+        return node.submit(update)
+
+    def logs(self, only_up=True):
+        return [tuple(n.app.log) for n in self.nodes if n.is_up or not only_up]
+
+
+@pytest.fixture
+def pbft():
+    return PbftCluster().start()
+
+
+def test_config_quorum():
+    names = tuple(f"r{i}" for i in range(4))
+    assert PbftConfig(names, num_faults=1).quorum == 3
+    names6 = tuple(f"r{i}" for i in range(6))
+    assert PbftConfig(names6, num_faults=1).quorum == 4
+
+
+def test_config_minimum():
+    with pytest.raises(ValueError):
+        PbftConfig(("a", "b", "c"), num_faults=1)
+
+
+def test_happy_path_ordering(pbft):
+    for i in range(20):
+        pbft.submit(("op", i))
+        pbft.simulator.run_for(20)
+    pbft.simulator.run_for(1000)
+    logs = pbft.logs()
+    assert all(len(log) == 20 for log in logs)
+    assert len(set(logs)) == 1
+
+
+def test_duplicate_update_executes_once(pbft):
+    update = sign_client_update(pbft.crypto, "client:d", 1, ("op",))
+    pbft.nodes[1].submit(update)
+    pbft.nodes[2].submit(update)
+    pbft.simulator.run_for(1000)
+    assert all(len(log) == 1 for log in pbft.logs())
+
+
+def test_invalid_signature_rejected(pbft):
+    from repro.prime import ClientUpdate
+
+    assert pbft.nodes[1].submit(ClientUpdate("c", 1, ("op",), None)) is False
+
+
+def test_leader_crash_view_change_recovers():
+    pbft = PbftCluster(seed=5).start()
+    pbft.simulator.run_for(100)
+    pbft.nodes[0].crash()
+    for i in range(15):
+        pbft.submit(("op", i))
+        pbft.simulator.run_for(100)
+    pbft.simulator.run_for(6000)
+    logs = pbft.logs()
+    assert all(len(log) == 15 for log in logs)
+    assert len(set(logs)) == 1
+    assert all(node.view >= 1 for node in pbft.nodes if node.is_up)
+    assert pbft.trace.count(kind="pbft-new-view") >= 1
+
+
+def test_slow_leader_degrades_latency_without_view_change():
+    """The baseline's defining weakness: a leader delaying proposals below
+    the timeout degrades latency arbitrarily and is never replaced."""
+    pbft = PbftCluster(seed=8, timeout_ms=1000.0).start()
+    pbft.simulator.run_for(200)
+    make_slow_proposer(pbft.nodes[0], delay_ms=400.0)
+    latencies = []
+    done = {}
+    for node in pbft.nodes:
+        node.execution_listeners.append(
+            lambda u, i, r: done.setdefault(
+                (u.client, u.client_seq), pbft.simulator.now
+            )
+        )
+    submitted = {}
+    for i in range(20):
+        seq = pbft._seq + 1
+        submitted[("client:c", seq)] = pbft.simulator.now
+        pbft.submit(("op", i))
+        pbft.simulator.run_for(100)
+    pbft.simulator.run_for(3000)
+    latencies = [
+        done[key] - submitted[key] for key in submitted if key in done
+    ]
+    assert len(latencies) == 20
+    assert min(latencies) > 300.0          # every update pays the delay
+    assert all(node.view == 0 for node in pbft.nodes)  # never replaced
+
+
+def test_fast_leader_latency_is_low():
+    pbft = PbftCluster(seed=9).start()
+    done = {}
+    for node in pbft.nodes:
+        node.execution_listeners.append(
+            lambda u, i, r: done.setdefault(
+                (u.client, u.client_seq), pbft.simulator.now
+            )
+        )
+    start = pbft.simulator.now
+    pbft.submit(("op",))
+    pbft.simulator.run_for(500)
+    latency = done[("client:c", 1)] - start
+    assert latency < 30.0
+
+
+def test_view_change_preserves_prepared_updates():
+    pbft = PbftCluster(seed=12).start()
+    pbft.simulator.run_for(100)
+    for i in range(5):
+        pbft.submit(("pre", i))
+        pbft.simulator.run_for(30)
+    pbft.nodes[0].crash()
+    for i in range(5):
+        pbft.submit(("post", i))
+        pbft.simulator.run_for(100)
+    pbft.simulator.run_for(6000)
+    logs = pbft.logs()
+    assert all(len(log) == 10 for log in logs)
+    assert len(set(logs)) == 1
+
+
+def test_progress_requires_quorum():
+    pbft = PbftCluster(seed=14).start()
+    for index in (3, 4, 5):
+        pbft.nodes[index].crash()
+    pbft.submit(("op",))
+    pbft.simulator.run_for(4000)
+    assert all(len(node.app.log) == 0 for node in pbft.nodes if node.is_up)
+
+
+def test_loss_tolerated_by_retransmission():
+    pbft = PbftCluster(seed=21)
+    pbft.network.default_link.loss = 0.05
+    pbft.start()
+    for i in range(10):
+        pbft.submit(("op", i))
+        pbft.simulator.run_for(50)
+    pbft.simulator.run_for(5000)
+    logs = pbft.logs()
+    assert all(len(log) == 10 for log in logs)
+    assert len(set(logs)) == 1

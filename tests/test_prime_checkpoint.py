@@ -1,0 +1,135 @@
+"""Unit tests for checkpointing and state-transfer proofs."""
+
+import pytest
+
+from repro.crypto import FastCrypto, digest
+from repro.prime import CheckpointManager, CheckpointMsg, PrimeConfig, SignedMessage
+
+
+@pytest.fixture
+def setup():
+    names = tuple(f"r{i}" for i in range(6))
+    config = PrimeConfig(names)
+    crypto = FastCrypto()
+    manager = CheckpointManager(config)
+
+    def vote(sender, seq, state_digest):
+        msg = CheckpointMsg(sender, seq, state_digest)
+        return SignedMessage(msg, crypto.sign(sender, msg)), msg
+
+    def verify(signed):
+        return crypto.verify(signed.signature, signed.payload)
+
+    return config, crypto, manager, vote, verify
+
+
+def test_becomes_stable_at_quorum(setup):
+    config, crypto, manager, vote, verify = setup
+    for index in range(config.quorum - 1):
+        signed, msg = vote(f"r{index}", 50, "d1")
+        assert manager.add_vote(signed, msg) is None
+    signed, msg = vote(f"r{config.quorum - 1}", 50, "d1")
+    assert manager.add_vote(signed, msg) == 50
+    assert manager.stable_seq == 50
+    assert manager.stable_digest == "d1"
+    assert len(manager.stable_proof) == config.quorum
+
+
+def test_mismatched_digests_do_not_stabilize(setup):
+    config, crypto, manager, vote, verify = setup
+    for index in range(5):
+        signed, msg = vote(f"r{index}", 50, f"d{index}")
+        assert manager.add_vote(signed, msg) is None
+    assert manager.stable_seq == 0
+
+
+def test_votes_below_stable_ignored(setup):
+    config, crypto, manager, vote, verify = setup
+    for index in range(config.quorum):
+        signed, msg = vote(f"r{index}", 50, "d")
+        manager.add_vote(signed, msg)
+    signed, msg = vote("r5", 40, "old")
+    assert manager.add_vote(signed, msg) is None
+
+
+def test_record_own_keeps_two_snapshots(setup):
+    config, crypto, manager, vote, verify = setup
+    for seq in (50, 100, 150):
+        manager.record_own(seq, {"state": seq})
+    assert manager.snapshot_at(50) is None
+    assert manager.snapshot_at(100) == {"state": 100}
+    assert manager.snapshot_at(150) == {"state": 150}
+
+
+def test_stable_snapshot_requires_matching_digest(setup):
+    config, crypto, manager, vote, verify = setup
+    snapshot = {"state": 1}
+    state_digest = manager.record_own(50, snapshot)
+    for index in range(config.quorum):
+        signed, msg = vote(f"r{index}", 50, state_digest)
+        manager.add_vote(signed, msg)
+    assert manager.stable_snapshot() == snapshot
+
+
+def test_stable_snapshot_none_when_diverged(setup):
+    config, crypto, manager, vote, verify = setup
+    manager.record_own(50, {"state": "mine"})
+    for index in range(config.quorum):
+        signed, msg = vote(f"r{index}", 50, "other-digest")
+        manager.add_vote(signed, msg)
+    assert manager.stable_snapshot() is None  # never serve diverged state
+
+
+def test_verify_proof_accepts_valid(setup):
+    config, crypto, manager, vote, verify = setup
+    proof = tuple(vote(f"r{i}", 50, "d")[0] for i in range(config.quorum))
+    assert manager.verify_proof(50, "d", proof, verify)
+
+
+def test_verify_proof_rejects_below_quorum(setup):
+    config, crypto, manager, vote, verify = setup
+    proof = tuple(vote(f"r{i}", 50, "d")[0] for i in range(config.quorum - 1))
+    assert not manager.verify_proof(50, "d", proof, verify)
+
+
+def test_verify_proof_rejects_duplicate_senders(setup):
+    config, crypto, manager, vote, verify = setup
+    one = vote("r0", 50, "d")[0]
+    assert not manager.verify_proof(50, "d", (one,) * config.quorum, verify)
+
+
+def test_verify_proof_rejects_wrong_seq_or_digest(setup):
+    config, crypto, manager, vote, verify = setup
+    proof = tuple(vote(f"r{i}", 50, "d")[0] for i in range(config.quorum))
+    assert not manager.verify_proof(51, "d", proof, verify)
+    assert not manager.verify_proof(50, "other", proof, verify)
+
+
+def test_verify_proof_rejects_forged_signature(setup):
+    config, crypto, manager, vote, verify = setup
+    msg = CheckpointMsg("r0", 50, "d")
+    forged = SignedMessage(msg, crypto.sign("r1", msg))  # signer mismatch
+    rest = tuple(vote(f"r{i}", 50, "d")[0] for i in range(1, config.quorum))
+    assert not manager.verify_proof(50, "d", (forged,) + rest, verify)
+
+
+def test_genesis_proof_trivially_valid(setup):
+    config, crypto, manager, vote, verify = setup
+    assert manager.verify_proof(0, "anything", (), verify)
+
+
+def test_adopt_stable_moves_forward_only(setup):
+    config, crypto, manager, vote, verify = setup
+    manager.adopt_stable(100, "d", ())
+    assert manager.stable_seq == 100
+    manager.adopt_stable(50, "older", ())
+    assert manager.stable_seq == 100
+
+
+def test_reset_clears_everything(setup):
+    config, crypto, manager, vote, verify = setup
+    manager.record_own(50, {"s": 1})
+    manager.adopt_stable(50, "d", ())
+    manager.reset()
+    assert manager.stable_seq == 0
+    assert manager.stable_snapshot() is None

@@ -1,0 +1,65 @@
+"""Tests for Prime configuration math."""
+
+import pytest
+
+from repro.prime import PrimeConfig, lan_prime_config, wan_prime_config
+
+
+def names(n):
+    return tuple(f"r{i}" for i in range(n))
+
+
+def test_n_and_quorum():
+    config = PrimeConfig(names(6), num_faults=1, num_recovering=1)
+    assert config.n == 6
+    assert config.quorum == 4  # 2f + k + 1
+
+
+def test_minimum_replicas_enforced():
+    with pytest.raises(ValueError):
+        PrimeConfig(names(5), num_faults=1, num_recovering=1)  # needs 6
+    with pytest.raises(ValueError):
+        PrimeConfig(names(3), num_faults=1, num_recovering=0)  # needs 4
+
+
+def test_f2_k1_needs_nine():
+    config = PrimeConfig(names(9), num_faults=2, num_recovering=1)
+    assert config.quorum == 6
+    with pytest.raises(ValueError):
+        PrimeConfig(names(8), num_faults=2, num_recovering=1)
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ValueError):
+        PrimeConfig(("a", "a", "b", "c", "d", "e"))
+
+
+def test_signing_threshold_is_f_plus_one():
+    config = PrimeConfig(names(6), num_faults=1, num_recovering=1)
+    assert config.signing_threshold == 2
+
+
+def test_leader_rotates_through_views():
+    config = PrimeConfig(names(6))
+    leaders = [config.leader_of_view(v) for v in range(12)]
+    assert leaders[:6] == list(names(6))
+    assert leaders[6:] == list(names(6))
+
+
+def test_index_of():
+    config = PrimeConfig(names(6))
+    assert config.index_of("r3") == 3
+
+
+def test_presets_build():
+    lan = lan_prime_config(names(6))
+    wan = wan_prime_config(names(6))
+    assert lan.pre_prepare_interval_ms < wan.pre_prepare_interval_ms
+    assert lan.n == wan.n == 6
+
+
+def test_with_replicas():
+    config = PrimeConfig(names(6))
+    bigger = config.with_replicas(names(8))
+    assert bigger.n == 8
+    assert config.n == 6  # original unchanged

@@ -1,0 +1,87 @@
+"""Tests for the at-most-once client filter."""
+
+from repro.prime.dedup import ClientDedup
+
+
+def test_fresh_sequence_not_duplicate():
+    dedup = ClientDedup()
+    assert not dedup.is_duplicate("c", 1)
+
+
+def test_marked_sequence_is_duplicate():
+    dedup = ClientDedup()
+    dedup.mark("c", 1)
+    assert dedup.is_duplicate("c", 1)
+    assert not dedup.is_duplicate("c", 2)
+
+
+def test_out_of_order_marks_accepted():
+    dedup = ClientDedup()
+    dedup.mark("c", 3)
+    assert not dedup.is_duplicate("c", 1)
+    dedup.mark("c", 1)
+    assert dedup.is_duplicate("c", 1)
+    assert not dedup.is_duplicate("c", 2)
+    dedup.mark("c", 2)
+    for seq in (1, 2, 3):
+        assert dedup.is_duplicate("c", seq)
+
+
+def test_contiguous_floor_advances():
+    dedup = ClientDedup()
+    for seq in (2, 1, 3):
+        dedup.mark("c", seq)
+    assert dedup._low["c"] == 3
+    assert dedup._recent["c"] == set()
+
+
+def test_clients_independent():
+    dedup = ClientDedup()
+    dedup.mark("a", 1)
+    assert not dedup.is_duplicate("b", 1)
+
+
+def test_highest():
+    dedup = ClientDedup()
+    dedup.mark("c", 5)
+    dedup.mark("c", 2)
+    assert dedup.highest("c") == 5
+
+
+def test_window_forces_floor():
+    dedup = ClientDedup(window=4)
+    for seq in range(10, 20):  # leave 1..9 as a permanent gap
+        dedup.mark("c", seq)
+    # the floor advanced past the gap: old seqs count as duplicates
+    assert dedup.is_duplicate("c", 5)
+
+
+def test_snapshot_restore_roundtrip():
+    dedup = ClientDedup()
+    dedup.mark("c", 1)
+    dedup.mark("c", 5)
+    dedup.mark("d", 2)
+    snapshot = dedup.snapshot()
+    other = ClientDedup()
+    other.restore(snapshot)
+    for client, seq, expect in (("c", 1, True), ("c", 5, True),
+                                ("c", 3, False), ("d", 2, True)):
+        assert other.is_duplicate(client, seq) == expect
+
+
+def test_snapshot_is_encodable():
+    from repro.crypto import encode
+
+    dedup = ClientDedup()
+    dedup.mark("c", 1)
+    dedup.mark("c", 7)
+    encode(dedup.snapshot())  # must not raise
+
+
+def test_snapshot_deterministic():
+    a = ClientDedup()
+    b = ClientDedup()
+    for seq in (4, 1, 2, 9):
+        a.mark("x", seq)
+        b.mark("x", seq)
+    assert a.snapshot() == b.snapshot()

@@ -1,0 +1,107 @@
+"""Proactive recovery and state transfer."""
+
+import dataclasses
+
+import pytest
+
+
+def small_checkpoint_cluster(cluster_factory, seed=11, interval=10):
+    cluster = cluster_factory(seed=seed)
+    cluster.config = dataclasses.replace(
+        cluster.config, checkpoint_interval_seqs=interval
+    )
+    for node in cluster.nodes:
+        node.config = cluster.config
+        node.checkpoints.config = cluster.config
+    return cluster.start()
+
+
+def test_recovered_replica_catches_up(cluster_factory):
+    cluster = small_checkpoint_cluster(cluster_factory)
+    cluster.pump(20, gap_ms=25)
+    cluster.nodes[3].crash()
+    cluster.pump(20, gap_ms=25)
+    cluster.run_for(500)
+    cluster.nodes[3].recover()
+    cluster.pump(10, gap_ms=25)
+    cluster.run_for(5000)
+    reference = cluster.assert_safety()
+    assert len(reference) == 50
+    assert len(cluster.nodes[3].app.log) == 50
+    assert cluster.trace.count(kind="recovery-done") >= 1
+
+
+def test_recovered_replica_gets_fresh_origin_stream(cluster_factory):
+    cluster = small_checkpoint_cluster(cluster_factory)
+    cluster.pump(10, gap_ms=25)
+    node = cluster.nodes[2]
+    old_origin = node.origin_id
+    node.crash()
+    cluster.run_for(200)
+    node.recover()
+    cluster.run_for(3000)
+    assert node.origin_id != old_origin
+
+
+def test_leader_recovery_rejoins_in_new_view(cluster_factory):
+    cluster = small_checkpoint_cluster(cluster_factory, seed=23)
+    cluster.run_for(500)
+    cluster.pump(10, gap_ms=25)
+    cluster.nodes[0].crash()
+    cluster.pump(10, gap_ms=40, node_index=1)
+    cluster.run_for(3000)
+    cluster.nodes[0].recover()
+    cluster.pump(10, gap_ms=40, node_index=1)
+    cluster.run_for(6000)
+    reference = cluster.assert_safety()
+    assert len(reference) == 30
+    assert cluster.nodes[0].view >= 1
+
+
+def test_recovering_replica_rejects_submissions(cluster):
+    cluster.nodes[4].crash()
+    cluster.run_for(100)
+    cluster.nodes[4].recover()
+    # immediately after recovery it awaits state transfer
+    assert cluster.nodes[4].awaiting_state
+    ok, _ = cluster.submit(("op",), node_index=4)
+    assert ok is False
+
+
+def test_snapshot_state_digest_consistent_across_replicas(cluster_factory):
+    cluster = small_checkpoint_cluster(cluster_factory)
+    cluster.pump(15, gap_ms=25)
+    cluster.run_for(2000)
+    digests = {
+        node.checkpoints.stable_digest
+        for node in cluster.nodes
+        if node.checkpoints.stable_digest is not None
+    }
+    assert len(digests) == 1
+
+
+def test_lagging_replica_catches_up_after_partition(cluster_factory):
+    cluster = small_checkpoint_cluster(cluster_factory, seed=31)
+    cluster.run_for(200)
+    heal = cluster.network.partition(
+        ["replica:5"], [n.name for n in cluster.nodes[:5]]
+    )
+    cluster.pump(30, gap_ms=25, node_index=1)
+    cluster.run_for(500)
+    heal()
+    cluster.run_for(8000)
+    assert len(cluster.nodes[5].app.log) == 30
+    cluster.assert_safety()
+
+
+def test_two_sequential_recoveries(cluster_factory):
+    cluster = small_checkpoint_cluster(cluster_factory, seed=37)
+    cluster.pump(15, gap_ms=25)
+    for victim in (2, 4):
+        cluster.nodes[victim].crash()
+        cluster.pump(8, gap_ms=30, node_index=1)
+        cluster.run_for(300)
+        cluster.nodes[victim].recover()
+        cluster.run_for(4000)
+    reference = cluster.assert_safety()
+    assert len(reference) == 31

@@ -1,0 +1,152 @@
+"""Tests for RTU and PLC device emulation."""
+
+import pytest
+
+from repro.scada import (
+    PlcDevice,
+    PowerGrid,
+    ReadCoilsRequest,
+    ReadRequest,
+    RtuDevice,
+    Substation,
+    WriteCoilRequest,
+    decode_frame,
+    encode_frame,
+    undervoltage_rule,
+)
+from repro.scada.modbus import (
+    ExceptionResponse,
+    ReadCoilsResponse,
+    ReadResponse,
+    WriteCoilResponse,
+)
+from repro.simnet import LinkSpec, Network, Process, Simulator
+
+
+class Probe(Process):
+    def __init__(self, name, simulator, network):
+        super().__init__(name, simulator, network)
+        self.frames = []
+
+    def on_message(self, src, payload):
+        frame = RtuDevice.unwrap(payload)
+        if frame is not None:
+            self.frames.append(decode_frame(frame))
+
+    def ask(self, device, message):
+        self.send(device, RtuDevice.wrap(encode_frame(message)), size_bytes=16)
+
+
+def build(with_plc=False):
+    sim = Simulator(seed=2)
+    net = Network(sim, LinkSpec(latency_ms=0.2))
+    grid = PowerGrid(seed=2)
+    grid.add_substation(Substation("gen", load_mw=0.0, generation_mw=50.0))
+    grid.add_substation(Substation("s1", load_mw=10.0))
+    grid.add_line("gen", "s1")
+    if with_plc:
+        device = PlcDevice("dev", sim, net, grid, "s1", unit_id=7,
+                           rules=[undervoltage_rule(threshold_kv=120.0)])
+    else:
+        device = RtuDevice("dev", sim, net, grid, "s1", unit_id=7)
+    tester = Probe("probe", sim, net)
+    return sim, net, grid, device, tester
+
+
+def test_read_holding_registers():
+    sim, net, grid, device, probe = build()
+    probe.ask("dev", ReadRequest(7, 0, 4))
+    sim.run()
+    assert len(probe.frames) == 1
+    response = probe.frames[0]
+    assert isinstance(response, ReadResponse)
+    assert len(response.values) == 4
+    assert response.values[0] > 1300  # ~138 kV scaled by 10
+
+
+def test_read_coils():
+    sim, net, grid, device, probe = build()
+    probe.ask("dev", ReadCoilsRequest(7, 0, 1))
+    sim.run()
+    response = probe.frames[0]
+    assert isinstance(response, ReadCoilsResponse)
+    assert response.values == (True,)
+
+
+def test_write_coil_operates_breaker():
+    sim, net, grid, device, probe = build()
+    probe.ask("dev", WriteCoilRequest(7, 0, False))
+    sim.run()
+    assert isinstance(probe.frames[0], WriteCoilResponse)
+    breaker_id = device.coil_ids()[0]
+    assert grid.breaker_closed("s1", breaker_id) is False
+    assert device.writes_applied == 1
+
+
+def test_wrong_unit_ignored():
+    sim, net, grid, device, probe = build()
+    probe.ask("dev", ReadRequest(99, 0, 4))
+    sim.run()
+    assert probe.frames == []
+
+
+def test_illegal_address_returns_exception():
+    sim, net, grid, device, probe = build()
+    probe.ask("dev", ReadRequest(7, 0, 40))
+    sim.run()
+    assert isinstance(probe.frames[0], ExceptionResponse)
+
+
+def test_corrupt_frame_silently_dropped():
+    sim, net, grid, device, probe = build()
+    frame = bytearray(encode_frame(ReadRequest(7, 0, 4)))
+    frame[1] ^= 0x55
+    probe.send("dev", RtuDevice.wrap(bytes(frame)), size_bytes=16)
+    sim.run()
+    assert probe.frames == []
+    assert device.requests_served == 0
+
+
+def test_plc_answers_modbus_like_rtu():
+    sim, net, grid, device, probe = build(with_plc=True)
+    probe.ask("dev", ReadRequest(7, 0, 4))
+    sim.run()
+    assert isinstance(probe.frames[0], ReadResponse)
+
+
+def test_plc_scan_counts():
+    sim, net, grid, device, probe = build(with_plc=True)
+    device.start()
+    sim.run_for(1000)
+    assert device.scans == 10  # 100 ms scan cycle
+
+
+def test_plc_undervoltage_trip_with_debounce():
+    sim, net, grid, device, probe = build(with_plc=True)
+    device.start()
+    # healthy voltage: no trips
+    sim.run_for(500)
+    assert device.trips == 0
+    # de-energize the substation -> voltage 0 (not undervoltage: dead bus)
+    grid.set_breaker("gen", "gen->s1", False)
+    sim.run_for(500)
+    assert device.trips == 0  # rule requires 0 < v < threshold
+    # shrink nominal voltage to simulate a sag
+    grid.set_breaker("gen", "gen->s1", True)
+    grid.substations["s1"].nominal_kv = 100.0
+    sim.run_for(250)
+    assert device.trips == 0  # debounce: needs 3 consecutive scans
+    sim.run_for(300)
+    assert device.trips >= 1
+    breaker_id = device.coil_ids()[0]
+    assert grid.breaker_closed("s1", breaker_id) is False
+
+
+def test_plc_pickup_resets_when_condition_clears():
+    sim, net, grid, device, probe = build(with_plc=True)
+    device.start()
+    grid.substations["s1"].nominal_kv = 100.0
+    sim.run_for(150)  # one or two scans under voltage
+    grid.substations["s1"].nominal_kv = 138.0
+    sim.run_for(400)
+    assert device.trips == 0

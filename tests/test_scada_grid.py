@@ -1,0 +1,131 @@
+"""Tests for the power-grid process model."""
+
+import pytest
+
+from repro.scada import PowerGrid, Substation, build_radial_grid
+
+
+@pytest.fixture
+def grid():
+    g = PowerGrid(seed=1)
+    g.add_substation(Substation("gen", load_mw=0.0, generation_mw=100.0))
+    g.add_substation(Substation("a", load_mw=10.0))
+    g.add_substation(Substation("b", load_mw=20.0))
+    g.add_line("gen", "a")
+    g.add_line("a", "b")
+    return g
+
+
+def test_duplicate_substation_rejected(grid):
+    with pytest.raises(ValueError):
+        grid.add_substation(Substation("a"))
+
+
+def test_line_to_unknown_substation_rejected(grid):
+    with pytest.raises(KeyError):
+        grid.add_line("a", "missing")
+
+
+def test_line_creates_breaker_at_each_end(grid):
+    assert "a->b" in grid.substations["a"].breakers
+    assert "b->a" in grid.substations["b"].breakers
+
+
+def test_all_energized_initially(grid):
+    assert grid.energized_substations() == {"gen", "a", "b"}
+
+
+def test_opening_breaker_deenergizes_downstream(grid):
+    grid.set_breaker("a", "a->b", False)
+    assert grid.energized_substations() == {"gen", "a"}
+
+
+def test_line_needs_both_breakers_closed(grid):
+    grid.set_breaker("b", "b->a", False)
+    assert not grid.line_energized("a", "b")
+    grid.set_breaker("b", "b->a", True)
+    assert grid.line_energized("a", "b")
+
+
+def test_set_breaker_reports_change(grid):
+    assert grid.set_breaker("a", "a->b", False) is True
+    assert grid.set_breaker("a", "a->b", False) is False
+
+
+def test_unknown_breaker_rejected(grid):
+    with pytest.raises(KeyError):
+        grid.set_breaker("a", "nope", False)
+
+
+def test_served_load_drops_when_shedding(grid):
+    full = grid.served_load_mw()
+    grid.set_breaker("a", "a->b", False)
+    shed = grid.served_load_mw()
+    assert shed < full
+    assert grid.shed_load_mw() == pytest.approx(full - shed)
+
+
+def test_served_never_exceeds_total(grid):
+    assert grid.served_load_mw() <= grid.total_load_mw() + 1e-9
+
+
+def test_load_factor_diurnal_cycle(grid):
+    factors = []
+    for hour in range(24):
+        grid.time_hours = float(hour)
+        factors.append(grid.load_factor())
+    assert min(factors) > 0.5
+    assert max(factors) < 1.2
+    assert max(factors) != min(factors)
+
+
+def test_advance_time(grid):
+    grid.advance_time(2.5)
+    assert grid.time_hours == 2.5
+
+
+def test_measurements_energized(grid):
+    m = grid.measurements("a")
+    assert 130.0 < m["voltage_kv"] < 145.0
+    assert m["energized"] == 1.0
+    assert 59.9 < m["frequency_hz"] < 60.1
+
+
+def test_measurements_deenergized(grid):
+    grid.set_breaker("a", "a->b", False)
+    m = grid.measurements("b")
+    assert m["voltage_kv"] == 0.0
+    assert m["energized"] == 0.0
+
+
+def test_breaker_states_map(grid):
+    states = grid.breaker_states("a")
+    assert states == {"a->gen": True, "a->b": True}
+
+
+def test_radial_builder_properties():
+    grid = build_radial_grid(num_substations=12, seed=3, sources=2)
+    assert len(grid.substations) == 12
+    assert sum(1 for s in grid.substations.values() if s.is_source) == 2
+    # everything energized at build time
+    assert len(grid.energized_substations()) == 12
+
+
+def test_radial_builder_deterministic():
+    a = build_radial_grid(num_substations=8, seed=5)
+    b = build_radial_grid(num_substations=8, seed=5)
+    assert set(a.graph.edges) == set(b.graph.edges)
+
+
+def test_radial_builder_min_size():
+    with pytest.raises(ValueError):
+        build_radial_grid(num_substations=1)
+
+
+def test_isolating_source_sheds_everything():
+    grid = PowerGrid()
+    grid.add_substation(Substation("gen", load_mw=0.0, generation_mw=10.0))
+    grid.add_substation(Substation("x", load_mw=5.0))
+    grid.add_line("gen", "x")
+    grid.set_breaker("gen", "gen->x", False)
+    assert grid.served_load_mw() == 0.0

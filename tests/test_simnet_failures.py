@@ -1,0 +1,81 @@
+"""Tests for scenario scripting (failure/attack injection)."""
+
+import pytest
+
+from repro.simnet import DosAttack, FailureInjector, LinkSpec, Network, Process, Simulator
+
+
+class Echo(Process):
+    def __init__(self, name, simulator, network):
+        super().__init__(name, simulator, network)
+        self.received = []
+
+    def on_message(self, src, payload):
+        self.received.append((self.simulator.now, payload))
+
+
+def build():
+    sim = Simulator(seed=4)
+    net = Network(sim, LinkSpec(latency_ms=1.0))
+    nodes = {n: Echo(n, sim, net) for n in ("a", "b", "c")}
+    return sim, net, nodes, FailureInjector(sim, net)
+
+
+def test_crash_window_crashes_and_recovers():
+    sim, net, nodes, inj = build()
+    inj.crash_window("b", start_ms=10.0, duration_ms=20.0)
+    sim.run_until(15.0)
+    assert not nodes["b"].is_up
+    sim.run_until(40.0)
+    assert nodes["b"].is_up
+
+
+def test_partition_window():
+    sim, net, nodes, inj = build()
+    inj.partition_window(["a"], ["b"], start_ms=10.0, duration_ms=20.0)
+    sim.run_until(15.0)
+    nodes["a"].send("b", "during")
+    sim.run_until(29.0)
+    assert nodes["b"].received == []
+    sim.run_until(35.0)
+    nodes["a"].send("b", "after")
+    sim.run()
+    assert [p for _, p in nodes["b"].received] == ["after"]
+
+
+def test_dos_node_degrades_all_links_in_window():
+    sim, net, nodes, inj = build()
+    attack = DosAttack("b", start_ms=10.0, duration_ms=20.0,
+                       extra_delay_ms=50.0, extra_loss=0.0)
+    inj.dos_node(attack, peers=["a", "c"])
+    sim.run_until(12.0)
+    nodes["a"].send("b", "slow")
+    sim.run_until(70.0)
+    assert nodes["b"].received[0][0] == pytest.approx(12.0 + 51.0)
+    nodes["a"].send("b", "fast")  # window over: back to base latency
+    sim.run()
+    assert nodes["b"].received[1][0] == pytest.approx(70.0 + 1.0)
+
+
+def test_dos_attack_end_property():
+    attack = DosAttack("x", start_ms=100.0, duration_ms=50.0)
+    assert attack.end_ms == 150.0
+
+
+def test_dos_link_window():
+    sim, net, nodes, inj = build()
+    inj.dos_link_window("a", "b", start_ms=5.0, duration_ms=10.0,
+                        extra_delay_ms=30.0, extra_loss=0.0)
+    sim.run_until(6.0)
+    nodes["a"].send("b", "x")
+    sim.run_until(50.0)
+    assert nodes["b"].received[0][0] == pytest.approx(6.0 + 31.0)
+
+
+def test_injector_log_records_events():
+    sim, net, nodes, inj = build()
+    inj.crash_window("a", 1.0, 2.0)
+    sim.run()
+    log = inj.log
+    assert any("CRASH a" in line for line in log)
+    assert any("RECOVER a" in line for line in log)

@@ -1,0 +1,224 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.simnet import LinkSpec, Network, Process, Simulator
+
+
+class Sink(Process):
+    def __init__(self, name, simulator, network):
+        super().__init__(name, simulator, network)
+        self.received = []
+
+    def on_message(self, src, payload):
+        self.received.append((self.simulator.now, src, payload))
+
+
+@pytest.fixture
+def net():
+    sim = Simulator(seed=1)
+    network = Network(sim, LinkSpec(latency_ms=2.0))
+    a = Sink("a", sim, network)
+    b = Sink("b", sim, network)
+    return sim, network, a, b
+
+
+def test_basic_delivery(net):
+    sim, network, a, b = net
+    a.send("b", "hello")
+    sim.run()
+    assert len(b.received) == 1
+    assert b.received[0][1] == "a"
+    assert b.received[0][2] == "hello"
+
+
+def test_latency_applied(net):
+    sim, network, a, b = net
+    a.send("b", "x")
+    sim.run()
+    assert b.received[0][0] == pytest.approx(2.0)
+
+
+def test_jitter_bounded():
+    sim = Simulator(seed=3)
+    network = Network(sim, LinkSpec(latency_ms=2.0, jitter_ms=1.0))
+    a = Sink("a", sim, network)
+    b = Sink("b", sim, network)
+    for _ in range(50):
+        a.send("b", "x")
+    sim.run()
+    for at, _, _ in b.received:
+        assert 2.0 <= at < 3.0
+
+
+def test_loss_drops_fraction():
+    sim = Simulator(seed=3)
+    network = Network(sim, LinkSpec(latency_ms=1.0, loss=0.5))
+    a = Sink("a", sim, network)
+    b = Sink("b", sim, network)
+    for _ in range(400):
+        a.send("b", "x")
+    sim.run()
+    assert 100 < len(b.received) < 300
+    assert network.stats.dropped_loss == 400 - len(b.received)
+
+
+def test_per_link_spec_overrides_default(net):
+    sim, network, a, b = net
+    network.set_link("a", "b", LinkSpec(latency_ms=10.0))
+    a.send("b", "x")
+    sim.run()
+    assert b.received[0][0] == pytest.approx(10.0)
+
+
+def test_symmetric_link_spec(net):
+    sim, network, a, b = net
+    network.set_link("a", "b", LinkSpec(latency_ms=10.0), symmetric=True)
+    b.send("a", "x")
+    sim.run()
+    assert a.received[0][0] == pytest.approx(10.0)
+
+
+def test_asymmetric_link_spec(net):
+    sim, network, a, b = net
+    network.set_link("a", "b", LinkSpec(latency_ms=10.0), symmetric=False)
+    b.send("a", "x")
+    sim.run()
+    assert a.received[0][0] == pytest.approx(2.0)  # reverse stays default
+
+
+def test_bandwidth_serialization_queues_messages():
+    sim = Simulator(seed=1)
+    # 1 Mbps -> 1000 bytes take 8 ms to serialize
+    network = Network(sim, LinkSpec(latency_ms=1.0, bandwidth_mbps=1.0))
+    a = Sink("a", sim, network)
+    b = Sink("b", sim, network)
+    a.send("b", "one", size_bytes=1000)
+    a.send("b", "two", size_bytes=1000)
+    sim.run()
+    first, second = (at for at, _, _ in b.received)
+    assert first == pytest.approx(9.0)    # 8 serialize + 1 propagate
+    assert second == pytest.approx(17.0)  # queued behind the first
+
+
+def test_partition_blocks_and_heals(net):
+    sim, network, a, b = net
+    heal = network.partition(["a"], ["b"])
+    a.send("b", "lost")
+    sim.run()
+    assert b.received == []
+    assert network.stats.dropped_partition == 1
+    heal()
+    a.send("b", "through")
+    sim.run()
+    assert len(b.received) == 1
+
+
+def test_partition_is_bidirectional(net):
+    sim, network, a, b = net
+    network.partition(["a"], ["b"])
+    b.send("a", "x")
+    sim.run()
+    assert a.received == []
+
+
+def test_filter_can_drop(net):
+    sim, network, a, b = net
+    network.add_filter(lambda s, d, p: None if p == "bad" else p)
+    a.send("b", "bad")
+    a.send("b", "good")
+    sim.run()
+    assert [p for _, _, p in b.received] == ["good"]
+    assert network.stats.dropped_filter == 1
+
+
+def test_filter_can_rewrite(net):
+    sim, network, a, b = net
+    remove = network.add_filter(lambda s, d, p: p.upper())
+    a.send("b", "x")
+    sim.run()
+    remove()
+    a.send("b", "y")
+    sim.run()
+    assert [p for _, _, p in b.received] == ["X", "y"]
+
+
+def test_degrade_link_adds_delay_and_restores(net):
+    sim, network, a, b = net
+    restore = network.degrade_link("a", "b", extra_delay_ms=20.0)
+    a.send("b", "slow")
+    sim.run()
+    restore()
+    a.send("b", "fast")
+    sim.run()
+    slow, fast = b.received
+    assert slow[0] == pytest.approx(22.0)
+    assert fast[0] - slow[0] == pytest.approx(2.0)
+
+
+def test_degrade_link_adds_loss():
+    sim = Simulator(seed=9)
+    network = Network(sim, LinkSpec(latency_ms=1.0))
+    a = Sink("a", sim, network)
+    b = Sink("b", sim, network)
+    network.degrade_link("a", "b", extra_loss=1.0)
+    for _ in range(10):
+        a.send("b", "x")
+    sim.run()
+    assert b.received == []
+
+
+def test_block_link_and_unblock(net):
+    sim, network, a, b = net
+    unblock = network.block_link("a", "b")
+    a.send("b", "x")
+    sim.run()
+    assert b.received == []
+    unblock()
+    a.send("b", "y")
+    sim.run()
+    assert len(b.received) == 1
+
+
+def test_send_to_unknown_destination_returns_false(net):
+    sim, network, a, b = net
+    assert a.send("nobody", "x") is False
+    assert network.stats.dropped_down == 1
+
+
+def test_crashed_destination_drops(net):
+    sim, network, a, b = net
+    a.send("b", "x")
+    b.crash()
+    sim.run()
+    assert b.received == []
+
+
+def test_crashed_sender_cannot_send(net):
+    sim, network, a, b = net
+    a.crash()
+    assert a.send("b", "x") is False
+
+
+def test_broadcast_counts(net):
+    sim, network, a, b = net
+    c = Sink("c", sim, network)
+    count = network.broadcast("a", ["b", "c", "missing"], "x")
+    sim.run()
+    assert count == 2
+    assert len(b.received) == 1 and len(c.received) == 1
+
+
+def test_duplicate_registration_rejected(net):
+    sim, network, a, b = net
+    with pytest.raises(ValueError):
+        Sink("a", sim, network)
+
+
+def test_stats_counters(net):
+    sim, network, a, b = net
+    a.send("b", "x")
+    sim.run()
+    assert network.stats.sent == 1
+    assert network.stats.delivered == 1
+    assert network.stats.bytes_sent == 256

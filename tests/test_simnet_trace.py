@@ -1,0 +1,59 @@
+"""Tests for structured tracing."""
+
+from repro.simnet import Simulator, Trace
+
+
+def test_event_recorded_with_time():
+    sim = Simulator()
+    trace = Trace(sim)
+    sim.schedule(5.0, lambda: trace.event("c", "k", value=1))
+    sim.run()
+    events = trace.events()
+    assert len(events) == 1
+    assert events[0].time == 5.0
+    assert events[0].details == {"value": 1}
+
+
+def test_filter_by_component_and_kind():
+    sim = Simulator()
+    trace = Trace(sim)
+    trace.event("a", "x")
+    trace.event("a", "y")
+    trace.event("b", "x")
+    assert trace.count(component="a") == 2
+    assert trace.count(kind="x") == 2
+    assert trace.count(component="b", kind="x") == 1
+
+
+def test_filter_by_time_window():
+    sim = Simulator()
+    trace = Trace(sim)
+    for at in (1.0, 5.0, 9.0):
+        sim.schedule_at(at, lambda: trace.event("c", "k"))
+    sim.run()
+    assert len(trace.events(since=2.0, until=8.0)) == 1
+
+
+def test_bounded_capacity_drops():
+    sim = Simulator()
+    trace = Trace(sim, max_events=3)
+    for _ in range(5):
+        trace.event("c", "k")
+    assert len(trace) == 3
+    assert trace.dropped == 2
+
+
+def test_clear_resets():
+    sim = Simulator()
+    trace = Trace(sim)
+    trace.event("c", "k")
+    trace.clear()
+    assert len(trace) == 0
+
+
+def test_iteration_and_str():
+    sim = Simulator()
+    trace = Trace(sim)
+    trace.event("comp", "kind", a=1)
+    text = str(next(iter(trace)))
+    assert "comp" in text and "kind" in text

@@ -1,0 +1,233 @@
+"""Tests for overlay routing, delivery, authentication, and resilience."""
+
+import pytest
+
+from repro.crypto import FastCrypto
+from repro.simnet import LinkSpec, Network, Process, Simulator
+from repro.spines import (
+    FloodingRouting,
+    OverlayStack,
+    ShortestPathRouting,
+    SpinesOverlay,
+    make_routing,
+    wide_area_topology,
+)
+from repro.spines.messages import OverlayData, OverlayForward, OverlayIngress
+
+
+class Endpoint(Process):
+    def __init__(self, name, simulator, network):
+        super().__init__(name, simulator, network)
+        self.received = []
+
+    def on_message(self, src, payload):
+        unwrapped = OverlayStack.unwrap(payload)
+        if unwrapped is not None:
+            self.received.append((self.simulator.now, *unwrapped))
+
+
+def build(mode="flooding", **kwargs):
+    sim = Simulator(seed=11)
+    net = Network(sim, LinkSpec(latency_ms=0.1))
+    topo = wide_area_topology()
+    overlay = SpinesOverlay(sim, net, topo, mode=mode, crypto=FastCrypto(), **kwargs)
+    a = Endpoint("ep:a", sim, net)
+    b = Endpoint("ep:b", sim, net)
+    stack_a = overlay.attach(a, "cc1")
+    stack_b = overlay.attach(b, "dc2")
+    return sim, net, overlay, (a, stack_a), (b, stack_b)
+
+
+@pytest.mark.parametrize("mode", ["shortest", "flooding"])
+def test_end_to_end_delivery(mode):
+    sim, net, overlay, (a, sa), (b, sb) = build(mode)
+    sa.send("ep:b", {"x": 1})
+    sim.run_for(100)
+    assert len(b.received) == 1
+    assert b.received[0][1] == "ep:a"
+    assert b.received[0][2] == {"x": 1}
+
+
+@pytest.mark.parametrize("mode", ["shortest", "flooding"])
+def test_latency_close_to_path(mode):
+    sim, net, overlay, (a, sa), (b, sb) = build(mode)
+    sa.send("ep:b", "x")
+    sim.run_for(100)
+    at = b.received[0][0]
+    assert 11.0 < at < 16.0  # 12 ms cc1-dc2 link + last miles + jitter
+
+
+def test_flooding_no_duplicate_delivery():
+    # flooding guarantees exactly-once delivery but not ordering (copies
+    # race along different paths)
+    sim, net, overlay, (a, sa), (b, sb) = build("flooding")
+    for i in range(5):
+        sa.send("ep:b", i)
+    sim.run_for(200)
+    assert sorted(p for _, _, p in b.received) == [0, 1, 2, 3, 4]
+
+
+def test_flooding_survives_link_failure_shortest_does_not():
+    outcomes = {}
+    for mode in ("shortest", "flooding"):
+        sim, net, overlay, (a, sa), (b, sb) = build(mode)
+        net.block_link("spines:cc1", "spines:dc2")
+        sa.send("ep:b", "after-cut")
+        sim.run_for(200)
+        outcomes[mode] = len(b.received)
+    assert outcomes["shortest"] == 0  # static tables keep using the dead link
+    assert outcomes["flooding"] == 1  # any surviving path suffices
+
+
+def test_flooding_survives_daemon_crash():
+    sim, net, overlay, (a, sa), (b, sb) = build("flooding")
+    overlay.daemon("dc1").crash()
+    sa.send("ep:b", "x")
+    sim.run_for(200)
+    assert len(b.received) == 1
+
+
+def test_bidirectional_traffic():
+    sim, net, overlay, (a, sa), (b, sb) = build("flooding")
+    sa.send("ep:b", "ping")
+    sb.send("ep:a", "pong")
+    sim.run_for(100)
+    assert len(a.received) == 1 and len(b.received) == 1
+
+
+def test_same_site_delivery():
+    sim, net, overlay, (a, sa), (b, sb) = build("flooding")
+    c = Endpoint("ep:c", sim, net)
+    sc = overlay.attach(c, "cc1")
+    sa.send("ep:c", "local")
+    sim.run_for(50)
+    assert len(c.received) == 1
+    assert c.received[0][0] < 2.0  # never leaves the site
+
+
+def test_unknown_destination_silently_dropped():
+    sim, net, overlay, (a, sa), (b, sb) = build("flooding")
+    sa.send("ep:nobody", "x")
+    sim.run_for(100)  # must not raise; nothing delivered
+
+
+def test_attach_unknown_site_rejected():
+    sim, net, overlay, (a, sa), (b, sb) = build("flooding")
+    c = Endpoint("ep:c", sim, net)
+    with pytest.raises(KeyError):
+        overlay.attach(c, "nowhere")
+
+
+def test_double_attach_rejected():
+    sim, net, overlay, (a, sa), (b, sb) = build("flooding")
+    with pytest.raises(ValueError):
+        overlay.attach(a, "cc2")
+
+
+def test_forged_ingress_rejected():
+    """An endpoint cannot inject traffic claiming another origin."""
+    sim, net, overlay, (a, sa), (b, sb) = build("flooding")
+    daemon = overlay.daemon("cc1")
+    forged = OverlayData(origin="ep:b", dest="ep:a", seq=1, payload="forged")
+    a.send(daemon.name, OverlayIngress(forged))
+    sim.run_for(100)
+    assert a.received == []
+    assert daemon.stats["dropped_auth"] >= 1
+
+
+def test_forward_without_valid_mac_rejected():
+    sim, net, overlay, (a, sa), (b, sb) = build("flooding")
+    daemon = overlay.daemon("cc2")
+    data = OverlayData(origin="ep:a", dest="ep:b", seq=99, payload="spoof")
+    # attacker process injects a forward with a bogus MAC from a neighbor id
+    attacker = Endpoint("spines:evil", sim, net)
+    attacker.send(daemon.name, OverlayForward(data, "cc1", b"bad-mac"))
+    sim.run_for(100)
+    assert b.received == []
+
+
+def test_non_neighbor_forward_rejected():
+    sim, net, overlay, (a, sa), (b, sb) = build("flooding")
+    daemon = overlay.daemon("cc1")
+    crypto = overlay.crypto
+    data = OverlayData(origin="ep:a", dest="ep:b", seq=7, payload="x")
+    evil = Endpoint("spines:field2", sim, net)
+    mac = crypto.mac(evil.name, daemon.name, data)
+    evil.send(daemon.name, OverlayForward(data, "field2", mac))
+    sim.run_for(100)
+    assert b.received == []
+    assert daemon.stats["dropped_auth"] >= 1
+
+
+def test_daemon_recover_clears_dedup():
+    sim, net, overlay, (a, sa), (b, sb) = build("flooding")
+    daemon = overlay.daemon("cc1")
+    sa.send("ep:b", "x")
+    sim.run_for(100)
+    daemon.crash()
+    daemon.recover()
+    assert len(daemon._seen) == 0
+
+
+def test_total_stats_aggregates():
+    sim, net, overlay, (a, sa), (b, sb) = build("flooding")
+    sa.send("ep:b", "x")
+    sim.run_for(100)
+    totals = overlay.total_stats()
+    assert totals["delivered"] == 1
+    assert totals["forwarded"] > 0
+
+
+def test_make_routing_factory():
+    topo = wide_area_topology()
+    assert isinstance(make_routing("shortest", topo), ShortestPathRouting)
+    assert isinstance(make_routing("flooding", topo), FloodingRouting)
+    with pytest.raises(ValueError):
+        make_routing("bogus", topo)
+
+
+def test_shortest_path_next_hops():
+    topo = wide_area_topology()
+    routing = ShortestPathRouting(topo)
+    assert routing.forward_targets("field", "dc1", None) in (["cc1"], ["cc2"])
+    assert routing.forward_targets("cc1", "cc1", None) == []
+
+
+def test_flooding_excludes_arrival_link():
+    topo = wide_area_topology()
+    routing = FloodingRouting(topo)
+    targets = routing.forward_targets("cc1", "dc2", arrived_from="cc2")
+    assert "cc2" not in targets
+    assert "dc2" in targets
+
+
+def test_fairness_keeps_honest_latency_low_under_flood():
+    """With per-source fairness and limited forward capacity, a flooding
+    source cannot starve an honest one; without fairness it can."""
+    results = {}
+    for fairness in (True, False):
+        sim = Simulator(seed=5)
+        net = Network(sim, LinkSpec(latency_ms=0.1))
+        topo = wide_area_topology()
+        overlay = SpinesOverlay(
+            sim, net, topo, mode="shortest", crypto=FastCrypto(),
+            fairness=fairness, forward_capacity_per_ms=1.0,
+        )
+        honest = Endpoint("ep:honest", sim, net)
+        victim = Endpoint("ep:victim", sim, net)
+        flooder = Endpoint("ep:flood", sim, net)
+        s_honest = overlay.attach(honest, "cc1")
+        overlay.attach(victim, "dc2")
+        s_flood = overlay.attach(flooder, "cc1")
+        # the attacker floods 200 messages at t=0 toward the victim
+        for i in range(200):
+            s_flood.send("ep:victim", ("junk", i))
+        sim.run_for(1.0)
+        s_honest.send("ep:victim", "honest")
+        sim.run_for(2000)
+        honest_arrivals = [
+            at for at, origin, payload in victim.received if payload == "honest"
+        ]
+        results[fairness] = honest_arrivals[0] if honest_arrivals else float("inf")
+    assert results[True] < 40.0
+    assert results[False] > results[True] * 3
