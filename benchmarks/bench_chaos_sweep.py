@@ -1,0 +1,68 @@
+"""Chaos sweep — randomized fault schedules vs. the invariant monitors.
+
+Runs a large matrix of seeded chaos scenarios (default 200) against the
+paper's baseline configuration — f=1, k=1, 6 replicas across the 4-site
+wide-area topology — with every runtime invariant monitor armed: safety
+(no divergent execution), proxy gate (no unverified delivery), quorum
+availability (no rejuvenation below 2f+k+1) and the bounded-delay
+watchdog. The expected result is **zero violations across the whole
+sweep**; any violation is dumped as a replayable scenario file under
+``benchmarks/results/`` and shrunk to a minimal reproducer.
+
+This sweep is opt-in (``pytest benchmarks/bench_chaos_sweep.py --chaos``)
+because it runs minutes of simulation; the tier-1 smoke version lives in
+``tests/test_chaos_smoke.py``. Scale with ``CHAOS_SWEEP_COUNT``.
+"""
+
+import os
+import time
+from collections import Counter
+
+import pytest
+
+from repro.chaos import ChaosEngine, ChaosOptions, dump_scenario, shrink_schedule
+
+from common import RESULTS_DIR, reporter
+
+SWEEP_COUNT = int(os.environ.get("CHAOS_SWEEP_COUNT", "200"))
+
+
+@pytest.mark.chaos
+def test_chaos_sweep():
+    emit = reporter("chaos_sweep")
+    started = time.time()
+    failures = []
+    kind_coverage = Counter()
+    totals = Counter()
+    for seed in range(SWEEP_COUNT):
+        result = ChaosEngine(ChaosOptions(seed=seed)).run()
+        kind_coverage.update(action.kind for action in result.schedule)
+        totals["actions"] += len(result.schedule)
+        totals["executions_checked"] += result.stats["executions_checked"]
+        totals["deliveries_verified"] += (
+            result.stats["hmi_verified"] + result.stats["proxy_verified"]
+        )
+        totals["deferred_rejuvenations"] += result.stats["deferred_rejuvenations"]
+        totals["quiet_checked_ms"] += result.stats["quiet_checked_ms"]
+        if result.violations:
+            path = dump_scenario(
+                result, os.path.join(RESULTS_DIR, f"chaos_violation_{seed}.json")
+            )
+            shrunk = shrink_schedule(result.options, result.schedule)
+            failures.append((seed, result.violations, path, len(shrunk.schedule)))
+            emit(f"seed {seed}: {len(result.violations)} violation(s), "
+                 f"scenario dumped to {path}, "
+                 f"shrunk to {len(shrunk.schedule)} action(s)")
+    wall = time.time() - started
+
+    emit(f"chaos sweep: {SWEEP_COUNT} scenarios, f=1 k=1 (6 replicas, "
+         f"4-site WAN), {wall:.0f}s wall")
+    emit(f"fault actions applied: {totals['actions']}  "
+         f"kind coverage: {dict(sorted(kind_coverage.items()))}")
+    emit(f"executions cross-checked: {totals['executions_checked']}  "
+         f"threshold-verified deliveries: {totals['deliveries_verified']}")
+    emit(f"rejuvenations deferred for quorum: {totals['deferred_rejuvenations']}  "
+         f"quiet time under delivery watchdog: "
+         f"{totals['quiet_checked_ms'] / 1000.0:.1f}s")
+    emit(f"invariant violations: {len(failures)} (expected 0)")
+    assert not failures, f"violations in seeds {[f[0] for f in failures]}"

@@ -39,3 +39,20 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         with open(os.path.join(_RESULTS_DIR, name)) as handle:
             for line in handle.read().splitlines():
                 write(line)
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos", action="store_true", default=False,
+        help="run the long opt-in chaos sweep benchmarks",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--chaos"):
+        return
+    import pytest
+
+    skip_chaos = pytest.mark.skip(reason="opt-in chaos sweep: pass --chaos")
+    for item in items:
+        if "chaos" in item.keywords:
+            item.add_marker(skip_chaos)

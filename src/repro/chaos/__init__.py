@@ -1,0 +1,60 @@
+"""``repro.chaos`` — seeded chaos testing with runtime invariant monitors.
+
+The chaos subsystem composes randomized-but-replayable fault schedules on
+top of ``repro.simnet`` and runs them against full Spire deployments while
+invariant monitors watch for safety, gating, quorum and bounded-delay
+violations. Every run is a pure function of ``(seed, schedule)``; failing
+runs dump JSON scenario files that replay byte-for-byte and shrink to
+minimal reproducers.
+
+Quickstart::
+
+    from repro.chaos import ChaosEngine, ChaosOptions
+
+    result = ChaosEngine(ChaosOptions(seed=42)).run()
+    assert result.ok, result.violations
+"""
+
+from .engine import ChaosEngine, ChaosOptions, ChaosResult
+from .generator import ChaosProfile, generate_schedule
+from .monitors import (
+    BoundedDelayMonitor,
+    ProxyGateMonitor,
+    QuorumAvailabilityMonitor,
+    SafetyMonitor,
+    Violation,
+)
+from .scenario import (
+    SCENARIO_FORMAT,
+    ReplayMismatch,
+    dump_scenario,
+    load_scenario,
+    replay_scenario,
+    scenario_dict,
+)
+from .schedule import FAULT_KINDS, FaultAction, FaultSchedule
+from .shrink import ShrinkResult, shrink_schedule
+
+__all__ = [
+    "ChaosEngine",
+    "ChaosOptions",
+    "ChaosResult",
+    "ChaosProfile",
+    "generate_schedule",
+    "SafetyMonitor",
+    "ProxyGateMonitor",
+    "QuorumAvailabilityMonitor",
+    "BoundedDelayMonitor",
+    "Violation",
+    "FaultAction",
+    "FaultSchedule",
+    "FAULT_KINDS",
+    "SCENARIO_FORMAT",
+    "scenario_dict",
+    "dump_scenario",
+    "load_scenario",
+    "replay_scenario",
+    "ReplayMismatch",
+    "ShrinkResult",
+    "shrink_schedule",
+]

@@ -1,0 +1,405 @@
+"""The chaos engine: seeded fault schedules + invariant monitors, one run.
+
+One :class:`ChaosEngine` run is a pure function of ``(options, schedule,
+mutator)``: it builds a full Spire deployment, applies the fault schedule
+against the virtual clock, attaches every invariant monitor, runs, and
+returns a :class:`ChaosResult` carrying the monitor verdicts and a trace
+*fingerprint* — a digest over the structured trace, network counters and
+final replica state. Two runs of the same ``(seed, schedule)`` produce
+byte-identical fingerprints; that property is what makes dumped scenarios
+replayable and shrinkable.
+
+Each fault action draws from its own named RNG stream
+(``chaos/<kind>/<index>``), so removing one action during shrinking never
+perturbs the randomness of the others.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..attacks.dos import LeaderChaser
+from ..core.deployment import SpireDeployment, SpireOptions
+from ..crypto.encoding import digest
+from ..simnet import DosAttack, FailureInjector
+from .generator import ChaosProfile, generate_schedule
+from .monitors import (
+    BoundedDelayMonitor,
+    ProxyGateMonitor,
+    QuorumAvailabilityMonitor,
+    SafetyMonitor,
+    Violation,
+)
+from .schedule import FaultAction, FaultSchedule
+
+__all__ = ["ChaosOptions", "ChaosResult", "ChaosEngine"]
+
+#: deployment mutator applied before monitors attach (test-only hooks that
+#: deliberately weaken a component to prove the monitors catch it)
+Mutator = Callable[[SpireDeployment], None]
+
+
+@dataclass(frozen=True)
+class ChaosOptions:
+    """Everything that, together with a schedule, defines one chaos run."""
+
+    seed: int = 1
+    f: int = 1
+    k: int = 1
+    num_substations: int = 2
+    warmup_ms: float = 1000.0
+    chaos_ms: float = 6000.0
+    settle_ms: float = 3000.0
+    poll_interval_ms: float = 150.0
+    resubmit_timeout_ms: float = 400.0
+    overlay_mode: str = "shortest"
+    prime_preset: str = "wan"
+    #: (period_ms, duration_ms); None disables proactive recovery
+    proactive_recovery: Optional[Tuple[float, float]] = (4000.0, 500.0)
+    #: bounded-delay watchdog: max gap between verified deliveries in a
+    #: quiet interval (generous: covers resubmit backoff + one view change)
+    max_delivery_gap_ms: float = 2000.0
+    #: how long after a fault window ends before the system must be
+    #: re-bounded (budget: one view-change timeout plus settling)
+    quiet_grace_ms: float = 2500.0
+    min_actions: int = 3
+    max_actions: int = 8
+
+    @property
+    def total_ms(self) -> float:
+        return self.warmup_ms + self.chaos_ms + self.settle_ms
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        if data["proactive_recovery"] is not None:
+            data["proactive_recovery"] = list(data["proactive_recovery"])
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ChaosOptions":
+        names = {f.name for f in dataclasses.fields(ChaosOptions)}
+        kwargs = {key: value for key, value in data.items() if key in names}
+        if kwargs.get("proactive_recovery") is not None:
+            kwargs["proactive_recovery"] = tuple(kwargs["proactive_recovery"])
+        return ChaosOptions(**kwargs)
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos run."""
+
+    options: ChaosOptions
+    schedule: FaultSchedule
+    violations: List[Violation]
+    fingerprint: str
+    stats: Dict[str, Any]
+    injector_log: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "options": self.options.to_dict(),
+            "schedule": self.schedule.to_list(),
+            "violations": [v.to_dict() for v in self.violations],
+            "fingerprint": self.fingerprint,
+            "stats": self.stats,
+        }
+
+
+class ChaosEngine:
+    """Runs one ``(options, schedule)`` scenario with monitors attached."""
+
+    def __init__(
+        self,
+        options: Optional[ChaosOptions] = None,
+        schedule: Optional[FaultSchedule] = None,
+        mutator: Optional[Mutator] = None,
+    ) -> None:
+        self.options = options or ChaosOptions()
+        self.schedule = schedule
+        self.mutator = mutator
+
+    # ------------------------------------------------------------------
+    def run(self) -> ChaosResult:
+        opts = self.options
+        deployment = SpireDeployment(SpireOptions(
+            f=opts.f,
+            k=opts.k,
+            num_substations=opts.num_substations,
+            poll_interval_ms=opts.poll_interval_ms,
+            resubmit_timeout_ms=opts.resubmit_timeout_ms,
+            overlay_mode=opts.overlay_mode,
+            prime_preset=opts.prime_preset,
+            seed=opts.seed,
+            proactive_recovery=opts.proactive_recovery,
+        ))
+        replica_names = deployment.replica_names()
+        endpoints = [deployment.proxy.name] + [h.name for h in deployment.hmis]
+
+        schedule = self.schedule
+        if schedule is None:
+            profile = ChaosProfile(
+                window_start_ms=opts.warmup_ms,
+                window_end_ms=opts.warmup_ms + opts.chaos_ms,
+                min_actions=opts.min_actions,
+                max_actions=opts.max_actions,
+                max_concurrent_crashes=max(1, opts.f),
+                max_partition_minority=max(1, opts.f),
+            )
+            schedule = generate_schedule(
+                opts.seed, replica_names, endpoints=endpoints, profile=profile,
+            )
+            self.schedule = schedule
+
+        if self.mutator is not None:
+            self.mutator(deployment)
+
+        # --- monitors -------------------------------------------------
+        safety = SafetyMonitor(deployment.simulator)
+        safety.attach(deployment.replicas)
+        gate = ProxyGateMonitor(deployment.simulator, deployment.crypto)
+        gate.attach(deployment.proxy)
+        for hmi in deployment.hmis:
+            gate.attach(hmi)
+        quorum = QuorumAvailabilityMonitor(
+            deployment.simulator, deployment.replicas,
+            min_live=deployment.prime_config.quorum,
+        )
+        quorum.attach(deployment.recovery_scheduler)
+        watchdog = BoundedDelayMonitor(
+            deployment.simulator, max_gap_ms=opts.max_delivery_gap_ms,
+        )
+
+        # --- fault schedule -------------------------------------------
+        injector = FailureInjector(deployment.simulator, deployment.network)
+        chasers: List[LeaderChaser] = []
+        for index, action in enumerate(schedule):
+            self._apply(action, index, deployment, injector, chasers)
+
+        # --- run ------------------------------------------------------
+        deployment.start()
+        deployment.run_for(opts.total_ms)
+
+        # --- post-run checks ------------------------------------------
+        delivery_times = [at for at, _ in deployment.status_recorder.samples]
+        watchdog.evaluate(
+            delivery_times,
+            self._quiet_intervals(schedule, deployment),
+        )
+
+        violations: List[Violation] = []
+        for monitor in (safety, gate, quorum, watchdog):
+            violations.extend(monitor.violations())
+        violations.sort(key=lambda v: (v.time_ms, v.monitor, v.kind))
+
+        stats = self._stats(deployment, safety, gate, quorum, watchdog)
+        fingerprint = self._fingerprint(deployment, violations)
+        return ChaosResult(
+            options=opts,
+            schedule=schedule,
+            violations=violations,
+            fingerprint=fingerprint,
+            stats=stats,
+            injector_log=injector.log,
+        )
+
+    # ------------------------------------------------------------------
+    # Fault application
+    # ------------------------------------------------------------------
+    def _apply(
+        self,
+        action: FaultAction,
+        index: int,
+        deployment: SpireDeployment,
+        injector: FailureInjector,
+        chasers: List[LeaderChaser],
+    ) -> None:
+        stream = f"chaos/{action.kind}/{index}"
+        kind = action.kind
+        if kind == "crash":
+            for target in action.targets:
+                injector.crash_window(target, action.start_ms, action.duration_ms)
+        elif kind == "partition":
+            # Site-access outage: each partitioned replica loses the link
+            # to its overlay daemon (in an overlay deployment that *is*
+            # the partition surface — replicas have no direct links).
+            for target in action.targets:
+                for daemon in deployment.dos_peers_of(target):
+                    injector.partition_window(
+                        [target], [daemon], action.start_ms, action.duration_ms,
+                    )
+        elif kind == "dos":
+            for target in action.targets:
+                injector.dos_node(
+                    DosAttack(
+                        target=target,
+                        start_ms=action.start_ms,
+                        duration_ms=action.duration_ms,
+                        extra_delay_ms=action.param("extra_delay_ms", 300.0),
+                        extra_loss=action.param("extra_loss", 0.2),
+                    ),
+                    peers=deployment.dos_peers_of(target),
+                )
+        elif kind == "leader_dos":
+            chaser = LeaderChaser(
+                deployment.simulator,
+                deployment.network,
+                leader_fn=deployment.current_leader,
+                peers_fn=deployment.dos_peers_of,
+                extra_delay_ms=action.param("extra_delay_ms", 300.0),
+                extra_loss=action.param("extra_loss", 0.2),
+                retarget_interval_ms=action.param("retarget_interval_ms", 1000.0),
+            )
+            chasers.append(chaser)
+            deployment.simulator.schedule_at(action.start_ms, chaser.start)
+            deployment.simulator.schedule_at(action.end_ms, chaser.stop)
+        elif kind == "drop":
+            injector.drop_messages(
+                action.targets, action.start_ms, action.duration_ms,
+                probability=action.param("probability", 0.3),
+                rng_name=stream,
+            )
+        elif kind == "duplicate":
+            injector.duplicate_messages(
+                action.targets, action.start_ms, action.duration_ms,
+                probability=action.param("probability", 0.3),
+                rng_name=stream,
+            )
+        elif kind == "reorder":
+            injector.reorder_window(
+                action.targets, action.start_ms, action.duration_ms,
+                window_ms=action.param("window_ms", 20.0),
+                probability=action.param("probability", 1.0),
+                rng_name=stream,
+            )
+        elif kind == "delay_spike":
+            injector.delay_spike(
+                action.targets, action.start_ms, action.duration_ms,
+                extra_ms=action.param("extra_ms", 100.0),
+                jitter_ms=action.param("jitter_ms", 0.0),
+                probability=action.param("probability", 1.0),
+                rng_name=stream,
+            )
+        elif kind == "corrupt":
+            injector.corrupt_payload(
+                action.targets, action.start_ms, action.duration_ms,
+                probability=action.param("probability", 0.2),
+                rng_name=stream,
+            )
+        elif kind == "slow_node":
+            for target in action.targets:
+                injector.slow_node(
+                    target, action.start_ms, action.duration_ms,
+                    extra_delay_ms=action.param("extra_delay_ms", 50.0),
+                )
+        elif kind == "asym_link":
+            source = action.targets[0]
+            for daemon in deployment.dos_peers_of(source):
+                injector.asym_link_window(
+                    source, daemon, action.start_ms, action.duration_ms,
+                    extra_delay_ms=action.param("extra_delay_ms", 100.0),
+                    extra_loss=action.param("extra_loss", 0.0),
+                )
+        elif kind == "jitter_storm":
+            injector.jitter_storm(
+                action.targets, action.start_ms, action.duration_ms,
+                max_extra_ms=action.param("max_extra_ms", 30.0),
+                probability=action.param("probability", 0.5),
+                rng_name=stream,
+            )
+
+    # ------------------------------------------------------------------
+    # Bounded-delay quiet windows
+    # ------------------------------------------------------------------
+    def _quiet_intervals(
+        self, schedule: FaultSchedule, deployment: SpireDeployment,
+    ) -> List[Tuple[float, float]]:
+        """Sub-intervals of the run with no fault active (plus grace).
+
+        Scheduled fault windows *and* proactive-rejuvenation windows (read
+        back from the trace, since deferral shifts them) suppress the
+        watchdog; each suppression extends ``quiet_grace_ms`` past the
+        window end to budget re-stabilization (at most one view change).
+        """
+        opts = self.options
+        busy: List[Tuple[float, float]] = [
+            (action.start_ms, action.end_ms + opts.quiet_grace_ms)
+            for action in schedule
+        ]
+        starts = deployment.trace.events("recovery-scheduler", "rejuvenate-start")
+        ends = deployment.trace.events("recovery-scheduler", "rejuvenate-done")
+        for event in starts:
+            done = min(
+                (e.time for e in ends
+                 if e.details.get("replica") == event.details.get("replica")
+                 and e.time >= event.time),
+                default=opts.total_ms,
+            )
+            busy.append((event.time, done + opts.quiet_grace_ms))
+        busy.sort()
+        quiet: List[Tuple[float, float]] = []
+        cursor = opts.warmup_ms  # ignore cold-start before first deliveries
+        for start, end in busy:
+            if start > cursor:
+                quiet.append((cursor, min(start, opts.total_ms)))
+            cursor = max(cursor, end)
+        if cursor < opts.total_ms:
+            quiet.append((cursor, opts.total_ms))
+        return [(s, e) for s, e in quiet if e > s]
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stats(deployment, safety, gate, quorum, watchdog) -> Dict[str, Any]:
+        net = deployment.network.stats
+        return {
+            "events_processed": deployment.simulator.events_processed,
+            "messages_sent": net.sent,
+            "messages_delivered": net.delivered,
+            "dropped_loss": net.dropped_loss,
+            "dropped_filter": net.dropped_filter,
+            "replica_views": [r.view for r in deployment.replicas],
+            "last_executed": [r.last_executed_seq for r in deployment.replicas],
+            "hmi_verified": deployment.hmis[0].collector.verified,
+            "proxy_verified": deployment.proxy.collector.verified,
+            "executions_checked": safety.checked,
+            "deliveries_checked": gate.deliveries_checked,
+            "min_live_seen": quorum.min_live_seen,
+            "deferred_rejuvenations": (
+                deployment.recovery_scheduler.deferred_rounds
+                if deployment.recovery_scheduler is not None else 0
+            ),
+            "quiet_checked_ms": round(watchdog.quiet_checked_ms, 3),
+        }
+
+    @staticmethod
+    def _fingerprint(deployment, violations: List[Violation]) -> str:
+        trace_image = tuple(
+            (event.time, event.component, event.kind,
+             tuple(sorted(event.details.items())))
+            for event in deployment.trace
+        )
+        net = deployment.network.stats
+        state_image = tuple(
+            (replica.name, replica.view, replica.last_executed_seq,
+             replica.executed_counter)
+            for replica in deployment.replicas
+        )
+        violation_image = tuple(
+            (v.monitor, v.kind, v.time_ms, v.details) for v in violations
+        )
+        return digest((
+            trace_image,
+            (net.sent, net.delivered, net.dropped_loss, net.dropped_partition,
+             net.dropped_filter, net.dropped_down, net.bytes_sent),
+            state_image,
+            deployment.hmis[0].collector.verified,
+            deployment.proxy.collector.verified,
+            violation_image,
+        ))

@@ -1,0 +1,194 @@
+"""Seeded randomized fault-schedule generation.
+
+The generator is a pure function of ``(seed, profile, names)``: it draws
+from its own ``random.Random`` (never the simulator's), so the schedule
+for a seed can be regenerated, serialized, shrunk and replayed without
+running a simulation. This mirrors how randomized intrusion-recovery
+evaluations (Hammar & Stadler, DSN 2024) sample failure schedules, but
+with the fault taxonomy Spire's threat model cares about: crash/restart
+storms, rolling partitions, leader-chasing DoS, message-level faults and
+gray failures.
+
+Availability discipline: the generator never schedules more than
+``max_concurrent_crashes`` overlapping crash windows (budgeted by ``f``)
+and never partitions more than a minority group away, so a correct system
+must keep its safety invariants throughout and recover liveness in the
+calm after each window. Everything beyond that — loss, duplication,
+reordering, corruption, slow nodes — is fair game at any intensity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .schedule import FaultAction, FaultSchedule
+
+__all__ = ["ChaosProfile", "generate_schedule"]
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Shape of the fault space one generator draw samples from."""
+
+    #: scheduling window (virtual ms) faults may start in
+    window_start_ms: float = 1000.0
+    window_end_ms: float = 7000.0
+    min_actions: int = 3
+    max_actions: int = 8
+    #: bound on overlapping crash windows (set to the deployment's f)
+    max_concurrent_crashes: int = 1
+    #: bound on partition minority size (set to f)
+    max_partition_minority: int = 1
+    min_fault_ms: float = 300.0
+    max_fault_ms: float = 2500.0
+    #: kinds to draw from; weights skew toward the message-level faults
+    #: that exercise the widest protocol surface
+    kinds: Tuple[str, ...] = (
+        "crash", "crash",
+        "partition",
+        "dos", "leader_dos",
+        "drop", "drop",
+        "duplicate",
+        "reorder",
+        "delay_spike",
+        "corrupt",
+        "slow_node",
+        "asym_link",
+        "jitter_storm",
+    )
+
+
+def _window(rng: random.Random, profile: ChaosProfile) -> Tuple[float, float]:
+    start = rng.uniform(profile.window_start_ms, profile.window_end_ms)
+    duration = rng.uniform(profile.min_fault_ms, profile.max_fault_ms)
+    return round(start, 3), round(duration, 3)
+
+
+def _crash_fits(
+    start: float, duration: float,
+    existing: List[Tuple[float, float]], limit: int,
+) -> bool:
+    overlapping = sum(
+        1 for s, d in existing if start < s + d and s < start + duration
+    )
+    return overlapping < limit
+
+
+def generate_schedule(
+    seed: int,
+    replicas: Sequence[str],
+    endpoints: Sequence[str] = (),
+    profile: Optional[ChaosProfile] = None,
+) -> FaultSchedule:
+    """Draw one randomized fault schedule for the given topology.
+
+    ``replicas`` are crashable consensus participants; ``endpoints``
+    (proxies, HMIs) additionally scope message-level faults. The result is
+    a deterministic function of the arguments.
+    """
+    profile = profile or ChaosProfile()
+    rng = random.Random(f"{seed}/chaos-schedule")
+    replicas = list(replicas)
+    message_scopes = replicas + list(endpoints)
+    count = rng.randint(profile.min_actions, profile.max_actions)
+    crash_windows: List[Tuple[float, float]] = []
+    actions: List[FaultAction] = []
+
+    for _ in range(count):
+        kind = rng.choice(profile.kinds)
+        start, duration = _window(rng, profile)
+        if kind == "crash":
+            if not _crash_fits(start, duration, crash_windows,
+                               profile.max_concurrent_crashes):
+                continue  # keep the crash budget; draw fewer actions instead
+            crash_windows.append((start, duration))
+            actions.append(FaultAction(
+                "crash", start, duration, targets=(rng.choice(replicas),),
+            ))
+        elif kind == "partition":
+            minority_size = rng.randint(1, max(1, profile.max_partition_minority))
+            minority = tuple(sorted(rng.sample(replicas, minority_size)))
+            actions.append(FaultAction("partition", start, duration,
+                                       targets=minority))
+        elif kind == "dos":
+            actions.append(FaultAction(
+                "dos", start, duration, targets=(rng.choice(replicas),),
+                params=(
+                    ("extra_delay_ms", round(rng.uniform(100.0, 400.0), 1)),
+                    ("extra_loss", round(rng.uniform(0.1, 0.4), 3)),
+                ),
+            ))
+        elif kind == "leader_dos":
+            actions.append(FaultAction(
+                "leader_dos", start, duration,
+                params=(
+                    ("extra_delay_ms", round(rng.uniform(150.0, 400.0), 1)),
+                    ("extra_loss", round(rng.uniform(0.1, 0.3), 3)),
+                    ("retarget_interval_ms", round(rng.uniform(500.0, 2000.0), 1)),
+                ),
+            ))
+        elif kind in ("drop", "duplicate", "corrupt"):
+            scope = tuple(sorted(rng.sample(
+                message_scopes, rng.randint(1, min(3, len(message_scopes)))
+            )))
+            probability = {
+                "drop": rng.uniform(0.05, 0.4),
+                "duplicate": rng.uniform(0.1, 0.5),
+                "corrupt": rng.uniform(0.05, 0.3),
+            }[kind]
+            actions.append(FaultAction(
+                kind, start, duration, targets=scope,
+                params=(("probability", round(probability, 3)),),
+            ))
+        elif kind == "reorder":
+            scope = tuple(sorted(rng.sample(
+                message_scopes, rng.randint(1, min(3, len(message_scopes)))
+            )))
+            actions.append(FaultAction(
+                "reorder", start, duration, targets=scope,
+                params=(
+                    ("window_ms", round(rng.uniform(5.0, 40.0), 1)),
+                    ("probability", round(rng.uniform(0.3, 1.0), 3)),
+                ),
+            ))
+        elif kind == "delay_spike":
+            scope = tuple(sorted(rng.sample(
+                message_scopes, rng.randint(1, min(3, len(message_scopes)))
+            )))
+            actions.append(FaultAction(
+                "delay_spike", start, duration, targets=scope,
+                params=(
+                    ("extra_ms", round(rng.uniform(20.0, 200.0), 1)),
+                    ("jitter_ms", round(rng.uniform(0.0, 50.0), 1)),
+                    ("probability", round(rng.uniform(0.2, 1.0), 3)),
+                ),
+            ))
+        elif kind == "slow_node":
+            actions.append(FaultAction(
+                "slow_node", start, duration, targets=(rng.choice(replicas),),
+                params=(("extra_delay_ms", round(rng.uniform(20.0, 120.0), 1)),),
+            ))
+        elif kind == "asym_link":
+            src, dst = rng.sample(replicas, 2)
+            actions.append(FaultAction(
+                "asym_link", start, duration, targets=(src, dst),
+                params=(
+                    ("extra_delay_ms", round(rng.uniform(50.0, 250.0), 1)),
+                    ("extra_loss", round(rng.uniform(0.0, 0.2), 3)),
+                ),
+            ))
+        elif kind == "jitter_storm":
+            scope = tuple(sorted(rng.sample(
+                message_scopes, rng.randint(1, min(4, len(message_scopes)))
+            )))
+            actions.append(FaultAction(
+                "jitter_storm", start, duration, targets=scope,
+                params=(
+                    ("max_extra_ms", round(rng.uniform(10.0, 60.0), 1)),
+                    ("probability", round(rng.uniform(0.2, 0.8), 3)),
+                ),
+            ))
+
+    return FaultSchedule(tuple(actions))

@@ -1,0 +1,308 @@
+"""Runtime invariant monitors.
+
+Each monitor watches one of the correctness properties from DESIGN.md §5
+*while a simulation runs* (or, for the bounded-delay watchdog, evaluates
+the run's delivery record afterwards). Monitors are strictly observers:
+they wrap component hook points but never alter message flow, timing, or
+randomness, so an instrumented run produces the identical trace to an
+uninstrumented one.
+
+Monitored invariants:
+
+* **Safety** — no two replicas execute different updates at the same
+  global order index.
+* **Proxy gate** — an endpoint acts on a delivery only once it holds a
+  combined threshold signature that independently re-verifies, and never
+  acts on the same record twice; a proxy writes to field devices only for
+  gate-verified commands.
+* **Quorum availability** — proactive rejuvenation never takes a replica
+  down when that would leave fewer than ``2f+k+1`` live replicas.
+* **Bounded delay** — outside fault windows (plus a grace period for
+  re-stabilization, budgeted at one view change), verified deliveries keep
+  arriving with bounded gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..crypto.encoding import digest
+from ..crypto.provider import CryptoProvider
+from ..prime.messages import ClientUpdate
+from ..simnet import Process, Simulator
+
+__all__ = [
+    "Violation",
+    "SafetyMonitor",
+    "ProxyGateMonitor",
+    "QuorumAvailabilityMonitor",
+    "BoundedDelayMonitor",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation, serializable into scenario files."""
+
+    monitor: str
+    kind: str
+    time_ms: float
+    details: Tuple[Tuple[str, Any], ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "monitor": self.monitor,
+            "kind": self.kind,
+            "time_ms": self.time_ms,
+            "details": {key: value for key, value in self.details},
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        detail = " ".join(f"{k}={v}" for k, v in self.details)
+        return f"[t={self.time_ms:10.1f}ms] {self.monitor}/{self.kind} {detail}"
+
+
+class _BaseMonitor:
+    name = "monitor"
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+        self._violations: List[Violation] = []
+
+    def violations(self) -> List[Violation]:
+        return list(self._violations)
+
+    def _flag(self, kind: str, **details: Any) -> None:
+        self._violations.append(Violation(
+            self.name, kind, self.simulator.now,
+            tuple(sorted((str(k), v) for k, v in details.items())),
+        ))
+
+
+class SafetyMonitor(_BaseMonitor):
+    """No two replicas execute different updates at one global index.
+
+    Hooks every replica's execution listener and cross-checks the identity
+    digest of the update executed at each order index. ``exclude`` names
+    replicas under Byzantine control in the scenario (their divergence is
+    expected, the invariant covers correct replicas only).
+    """
+
+    name = "safety"
+
+    def __init__(self, simulator: Simulator, exclude: Sequence[str] = ()) -> None:
+        super().__init__(simulator)
+        self.exclude = frozenset(exclude)
+        #: order index -> (identity digest, first replica that reported it)
+        self._executed: Dict[int, Tuple[str, str]] = {}
+        self.checked = 0
+
+    def attach(self, replicas: Sequence[Any]) -> None:
+        for replica in replicas:
+            if replica.name in self.exclude:
+                continue
+            replica.execution_listeners.append(self._listener_for(replica.name))
+
+    def _listener_for(self, replica_name: str):
+        def on_execute(update: ClientUpdate, order_index: int, result: Any) -> None:
+            identity = digest(
+                (update.client, update.client_seq, digest(update.payload))
+            )
+            self.checked += 1
+            first = self._executed.get(order_index)
+            if first is None:
+                self._executed[order_index] = (identity, replica_name)
+            elif first[0] != identity:
+                self._flag(
+                    "divergent-execution",
+                    order_index=order_index,
+                    first_replica=first[1],
+                    second_replica=replica_name,
+                    client=update.client,
+                    client_seq=update.client_seq,
+                )
+        return on_execute
+
+
+class ProxyGateMonitor(_BaseMonitor):
+    """No delivery is acted on without a valid threshold signature.
+
+    Wraps each endpoint's share collector: whenever the collector reports
+    a combined record, the monitor *independently* re-verifies the
+    signature (so a weakened or bypassed gate is caught, not trusted) and
+    checks the record was not already acted on. On proxies it additionally
+    wraps the command execution path: every field write must correspond to
+    a previously gate-verified breaker command.
+    """
+
+    name = "proxy-gate"
+
+    def __init__(self, simulator: Simulator, crypto: CryptoProvider) -> None:
+        super().__init__(simulator)
+        self.crypto = crypto
+        self._acted: Dict[str, set] = {}
+        self._verified_commands: Dict[str, set] = {}
+        self.deliveries_checked = 0
+        self.commands_checked = 0
+
+    def attach(self, endpoint: Process) -> None:
+        acted = self._acted.setdefault(endpoint.name, set())
+        verified_cmds = self._verified_commands.setdefault(endpoint.name, set())
+        collector = endpoint.collector
+        original_add = collector.add
+
+        def checked_add(share):
+            result = original_add(share)
+            if result is not None:
+                record, signature = result
+                self.deliveries_checked += 1
+                if not self.crypto.threshold_verify(signature, record):
+                    self._flag(
+                        "unverified-delivery",
+                        endpoint=endpoint.name,
+                        client=record.client,
+                        client_seq=record.client_seq,
+                    )
+                key = record.key()
+                if key in acted:
+                    self._flag(
+                        "duplicate-delivery",
+                        endpoint=endpoint.name,
+                        client=record.client,
+                        client_seq=record.client_seq,
+                    )
+                acted.add(key)
+                if record.kind == "command":
+                    verified_cmds.add(digest(record.payload))
+            return result
+
+        collector.add = checked_add
+
+        execute = getattr(endpoint, "_execute_command", None)
+        if execute is not None:
+            def checked_execute(command):
+                self.commands_checked += 1
+                if digest(command) not in verified_cmds:
+                    self._flag(
+                        "ungated-field-command",
+                        endpoint=endpoint.name,
+                        substation=command.substation,
+                        breaker=command.breaker_id,
+                    )
+                execute(command)
+
+            endpoint._execute_command = checked_execute
+
+
+class QuorumAvailabilityMonitor(_BaseMonitor):
+    """Rejuvenation must degrade gracefully, never below ``min_live``.
+
+    Tracks the exact live-replica count by wrapping crash/recover, and
+    wraps the recovery scheduler's begin hook: starting a rejuvenation
+    that would leave ``live - 1 < min_live`` replicas is a violation (the
+    scheduler is expected to defer instead).
+    """
+
+    name = "quorum-availability"
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        replicas: Sequence[Process],
+        min_live: int,
+    ) -> None:
+        super().__init__(simulator)
+        self.replicas = list(replicas)
+        self.min_live = min_live
+        self.min_live_seen = len(self.replicas)
+        #: (time_ms, live_count) step timeline, for reports
+        self.timeline: List[Tuple[float, int]] = []
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for replica in self.replicas if replica.is_up)
+
+    def attach(self, scheduler: Optional[Any] = None) -> None:
+        for replica in self.replicas:
+            self._wrap_liveness(replica)
+        if scheduler is not None:
+            begin = scheduler._begin
+
+            def guarded_begin(replica):
+                if self.live_count - 1 < self.min_live:
+                    self._flag(
+                        "rejuvenation-below-quorum",
+                        replica=replica.name,
+                        live=self.live_count,
+                        min_live=self.min_live,
+                    )
+                begin(replica)
+
+            scheduler._begin = guarded_begin
+
+    def _wrap_liveness(self, replica: Process) -> None:
+        crash, recover = replica.crash, replica.recover
+
+        def crash_wrapped():
+            crash()
+            self._record()
+
+        def recover_wrapped():
+            recover()
+            self._record()
+
+        replica.crash = crash_wrapped
+        replica.recover = recover_wrapped
+
+    def _record(self) -> None:
+        live = self.live_count
+        self.min_live_seen = min(self.min_live_seen, live)
+        self.timeline.append((self.simulator.now, live))
+
+
+class BoundedDelayMonitor(_BaseMonitor):
+    """Verified deliveries keep flowing outside fault windows.
+
+    The paper's bounded-delay claim is conditional on the network: during
+    an attack window latency may spike, but once the window closes the
+    system must re-bound within at most one view change. The watchdog
+    therefore checks, for every *quiet interval* (no scheduled fault
+    active, extended by a grace period that budgets a view-change timeout
+    plus settling), that consecutive verified deliveries are never more
+    than ``max_gap_ms`` apart.
+    """
+
+    name = "bounded-delay"
+
+    def __init__(self, simulator: Simulator, max_gap_ms: float) -> None:
+        super().__init__(simulator)
+        self.max_gap_ms = max_gap_ms
+        self.quiet_checked_ms = 0.0
+
+    def evaluate(
+        self,
+        delivery_times: Sequence[float],
+        quiet_intervals: Sequence[Tuple[float, float]],
+    ) -> None:
+        """Post-run check of the delivery timeline against quiet windows."""
+        times = sorted(delivery_times)
+        for start, end in quiet_intervals:
+            if end - start <= self.max_gap_ms:
+                continue  # window too short to demand a delivery
+            self.quiet_checked_ms += end - start
+            inside = [t for t in times if start <= t <= end]
+            previous = start
+            for point in inside + [end]:
+                if point - previous > self.max_gap_ms:
+                    self._violations.append(Violation(
+                        self.name, "delivery-stall", previous,
+                        (
+                            ("gap_ms", round(point - previous, 3)),
+                            ("max_gap_ms", self.max_gap_ms),
+                            ("quiet_start_ms", round(start, 3)),
+                            ("quiet_end_ms", round(end, 3)),
+                        ),
+                    ))
+                    break  # one violation per quiet window is enough signal
+                previous = point

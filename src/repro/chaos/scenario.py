@@ -1,0 +1,88 @@
+"""Scenario files: dump, load and replay chaos runs.
+
+When a chaos run flags an invariant violation, the engine's result is
+dumped to a JSON *scenario file* capturing everything needed to reproduce
+it: the deployment options, the exact fault schedule, the violations seen
+and the run fingerprint. ``replay_scenario`` rebuilds the run from that
+file; because the whole system is deterministic in ``(seed, schedule)``,
+the replay produces the identical fingerprint — byte-for-byte the same
+trace — which is asserted so a stale or hand-edited scenario fails loudly
+instead of silently diverging.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .engine import ChaosEngine, ChaosOptions, ChaosResult, Mutator
+from .schedule import FaultSchedule
+
+__all__ = [
+    "SCENARIO_FORMAT",
+    "scenario_dict",
+    "dump_scenario",
+    "load_scenario",
+    "replay_scenario",
+    "ReplayMismatch",
+]
+
+SCENARIO_FORMAT = "repro.chaos.scenario/1"
+
+
+class ReplayMismatch(AssertionError):
+    """A replayed scenario did not reproduce the recorded fingerprint."""
+
+
+def scenario_dict(result: ChaosResult) -> Dict[str, Any]:
+    """The serializable scenario image of one chaos result."""
+    data = result.to_dict()
+    data["format"] = SCENARIO_FORMAT
+    return data
+
+
+def dump_scenario(result: ChaosResult, path: Union[str, Path]) -> Path:
+    """Write a replayable scenario file for ``result``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(scenario_dict(result), indent=2, sort_keys=True))
+    return path
+
+
+def load_scenario(source: Union[str, Path, Dict[str, Any]]) -> Dict[str, Any]:
+    """Load and validate a scenario image from a file path or dict."""
+    if isinstance(source, dict):
+        data = source
+    else:
+        data = json.loads(Path(source).read_text())
+    fmt = data.get("format")
+    if fmt != SCENARIO_FORMAT:
+        raise ValueError(f"unsupported scenario format: {fmt!r}")
+    return data
+
+
+def replay_scenario(
+    source: Union[str, Path, Dict[str, Any]],
+    mutator: Optional[Mutator] = None,
+    check_fingerprint: bool = True,
+) -> ChaosResult:
+    """Re-run a dumped scenario and verify it reproduces.
+
+    ``mutator`` must match the one active when the scenario was recorded
+    (scenario files capture faults and options, not code mutations).
+    Raises :class:`ReplayMismatch` if the replayed fingerprint differs from
+    the recorded one.
+    """
+    data = load_scenario(source)
+    engine = ChaosEngine(
+        options=ChaosOptions.from_dict(data["options"]),
+        schedule=FaultSchedule.from_list(data["schedule"]),
+        mutator=mutator,
+    )
+    result = engine.run()
+    recorded = data.get("fingerprint")
+    if check_fingerprint and recorded and result.fingerprint != recorded:
+        raise ReplayMismatch(
+            f"replay fingerprint {result.fingerprint} != recorded {recorded}"
+        )
+    return result

@@ -8,12 +8,14 @@ at execution by ``(client, client_seq)``, retries are safe.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..crypto.provider import CryptoProvider
 from ..prime.messages import ClientUpdate
 from ..prime.node import sign_client_update
+from ..prime.transport import RetryPolicy
 from .metrics import LatencyRecorder
 from .update import UpdateSubmission
 
@@ -30,6 +32,7 @@ class _Outstanding:
     last_submit: float
     attempts: int
     target_index: int
+    next_retry_at: float = 0.0
 
 
 class SubmissionManager:
@@ -45,6 +48,8 @@ class SubmissionManager:
         recorder: Optional[LatencyRecorder] = None,
         resubmit_timeout_ms: float = 500.0,
         start_index: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica endpoint")
@@ -55,6 +60,17 @@ class SubmissionManager:
         self.now_fn = now_fn
         self.recorder = recorder
         self.resubmit_timeout_ms = resubmit_timeout_ms
+        # Resubmits back off exponentially instead of firing at a fixed
+        # period: a client facing a long outage probes with bounded load
+        # rather than hammering every resubmit_timeout.
+        self.retry_policy = retry_policy or RetryPolicy(
+            base_ms=resubmit_timeout_ms,
+            factor=1.5,
+            max_ms=resubmit_timeout_ms * 6,
+            max_attempts=5,
+            jitter_frac=0.2,
+        )
+        self.rng = rng
         self._next_seq = 0
         self._target = start_index % len(self.replicas)
         self._outstanding: Dict[Tuple[str, int], _Outstanding] = {}
@@ -72,7 +88,8 @@ class SubmissionManager:
         now = self.now_fn()
         key = (self.client_name, self._next_seq)
         self._outstanding[key] = _Outstanding(
-            update, now, now, 1, self._target
+            update, now, now, 1, self._target,
+            next_retry_at=now + self.retry_policy.delay_ms(0, self.rng),
         )
         if self.recorder is not None:
             self.recorder.submitted(key, now)
@@ -104,10 +121,13 @@ class SubmissionManager:
         now = self.now_fn()
         retried = 0
         for entry in self._outstanding.values():
-            if now - entry.last_submit >= self.resubmit_timeout_ms:
+            if now >= entry.next_retry_at:
                 entry.target_index += 1
                 entry.attempts += 1
                 entry.last_submit = now
+                entry.next_retry_at = now + self.retry_policy.delay_ms(
+                    entry.attempts - 1, self.rng
+                )
                 self._send(entry.update, entry.target_index)
                 retried += 1
                 self.retries_total += 1

@@ -106,6 +106,7 @@ class SpireDeployment:
                 max_concurrent=opts.k if opts.k > 0 else 1,
                 trace=self.trace,
                 on_rejuvenate=lambda r: self.diversity.rejuvenate(r.name),
+                min_live=self.prime_config.quorum,
             )
 
     # ------------------------------------------------------------------

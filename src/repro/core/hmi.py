@@ -52,16 +52,25 @@ class HmiClient(Process):
             now_fn=lambda: simulator.now,
             recorder=recorder,
             resubmit_timeout_ms=resubmit_timeout_ms,
+            rng=simulator.rng(f"submit/{name}"),
         )
         #: substation -> (order_index, StatusReading)
         self.view: Dict[str, Tuple[int, StatusReading]] = {}
         #: confirmed command log: (order_index, BreakerCommand)
         self.confirmed_commands: List[Tuple[int, BreakerCommand]] = []
         self.status_updates_seen = 0
+        self._started = False
 
     # ------------------------------------------------------------------
     def start(self) -> None:
+        self._started = True
         self.every(self.submissions.resubmit_timeout_ms / 2, self._retry_tick)
+
+    def on_recover(self) -> None:
+        """Re-arm the retry timer after a crash (timers do not survive
+        incarnation changes)."""
+        if self._started:
+            self.every(self.submissions.resubmit_timeout_ms / 2, self._retry_tick)
 
     def _retry_tick(self) -> None:
         self.submissions.retry_tick()

@@ -38,9 +38,13 @@ class LatencyStats:
             index = min(len(ordered) - 1, max(0, math.ceil(p * len(ordered)) - 1))
             return ordered[index]
 
+        # fsum avoids catastrophic rounding on pathological inputs
+        # (e.g. subnormal samples); the clamp pins the remaining one-ulp
+        # division error inside [minimum, maximum].
+        mean = math.fsum(ordered) / len(ordered)
         return LatencyStats(
             count=len(ordered),
-            mean=sum(ordered) / len(ordered),
+            mean=min(max(mean, ordered[0]), ordered[-1]),
             median=percentile(0.50),
             p90=percentile(0.90),
             p99=percentile(0.99),

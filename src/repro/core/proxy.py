@@ -91,6 +91,7 @@ class RtuProxy(Process):
             recorder=recorder,
             resubmit_timeout_ms=resubmit_timeout_ms,
             start_index=sum(name.encode()) % max(1, len(replicas)),
+            rng=simulator.rng(f"submit/{name}"),
         )
         self._polls: Dict[str, _PollState] = {
             substation: _PollState() for substation in self.devices
@@ -98,11 +99,22 @@ class RtuProxy(Process):
         self.commands_executed = 0
         self.readings_submitted = 0
         self.polls_timed_out = 0
+        self._started = False
 
     # ------------------------------------------------------------------
     def start(self) -> None:
+        self._started = True
         self.every(self.poll_interval_ms, self._poll_tick, jitter=2.0)
         self.every(self.submissions.resubmit_timeout_ms / 2, self._retry_tick)
+
+    def on_recover(self) -> None:
+        """Crash recovery: poll state is volatile; timers must be re-armed
+        (periodic timers from the previous incarnation never fire again)."""
+        for state in self._polls.values():
+            state.phase = "idle"
+        if self._started:
+            self.every(self.poll_interval_ms, self._poll_tick, jitter=2.0)
+            self.every(self.submissions.resubmit_timeout_ms / 2, self._retry_tick)
 
     def _send_to_replica(self, replica: str, payload: Any, size_bytes: int) -> bool:
         if self.stack is not None:

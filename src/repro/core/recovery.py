@@ -29,6 +29,7 @@ class ProactiveRecoveryScheduler:
         max_concurrent: int = 1,
         trace: Optional[Trace] = None,
         on_rejuvenate: Optional[Callable[[Process], None]] = None,
+        min_live: Optional[int] = None,
     ) -> None:
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1")
@@ -39,12 +40,19 @@ class ProactiveRecoveryScheduler:
         self.max_concurrent = max_concurrent
         self.trace = trace
         self.on_rejuvenate = on_rejuvenate
+        #: never start a rejuvenation that would leave fewer than this many
+        #: replicas live (deployments pass the ordering quorum 2f+k+1);
+        #: None preserves the unguarded behaviour for unit scenarios.
+        self.min_live = min_live
         self._next_index = 0
         self._in_recovery = 0
         self._stop: Optional[Callable[[], None]] = None
         self.recoveries_started = 0
         self.recoveries_completed = 0
         self.skipped = 0
+        #: rounds deferred because rejuvenating would have dropped the live
+        #: replica count below ``min_live`` (graceful degradation metric)
+        self.deferred_rounds = 0
 
     # ------------------------------------------------------------------
     def start(self, first_delay_ms: Optional[float] = None) -> None:
@@ -62,9 +70,23 @@ class ProactiveRecoveryScheduler:
             self._stop = None
 
     # ------------------------------------------------------------------
+    @property
+    def live_count(self) -> int:
+        return sum(1 for replica in self.replicas if replica.is_up)
+
     def _rejuvenate_next(self) -> None:
         if self._in_recovery >= self.max_concurrent:
             self.skipped += 1
+            return
+        if self.min_live is not None and self.live_count - 1 < self.min_live:
+            # Taking another replica down now (e.g. while others are crashed
+            # or under attack) would sacrifice the ordering quorum for the
+            # whole rejuvenation window. Defer this round; the rotation
+            # resumes once enough replicas are back.
+            self.deferred_rounds += 1
+            if self.trace is not None:
+                self.trace.event("recovery-scheduler", "rejuvenate-deferred",
+                                 live=self.live_count, min_live=self.min_live)
             return
         candidates = len(self.replicas)
         for _ in range(candidates):

@@ -53,7 +53,7 @@ from .messages import (
 from .dedup import ClientDedup
 from .state import OrderingSlot, OriginState
 from .suspect import SuspectMonitor
-from .transport import DirectTransport, Transport
+from .transport import DirectTransport, RetryPolicy, Transport
 from .viewchange import ViewChangeManager
 
 __all__ = ["PrimeNode", "sign_client_update", "verify_client_update", "client_update_body"]
@@ -126,6 +126,15 @@ class PrimeNode(Process):
         self.app = app
         self.trace = trace
         self.transport: Transport = transport or DirectTransport(self)
+        # State-transfer requests back off exponentially (with jitter) so a
+        # recovering replica behind a lossy or partitioned link does not
+        # flood the network with fixed-rate rebroadcasts.
+        self._state_retry_policy = RetryPolicy(
+            base_ms=config.recon_interval_ms * 2,
+            factor=2.0,
+            max_ms=max(config.view_change_timeout_ms, config.recon_interval_ms * 2),
+            max_attempts=6,
+        )
         self._genesis = app.snapshot()
         self._recoveries = 0
         self.execution_listeners: List[Callable[[ClientUpdate, int, Any], None]] = []
@@ -162,6 +171,8 @@ class PrimeNode(Process):
         self._recon_rotor = 0
         self._vc_timer = None
         self._genesis_replies: Set[str] = set()
+        self._state_retry_attempts = 0
+        self._state_retry_timer = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -178,7 +189,6 @@ class PrimeNode(Process):
         self.every(cfg.ping_interval_ms, self._ping_tick, jitter=5.0)
         self.every(cfg.tat_check_interval_ms, self._tat_tick, jitter=1.0)
         self.every(cfg.recon_interval_ms, self._recon_tick, jitter=2.0)
-        self.every(cfg.recon_interval_ms * 2, self._state_retry_tick, jitter=2.0)
         self.set_timer(1.0, self._ping_tick)  # fast RTT warm-up
 
     def on_recover(self) -> None:
@@ -1031,10 +1041,31 @@ class PrimeNode(Process):
     # ------------------------------------------------------------------
     def _request_state(self) -> None:
         self._broadcast(StateRequest(self.name), include_self=False)
+        self._arm_state_retry()
+
+    def _arm_state_retry(self) -> None:
+        """Schedule the next state-transfer retry under the backoff policy."""
+        if self._state_retry_timer is not None:
+            self._state_retry_timer.cancel()
+        delay = self._state_retry_policy.delay_ms(
+            self._state_retry_attempts,
+            self.simulator.rng(f"state-retry/{self.name}"),
+        )
+        self._state_retry_attempts += 1
+        self._state_retry_timer = self.set_timer(delay, self._state_retry_tick)
+
+    def _reset_state_retry(self) -> None:
+        self._state_retry_attempts = 0
+        if self._state_retry_timer is not None:
+            self._state_retry_timer.cancel()
+            self._state_retry_timer = None
 
     def _state_retry_tick(self) -> None:
+        self._state_retry_timer = None
         if self.awaiting_state:
             self._request_state()
+        else:
+            self._reset_state_retry()
 
     def _on_state_request(self, signed: SignedMessage, msg: StateRequest) -> None:
         if self.awaiting_state:
@@ -1059,6 +1090,7 @@ class PrimeNode(Process):
                 if len(self._genesis_replies) >= self.config.quorum - 1:
                     self.awaiting_state = False
                     self._genesis_replies.clear()
+                    self._reset_state_retry()
                     if self.trace is not None:
                         self.trace.event(self.name, "recovery-done", seq=0)
             return
@@ -1094,6 +1126,7 @@ class PrimeNode(Process):
             self.view = msg.view
             self.in_view_change = False
         self.awaiting_state = False
+        self._reset_state_retry()
         self._summary_dirty = True
         if self.trace is not None:
             self.trace.event(self.name, "recovery-done", seq=msg.checkpoint_seq)

@@ -9,7 +9,7 @@ scripting (:class:`FailureInjector`), and structured tracing
 """
 
 from .engine import SimulationError, Simulator, Timer
-from .failures import DosAttack, FailureInjector
+from .failures import CorruptedPayload, DosAttack, FailureInjector
 from .network import LinkSpec, Network, NetworkStats
 from .node import Process
 from .trace import Trace, TraceEvent
@@ -18,6 +18,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timer",
+    "CorruptedPayload",
     "DosAttack",
     "FailureInjector",
     "LinkSpec",

@@ -8,13 +8,29 @@ virtual time, which is what makes the attack benchmarks deterministic.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional
 
 from .engine import Simulator
 from .network import Network
 
-__all__ = ["FailureInjector", "DosAttack"]
+__all__ = ["FailureInjector", "DosAttack", "CorruptedPayload"]
+
+
+@dataclass(frozen=True)
+class CorruptedPayload:
+    """Stand-in for a payload mangled on the wire.
+
+    No protocol component recognizes this type, so a fully-corrupted
+    message is discarded at the receiver's parsing layer — the same fate a
+    mangled frame meets in a real deployment. When the corrupted message is
+    a signed wrapper, only its inner payload is replaced, so the receiver
+    instead exercises its signature-verification rejection path.
+    """
+
+    original_type: str
+    nonce: int
 
 
 @dataclass
@@ -141,6 +157,297 @@ class FailureInjector:
 
         self.simulator.schedule_at(attack.start_ms, start)
         self.simulator.schedule_at(attack.end_ms, stop)
+
+    # ------------------------------------------------------------------
+    # Message-level faults
+    # ------------------------------------------------------------------
+    # Each primitive installs a network filter for a bounded window. The
+    # filter matches messages whose source or destination is in ``targets``
+    # (or every message when ``targets`` is None) and draws all randomness
+    # from a named simulator stream, so fault decisions are reproducible
+    # from (seed, schedule).
+
+    def _filter_window(
+        self, fn: Callable, start_ms: float, duration_ms: float, label: str
+    ) -> None:
+        holder: dict = {}
+
+        def install() -> None:
+            holder["remove"] = self.network.add_filter(fn)
+            self._note(f"{label} start")
+
+        def remove() -> None:
+            remover = holder.get("remove")
+            if remover is not None:
+                remover()
+            self._note(f"{label} stop")
+
+        self.simulator.schedule_at(start_ms, install)
+        self.simulator.schedule_at(start_ms + duration_ms, remove)
+
+    @staticmethod
+    def _matches(targets: Optional[frozenset], src: str, dst: str) -> bool:
+        return targets is None or src in targets or dst in targets
+
+    def drop_messages(
+        self,
+        targets: Optional[Iterable[str]],
+        start_ms: float,
+        duration_ms: float,
+        probability: float = 0.3,
+        rng_name: str = "faults/drop",
+    ) -> None:
+        """Drop each matching message independently with ``probability``."""
+        scope = frozenset(targets) if targets is not None else None
+        rng = self.simulator.rng(rng_name)
+
+        def fn(src: str, dst: str, payload: Any) -> Optional[Any]:
+            if self._matches(scope, src, dst) and rng.random() < probability:
+                return None
+            return payload
+
+        self._filter_window(
+            fn, start_ms, duration_ms,
+            f"DROP p={probability} on {sorted(scope) if scope else 'all'}",
+        )
+
+    def duplicate_messages(
+        self,
+        targets: Optional[Iterable[str]],
+        start_ms: float,
+        duration_ms: float,
+        probability: float = 0.3,
+        extra_delay_ms: float = 5.0,
+        rng_name: str = "faults/duplicate",
+    ) -> None:
+        """Deliver a delayed second copy of matching messages."""
+        scope = frozenset(targets) if targets is not None else None
+        rng = self.simulator.rng(rng_name)
+
+        def fn(src: str, dst: str, payload: Any) -> Optional[Any]:
+            if self._matches(scope, src, dst) and rng.random() < probability:
+                self.network.inject(
+                    src, dst, payload, delay_ms=rng.random() * extra_delay_ms
+                )
+            return payload
+
+        self._filter_window(
+            fn, start_ms, duration_ms,
+            f"DUPLICATE p={probability} on {sorted(scope) if scope else 'all'}",
+        )
+
+    def reorder_window(
+        self,
+        targets: Optional[Iterable[str]],
+        start_ms: float,
+        duration_ms: float,
+        window_ms: float = 20.0,
+        probability: float = 1.0,
+        rng_name: str = "faults/reorder",
+    ) -> None:
+        """Buffer matching messages and release them shuffled.
+
+        Messages captured during each ``window_ms`` slice are re-injected
+        in a random permutation at the end of the slice, which is the
+        strongest reordering an asynchronous network can apply within the
+        window. A final flush at the window end releases any remainder, so
+        the primitive never swallows messages.
+        """
+        scope = frozenset(targets) if targets is not None else None
+        rng = self.simulator.rng(rng_name)
+        buffer: List[tuple] = []
+        state = {"active": False}
+
+        def flush() -> None:
+            if not buffer:
+                return
+            batch = list(buffer)
+            buffer.clear()
+            rng.shuffle(batch)
+            for index, (src, dst, payload) in enumerate(batch):
+                # strictly increasing sub-ms offsets preserve the permutation
+                self.network.inject(src, dst, payload, delay_ms=index * 1e-3)
+
+        def fn(src: str, dst: str, payload: Any) -> Optional[Any]:
+            if self._matches(scope, src, dst) and rng.random() < probability:
+                buffer.append((src, dst, payload))
+                return None
+            return payload
+
+        def tick() -> None:
+            flush()
+            if state["active"]:
+                self.simulator.schedule(window_ms, tick)
+
+        def start() -> None:
+            state["active"] = True
+            self.simulator.schedule(window_ms, tick)
+
+        def stop() -> None:
+            state["active"] = False
+            flush()
+
+        # The filter is scheduled first so that, at the window end, it is
+        # removed before the final flush runs (events at equal times fire
+        # in scheduling order) — no message can enter the buffer after the
+        # last flush.
+        self._filter_window(
+            fn, start_ms, duration_ms,
+            f"REORDER w={window_ms}ms on {sorted(scope) if scope else 'all'}",
+        )
+        self.simulator.schedule_at(start_ms, start)
+        self.simulator.schedule_at(start_ms + duration_ms, stop)
+
+    def corrupt_payload(
+        self,
+        targets: Optional[Iterable[str]],
+        start_ms: float,
+        duration_ms: float,
+        probability: float = 0.2,
+        rng_name: str = "faults/corrupt",
+    ) -> None:
+        """Mangle matching messages in flight.
+
+        Signed wrappers (any dataclass with a ``payload`` field) keep their
+        signature but lose their content, so receivers reject them through
+        signature verification; everything else becomes an unparseable
+        :class:`CorruptedPayload`.
+        """
+        scope = frozenset(targets) if targets is not None else None
+        rng = self.simulator.rng(rng_name)
+
+        def mangle(payload: Any) -> Any:
+            nonce = rng.getrandbits(32)
+            blob = CorruptedPayload(type(payload).__name__, nonce)
+            if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+                names = {f.name for f in dataclasses.fields(payload)}
+                if "payload" in names:
+                    try:
+                        return dataclasses.replace(payload, payload=blob)
+                    except (TypeError, ValueError):
+                        return blob
+            return blob
+
+        def fn(src: str, dst: str, payload: Any) -> Optional[Any]:
+            if self._matches(scope, src, dst) and rng.random() < probability:
+                return mangle(payload)
+            return payload
+
+        self._filter_window(
+            fn, start_ms, duration_ms,
+            f"CORRUPT p={probability} on {sorted(scope) if scope else 'all'}",
+        )
+
+    def delay_spike(
+        self,
+        targets: Optional[Iterable[str]],
+        start_ms: float,
+        duration_ms: float,
+        extra_ms: float = 100.0,
+        jitter_ms: float = 0.0,
+        probability: float = 1.0,
+        rng_name: str = "faults/delay",
+    ) -> None:
+        """Add a latency spike to matching messages (they bypass loss)."""
+        scope = frozenset(targets) if targets is not None else None
+        rng = self.simulator.rng(rng_name)
+
+        def fn(src: str, dst: str, payload: Any) -> Optional[Any]:
+            if self._matches(scope, src, dst) and rng.random() < probability:
+                self.network.inject(
+                    src, dst, payload,
+                    delay_ms=extra_ms + rng.random() * jitter_ms,
+                )
+                return None
+            return payload
+
+        self._filter_window(
+            fn, start_ms, duration_ms,
+            f"DELAY +{extra_ms}ms on {sorted(scope) if scope else 'all'}",
+        )
+
+    # ------------------------------------------------------------------
+    # Gray failures
+    # ------------------------------------------------------------------
+    def slow_node(
+        self,
+        node_name: str,
+        start_ms: float,
+        duration_ms: float,
+        extra_delay_ms: float = 50.0,
+        peers: Optional[Iterable[str]] = None,
+    ) -> None:
+        """A node that is up but sluggish: all its outbound links slow down
+        (asymmetric — replies still arrive promptly, the classic gray
+        failure that defeats naive crash detectors)."""
+        peer_list = list(peers) if peers is not None else [
+            name for name in self.network.process_names if name != node_name
+        ]
+        restores: List[Callable[[], None]] = []
+
+        def start() -> None:
+            for peer in peer_list:
+                restores.append(
+                    self.network.degrade_link(
+                        node_name, peer,
+                        extra_delay_ms=extra_delay_ms, symmetric=False,
+                    )
+                )
+            self._note(f"SLOW-NODE start {node_name} (+{extra_delay_ms}ms out)")
+
+        def stop() -> None:
+            for restore in restores:
+                restore()
+            restores.clear()
+            self._note(f"SLOW-NODE stop {node_name}")
+
+        self.simulator.schedule_at(start_ms, start)
+        self.simulator.schedule_at(start_ms + duration_ms, stop)
+
+    def asym_link_window(
+        self,
+        src: str,
+        dst: str,
+        start_ms: float,
+        duration_ms: float,
+        extra_delay_ms: float = 100.0,
+        extra_loss: float = 0.0,
+    ) -> None:
+        """Degrade one direction of one link (asymmetric gray failure)."""
+        holder: dict = {}
+
+        def start() -> None:
+            holder["restore"] = self.network.degrade_link(
+                src, dst, extra_delay_ms=extra_delay_ms,
+                extra_loss=extra_loss, symmetric=False,
+            )
+            self._note(f"ASYM-LINK start {src}->{dst}")
+
+        def stop() -> None:
+            restore = holder.get("restore")
+            if restore is not None:
+                restore()
+            self._note(f"ASYM-LINK stop {src}->{dst}")
+
+        self.simulator.schedule_at(start_ms, start)
+        self.simulator.schedule_at(start_ms + duration_ms, stop)
+
+    def jitter_storm(
+        self,
+        targets: Optional[Iterable[str]],
+        start_ms: float,
+        duration_ms: float,
+        max_extra_ms: float = 30.0,
+        probability: float = 0.5,
+        rng_name: str = "faults/jitter",
+    ) -> None:
+        """Random per-message extra delay: desynchronizes timers the way
+        head-of-line blocking and GC pauses do."""
+        self.delay_spike(
+            targets, start_ms, duration_ms,
+            extra_ms=0.0, jitter_ms=max_extra_ms,
+            probability=probability, rng_name=rng_name,
+        )
 
     def dos_link_window(
         self,

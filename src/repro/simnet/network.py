@@ -230,6 +230,16 @@ class Network:
         self.simulator.schedule(delay, self._deliver, src, dst, payload)
         return True
 
+    def inject(self, src: str, dst: str, payload: Any, delay_ms: float = 0.0) -> None:
+        """Schedule a delivery directly, bypassing filters, loss and links.
+
+        This is the fault-injection escape hatch: message-level fault
+        primitives (duplicate, reorder, delay-spike) intercept a message in
+        a filter and re-introduce copies of it through here, without the
+        re-introduced copy being filtered again (which would recurse).
+        """
+        self.simulator.schedule(delay_ms, self._deliver, src, dst, payload)
+
     def _deliver(self, src: str, dst: str, payload: Any) -> None:
         process = self._processes.get(dst)
         if process is None or not process.is_up:

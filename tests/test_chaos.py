@@ -1,0 +1,363 @@
+"""Unit tests for the chaos subsystem's building blocks.
+
+Covers the schedule data model, the seeded generator's invariants, each
+runtime monitor in isolation, the ddmin shrinker's reduction logic, and
+the scenario file format. End-to-end chaos runs live in
+``test_chaos_smoke.py``.
+"""
+
+import json
+
+import pytest
+
+import repro.chaos.shrink as shrink_mod
+from repro.chaos import (
+    BoundedDelayMonitor,
+    ChaosOptions,
+    ChaosProfile,
+    FaultAction,
+    FaultSchedule,
+    ProxyGateMonitor,
+    QuorumAvailabilityMonitor,
+    SafetyMonitor,
+    Violation,
+    generate_schedule,
+    load_scenario,
+    shrink_schedule,
+)
+from repro.core.update import DeliveryRecord, DeliveryShare
+from repro.crypto.provider import FastCrypto, ThresholdSignature
+from repro.prime.messages import ClientUpdate
+from repro.simnet import LinkSpec, Network, Process, Simulator
+
+
+# ----------------------------------------------------------------------
+# Schedule data model
+# ----------------------------------------------------------------------
+
+def test_fault_action_normalizes_params():
+    action = FaultAction("drop", 10.0, 5.0, targets=["b", "a"],
+                         params=[("probability", 0.5), ("extra", 1)])
+    assert action.params == (("extra", 1), ("probability", 0.5))
+    assert action.param("probability") == 0.5
+    assert action.param("missing", 42) == 42
+    assert action.end_ms == 15.0
+
+
+def test_fault_action_rejects_bad_input():
+    with pytest.raises(ValueError):
+        FaultAction("meteor-strike", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        FaultAction("drop", -1.0, 1.0)
+
+
+def test_fault_schedule_sorts_and_roundtrips():
+    schedule = FaultSchedule((
+        FaultAction("drop", 50.0, 10.0, targets=("x",)),
+        FaultAction("crash", 5.0, 10.0, targets=("y",)),
+    ))
+    assert [a.kind for a in schedule] == ["crash", "drop"]
+    assert FaultSchedule.from_json(schedule.to_json()) == schedule
+    # JSON round-trip of an action with params preserves value types
+    action = FaultAction("reorder", 1.0, 2.0, targets=("a",),
+                         params=(("window_ms", 20.0),))
+    assert FaultAction.from_dict(json.loads(json.dumps(action.to_dict()))) == action
+
+
+def test_fault_schedule_subset_without():
+    schedule = FaultSchedule(tuple(
+        FaultAction("crash", float(i), 1.0, targets=(f"r{i}",)) for i in range(4)
+    ))
+    assert [a.start_ms for a in schedule.subset([0, 2])] == [0.0, 2.0]
+    assert [a.start_ms for a in schedule.without([0, 2])] == [1.0, 3.0]
+    assert len(schedule.subset(())) == 0
+
+
+# ----------------------------------------------------------------------
+# Generator
+# ----------------------------------------------------------------------
+
+REPLICAS = [f"replica:{i}" for i in range(6)]
+
+
+def test_generate_schedule_is_deterministic():
+    first = generate_schedule(11, REPLICAS, endpoints=["proxy:field"])
+    again = generate_schedule(11, REPLICAS, endpoints=["proxy:field"])
+    assert first == again
+    assert generate_schedule(12, REPLICAS, endpoints=["proxy:field"]) != first
+
+
+def test_generate_schedule_respects_profile_bounds():
+    profile = ChaosProfile(window_start_ms=1000.0, window_end_ms=4000.0,
+                           min_fault_ms=100.0, max_fault_ms=800.0,
+                           max_concurrent_crashes=1, max_partition_minority=1)
+    for seed in range(30):
+        schedule = generate_schedule(seed, REPLICAS, profile=profile)
+        crash_windows = []
+        for action in schedule:
+            assert 1000.0 <= action.start_ms <= 4000.0
+            assert 100.0 <= action.duration_ms <= 800.0
+            if action.kind == "crash":
+                crash_windows.append((action.start_ms, action.end_ms))
+            if action.kind == "partition":
+                assert len(action.targets) <= 1
+        for i, (s1, e1) in enumerate(crash_windows):
+            overlaps = sum(1 for s2, e2 in crash_windows[i + 1:]
+                           if s1 < e2 and s2 < e1)
+            assert overlaps < profile.max_concurrent_crashes
+
+
+def test_generated_schedule_roundtrips_through_json():
+    for seed in range(10):
+        schedule = generate_schedule(seed, REPLICAS, endpoints=["hmi:0"])
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+
+# ----------------------------------------------------------------------
+# Monitors
+# ----------------------------------------------------------------------
+
+class _Replica(Process):
+    """Minimal stand-in exposing the replica surface monitors use."""
+
+    def __init__(self, name, simulator, network):
+        super().__init__(name, simulator, network)
+        self.execution_listeners = []
+
+    def execute(self, update, order_index):
+        for listener in self.execution_listeners:
+            listener(update, order_index, None)
+
+
+def _sim_net():
+    sim = Simulator(seed=1)
+    return sim, Network(sim, LinkSpec(latency_ms=1.0))
+
+
+def test_safety_monitor_accepts_agreement_flags_divergence():
+    sim, net = _sim_net()
+    replicas = [_Replica(f"r{i}", sim, net) for i in range(3)]
+    monitor = SafetyMonitor(sim)
+    monitor.attach(replicas)
+
+    same = ClientUpdate("proxy", 1, "reading-1")
+    for replica in replicas:
+        replica.execute(same, 1)
+    assert monitor.violations() == []
+
+    replicas[0].execute(ClientUpdate("proxy", 2, "reading-2"), 2)
+    replicas[1].execute(ClientUpdate("proxy", 3, "OTHER"), 2)
+    [violation] = monitor.violations()
+    assert violation.kind == "divergent-execution"
+    assert dict(violation.details)["order_index"] == 2
+
+
+def test_safety_monitor_excludes_byzantine_replicas():
+    sim, net = _sim_net()
+    replicas = [_Replica(f"r{i}", sim, net) for i in range(2)]
+    monitor = SafetyMonitor(sim, exclude=["r1"])
+    monitor.attach(replicas)
+    replicas[0].execute(ClientUpdate("proxy", 1, "honest"), 1)
+    replicas[1].execute(ClientUpdate("proxy", 9, "equivocation"), 1)
+    assert monitor.violations() == []
+
+
+class _Endpoint:
+    """Bare endpoint: a named owner of a DeliveryCollector."""
+
+    def __init__(self, name, collector):
+        self.name = name
+        self.collector = collector
+
+
+def _delivery_fixture():
+    from repro.core.collector import DeliveryCollector
+
+    crypto = FastCrypto(seed="gate-test")
+    crypto.create_threshold_group("g", players=4, threshold=2)
+    sim, _ = _sim_net()
+    collector = DeliveryCollector(crypto, "g")
+    record = DeliveryRecord("status", "proxy", 1, 1, "reading")
+    shares = [
+        DeliveryShare(f"r{i}", record, crypto.threshold_sign_share("g", i, record))
+        for i in (1, 2)
+    ]
+    return sim, crypto, collector, record, shares
+
+
+def test_proxy_gate_monitor_passes_honest_collector():
+    sim, crypto, collector, record, shares = _delivery_fixture()
+    monitor = ProxyGateMonitor(sim, crypto)
+    monitor.attach(_Endpoint("proxy", collector))
+    assert collector.add(shares[0]) is None
+    assert collector.add(shares[1]) is not None
+    assert monitor.violations() == []
+    assert monitor.deliveries_checked == 1
+
+
+def test_proxy_gate_monitor_catches_forged_signature():
+    sim, crypto, collector, record, shares = _delivery_fixture()
+
+    def gullible_add(share):
+        return share.record, ThresholdSignature("g", "forged")
+
+    collector.add = gullible_add
+    monitor = ProxyGateMonitor(sim, crypto)
+    monitor.attach(_Endpoint("proxy", collector))
+    collector.add(shares[0])
+    [violation] = monitor.violations()
+    assert violation.kind == "unverified-delivery"
+
+
+def test_proxy_gate_monitor_catches_duplicate_delivery():
+    sim, crypto, collector, record, shares = _delivery_fixture()
+    real_add = collector.add
+    state = {"first": None}
+
+    def replaying_add(share):
+        result = real_add(share)
+        if result is not None:
+            state["first"] = result
+        return result or state["first"]
+
+    collector.add = replaying_add
+    monitor = ProxyGateMonitor(sim, crypto)
+    monitor.attach(_Endpoint("proxy", collector))
+    collector.add(shares[0])
+    collector.add(shares[1])   # combines: first legitimate delivery
+    collector.add(shares[0])   # replays the same record again
+    kinds = [v.kind for v in monitor.violations()]
+    assert kinds == ["duplicate-delivery"]
+
+
+def test_quorum_monitor_tracks_live_count_and_flags_bad_begin():
+    sim, net = _sim_net()
+    replicas = [_Replica(f"r{i}", sim, net) for i in range(6)]
+
+    class _Scheduler:
+        def _begin(self, replica):
+            replica.crash()
+
+    scheduler = _Scheduler()
+    monitor = QuorumAvailabilityMonitor(sim, replicas, min_live=4)
+    monitor.attach(scheduler)
+
+    replicas[0].crash()
+    replicas[1].crash()
+    assert monitor.min_live_seen == 4
+    assert monitor.violations() == []
+
+    scheduler._begin(replicas[2])  # 4 live -> 3 live: below 2f+k+1
+    [violation] = monitor.violations()
+    assert violation.kind == "rejuvenation-below-quorum"
+    assert dict(violation.details)["live"] == 4
+    assert monitor.min_live_seen == 3
+
+    replicas[0].recover()
+    assert monitor.live_count == 4
+    assert monitor.timeline[-1][1] == 4
+
+
+def test_bounded_delay_monitor_flags_stall_in_quiet_window():
+    sim, _ = _sim_net()
+    monitor = BoundedDelayMonitor(sim, max_gap_ms=100.0)
+    monitor.evaluate(
+        delivery_times=[1000.0, 1050.0, 1400.0, 1450.0],
+        quiet_intervals=[(1000.0, 1500.0)],
+    )
+    [violation] = monitor.violations()
+    assert violation.kind == "delivery-stall"
+    assert dict(violation.details)["gap_ms"] == pytest.approx(350.0)
+
+
+def test_bounded_delay_monitor_ignores_short_windows_and_steady_flow():
+    sim, _ = _sim_net()
+    monitor = BoundedDelayMonitor(sim, max_gap_ms=100.0)
+    monitor.evaluate(
+        delivery_times=[t * 50.0 for t in range(100)],
+        quiet_intervals=[(0.0, 90.0), (1000.0, 3000.0)],
+    )
+    assert monitor.violations() == []
+    assert monitor.quiet_checked_ms == pytest.approx(2000.0)
+
+
+def test_violation_serializes():
+    violation = Violation("safety", "divergent-execution", 123.0,
+                          (("order_index", 7),))
+    data = violation.to_dict()
+    assert data["monitor"] == "safety"
+    assert data["details"] == {"order_index": 7}
+    assert json.dumps(data)  # JSON-safe
+
+
+# ----------------------------------------------------------------------
+# Shrinker (engine monkeypatched for speed)
+# ----------------------------------------------------------------------
+
+def _fake_engine(required_kinds):
+    class FakeEngine:
+        def __init__(self, options, schedule, mutator=None):
+            self.schedule = schedule
+
+        def run(self):
+            kinds = {a.kind for a in self.schedule}
+            failed = required_kinds <= kinds
+
+            class R:
+                violations = ["boom"] if failed else []
+
+            return R()
+
+    return FakeEngine
+
+
+def _schedule_of(kinds):
+    return FaultSchedule(tuple(
+        FaultAction(kind, float(10 * i), 5.0) for i, kind in enumerate(kinds)
+    ))
+
+
+def test_shrink_finds_minimal_action_pair(monkeypatch):
+    monkeypatch.setattr(shrink_mod, "ChaosEngine",
+                        _fake_engine({"crash", "partition"}))
+    schedule = _schedule_of(
+        ["drop", "crash", "reorder", "dos", "partition", "corrupt"]
+    )
+    result = shrink_schedule(ChaosOptions(), schedule)
+    assert result.reproduced
+    assert sorted(a.kind for a in result.schedule) == ["crash", "partition"]
+    assert result.runs <= 20
+
+
+def test_shrink_reports_non_reproducing_schedule(monkeypatch):
+    monkeypatch.setattr(shrink_mod, "ChaosEngine", _fake_engine({"leader_dos"}))
+    schedule = _schedule_of(["drop", "crash"])
+    result = shrink_schedule(ChaosOptions(), schedule)
+    assert not result.reproduced
+    assert result.schedule == schedule
+    assert result.runs == 1
+
+
+def test_shrink_collapses_schedule_independent_failure(monkeypatch):
+    monkeypatch.setattr(shrink_mod, "ChaosEngine", _fake_engine(set()))
+    schedule = _schedule_of(["drop", "crash", "dos"])
+    result = shrink_schedule(ChaosOptions(), schedule)
+    assert result.reproduced
+    assert len(result.schedule) == 0
+
+
+# ----------------------------------------------------------------------
+# Scenario format
+# ----------------------------------------------------------------------
+
+def test_load_scenario_rejects_unknown_format():
+    with pytest.raises(ValueError):
+        load_scenario({"format": "something-else/9"})
+
+
+def test_chaos_options_roundtrip():
+    options = ChaosOptions(seed=5, proactive_recovery=(1000.0, 100.0))
+    assert ChaosOptions.from_dict(options.to_dict()) == options
+    assert ChaosOptions.from_dict(
+        ChaosOptions(proactive_recovery=None).to_dict()
+    ).proactive_recovery is None

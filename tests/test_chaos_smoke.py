@@ -1,0 +1,136 @@
+"""Tier-1 chaos smoke suite.
+
+Runs a batch of seeded randomized fault scenarios against full Spire
+deployments with every invariant monitor armed, and exercises the
+dump → replay → shrink loop end to end, including a deliberately weakened
+proxy gate that the monitors must catch. Scenarios here use a compact
+deployment (f=1, k=1, 6 replicas on the 4-site WAN, 2 substations) and
+short windows to stay inside the tier-1 wall-clock budget; the full-scale
+200-scenario sweep lives in ``benchmarks/bench_chaos_sweep.py`` behind the
+``chaos`` marker.
+"""
+
+import time
+
+import pytest
+
+from repro.chaos import (
+    ChaosEngine,
+    ChaosOptions,
+    ReplayMismatch,
+    dump_scenario,
+    replay_scenario,
+    scenario_dict,
+    shrink_schedule,
+)
+from repro.crypto.provider import ThresholdSignature
+
+#: compact-but-complete scenario shape for the smoke budget
+SMOKE = dict(
+    warmup_ms=800.0,
+    chaos_ms=3000.0,
+    settle_ms=2000.0,
+    poll_interval_ms=250.0,
+    proactive_recovery=(5000.0, 400.0),
+)
+SMOKE_SEEDS = range(25)
+WALL_BUDGET_S = 240.0
+
+
+def smoke_options(seed: int) -> ChaosOptions:
+    return ChaosOptions(seed=seed, **SMOKE)
+
+
+def test_chaos_smoke_sweep():
+    """>= 25 seeded scenarios, zero invariant violations, bounded wall time."""
+    started = time.time()
+    failures = []
+    executions_checked = 0
+    deliveries_verified = 0
+    fault_kinds_seen = set()
+    for seed in SMOKE_SEEDS:
+        result = ChaosEngine(smoke_options(seed)).run()
+        if result.violations:
+            failures.append((seed, [str(v) for v in result.violations]))
+        executions_checked += result.stats["executions_checked"]
+        deliveries_verified += (
+            result.stats["hmi_verified"] + result.stats["proxy_verified"]
+        )
+        fault_kinds_seen.update(a.kind for a in result.schedule)
+    wall = time.time() - started
+    assert not failures, f"invariant violations in seeds: {failures}"
+    # the sweep must be non-vacuous: monitors saw real traffic and the
+    # generator exercised a healthy slice of the fault taxonomy
+    assert executions_checked > 1000
+    assert deliveries_verified > 100
+    assert len(fault_kinds_seen) >= 6
+    assert wall < WALL_BUDGET_S, f"smoke sweep too slow: {wall:.0f}s"
+
+
+def test_chaos_run_is_deterministic():
+    """Same (seed, schedule) => identical trace fingerprint and verdicts."""
+    first = ChaosEngine(smoke_options(3)).run()
+    second = ChaosEngine(smoke_options(3)).run()
+    assert first.schedule == second.schedule
+    assert first.fingerprint == second.fingerprint
+    assert [v.to_dict() for v in first.violations] == \
+        [v.to_dict() for v in second.violations]
+    assert first.stats == second.stats
+
+
+def test_scenario_dump_replays_byte_for_byte(tmp_path):
+    result = ChaosEngine(smoke_options(5)).run()
+    path = dump_scenario(result, tmp_path / "scenario.json")
+    replayed = replay_scenario(path)  # raises ReplayMismatch on divergence
+    assert replayed.fingerprint == result.fingerprint
+    assert [v.to_dict() for v in replayed.violations] == \
+        [v.to_dict() for v in result.violations]
+    # re-dumping the replay reproduces the scenario file byte-for-byte
+    again = dump_scenario(replayed, tmp_path / "scenario-replayed.json")
+    assert path.read_text() == again.read_text()
+
+
+def test_replay_detects_divergence():
+    result = ChaosEngine(smoke_options(2)).run()
+    stale = scenario_dict(result)
+    stale["fingerprint"] = "0" * 32
+    with pytest.raises(ReplayMismatch):
+        replay_scenario(stale)
+
+
+def weaken_proxy_gate(deployment):
+    """Test-only mutant: the proxy's collector 'verifies' after a single
+    share and vouches with a forged combined signature — the bug class the
+    proxy-gate monitor exists to catch."""
+    collector = deployment.proxy.collector
+
+    def gullible_add(share):
+        record = share.record
+        key = record.key()
+        if key in collector._done:
+            return None
+        collector._done.add(key)
+        collector.verified += 1
+        return record, ThresholdSignature(collector.group, "forged")
+
+    collector.add = gullible_add
+
+
+def test_weakened_gate_caught_replayed_and_shrunk(tmp_path):
+    result = ChaosEngine(smoke_options(8), mutator=weaken_proxy_gate).run()
+    kinds = {v.kind for v in result.violations}
+    assert "unverified-delivery" in kinds
+
+    # the violation dumps to a scenario file that replays exactly...
+    path = dump_scenario(result, tmp_path / "weak-gate.json")
+    replayed = replay_scenario(path, mutator=weaken_proxy_gate)
+    assert replayed.fingerprint == result.fingerprint
+    assert {v.kind for v in replayed.violations} == kinds
+
+    # ...and shrinks to the minimal reproducer: the violation does not
+    # depend on any scheduled fault, so ddmin collapses the schedule
+    shrunk = shrink_schedule(
+        result.options, result.schedule, mutator=weaken_proxy_gate, max_runs=8,
+    )
+    assert shrunk.reproduced
+    assert len(shrunk.schedule) == 0
