@@ -3,14 +3,15 @@
 The paper's wide-area deployment (2 control centers + 2 data centers on
 the US East coast) delivered updates tens of milliseconds slower than the
 LAN testbed but with the same tight distribution shape. The bench replays
-the same workload over both topologies and prints the two CDFs.
+the same workload over both topologies and prints the two CDFs, then
+dumps each run's full :class:`repro.analysis.ScenarioReport`.
 """
 
 from repro.analysis import print_table
 from repro.core import SpireDeployment, SpireOptions
 from repro.spines import lan_topology, wide_area_topology
 
-from common import once, reporter
+from common import once, reporter, write_scenario_report
 
 RUN_MS = 12_000.0
 PERCENTILE_MARKS = (0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999, 1.0)
@@ -18,30 +19,22 @@ PERCENTILE_MARKS = (0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999, 1.0)
 
 def run_pair():
     results = {}
-    for label, preset, topology, placement in (
-        ("LAN", "lan", lan_topology(1), {"lan0": 6}),
-        ("WAN", "wan", wide_area_topology(), None),
+    for label, options, topology in (
+        # both legs flood the overlay so the only variable is the
+        # topology + Prime timeout preset, as in the paper's comparison
+        ("LAN", SpireOptions.lan(
+            num_substations=5, poll_interval_ms=100.0,
+            placement={"lan0": 6}, overlay_mode="flooding", seed=31,
+        ), lan_topology(1)),
+        ("WAN", SpireOptions.wan(
+            num_substations=5, poll_interval_ms=100.0, seed=31,
+        ), wide_area_topology()),
     ):
-        deployment = SpireDeployment(
-            SpireOptions(
-                num_substations=5, poll_interval_ms=100.0,
-                prime_preset=preset, placement=placement, seed=31,
-            ),
-            topology=topology,
-        )
+        deployment = SpireDeployment(options, topology=topology)
         deployment.start()
         deployment.run_for(RUN_MS)
-        results[label] = deployment.status_recorder
+        results[label] = deployment
     return results
-
-
-def cdf_at_marks(recorder):
-    values = sorted(latency for _, latency in recorder.samples)
-    out = []
-    for mark in PERCENTILE_MARKS:
-        index = min(len(values) - 1, max(0, int(mark * len(values)) - 1))
-        out.append(values[index])
-    return out
 
 
 def test_fig3_wan_cdf(benchmark):
@@ -49,9 +42,11 @@ def test_fig3_wan_cdf(benchmark):
     results = once(benchmark, run_pair)
     emit("F3: update-latency CDF, LAN vs emulated wide-area "
          "(5 RTUs @ 10 Hz, 6 replicas)")
+    lan_recorder = results["LAN"].status_recorder
+    wan_recorder = results["WAN"].status_recorder
     rows = []
-    lan = cdf_at_marks(results["LAN"])
-    wan = cdf_at_marks(results["WAN"])
+    lan = lan_recorder.cdf_at_marks(PERCENTILE_MARKS)
+    wan = wan_recorder.cdf_at_marks(PERCENTILE_MARKS)
     for mark, lan_value, wan_value in zip(PERCENTILE_MARKS, lan, wan):
         rows.append([f"{mark:.1%}", lan_value, wan_value])
     print_table(
@@ -60,8 +55,8 @@ def test_fig3_wan_cdf(benchmark):
         rows,
         out=emit,
     )
-    lan_stats = results["LAN"].stats()
-    wan_stats = results["WAN"].stats()
+    lan_stats = lan_recorder.stats()
+    wan_stats = wan_recorder.stats()
     emit(f"LAN : {lan_stats.row()}")
     emit(f"WAN : {wan_stats.row()}")
     emit("shape check: WAN slower than LAN but both distributions tight "
@@ -69,7 +64,12 @@ def test_fig3_wan_cdf(benchmark):
     assert wan_stats.mean > lan_stats.mean
     assert wan_stats.mean < 100.0
     fraction_under_100 = sum(
-        1 for _, latency in results["WAN"].samples if latency < 100.0
-    ) / max(1, len(results["WAN"].samples))
+        1 for _, latency in wan_recorder.samples if latency < 100.0
+    ) / max(1, len(wan_recorder.samples))
     emit(f"WAN fraction under 100 ms: {fraction_under_100:.3%}")
     assert fraction_under_100 > 0.95
+    for label, deployment in results.items():
+        write_scenario_report(
+            f"fig3_wan_cdf_{label.lower()}", deployment,
+            title=f"fig3 {label} leg",
+        )

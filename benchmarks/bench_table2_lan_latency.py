@@ -18,10 +18,11 @@ RUN_MS = 12_000.0
 
 def run_lan():
     deployment = SpireDeployment(
-        SpireOptions(
+        # single-site topology: flooding and shortest-path routing are
+        # equivalent, so the lan() preset reproduces the seed numbers
+        SpireOptions.lan(
             num_substations=10,
             poll_interval_ms=100.0,
-            prime_preset="lan",
             placement={"lan0": 6},
             seed=101,
         ),

@@ -33,3 +33,18 @@ def reporter(name: str) -> Callable[[str], None]:
 def once(benchmark, fn):
     """Run a scenario exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+def write_scenario_report(name, deployment, title=None, extra=None):
+    """Dump the run's full observability report next to the table.
+
+    Writes ``results/<name>_report.json`` and ``.txt`` from the
+    deployment's ``obs`` handle; returns the two paths.
+    """
+    from repro.analysis import ScenarioReport
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    report = ScenarioReport.from_deployment(
+        deployment, title=title or name, extra=extra
+    )
+    return report.write(os.path.join(RESULTS_DIR, f"{name}_report"))

@@ -10,12 +10,13 @@ an operator command, and prints what happened.
 Run:  python examples/quickstart.py
 """
 
+from repro.analysis import ScenarioReport
 from repro.core import SpireDeployment, SpireOptions
 
 
 def main() -> None:
     print("Building Spire deployment (6 replicas, 2 CC + 2 DC, 5 substations)...")
-    deployment = SpireDeployment(SpireOptions(
+    deployment = SpireDeployment(SpireOptions.wan(
         num_substations=5,
         poll_interval_ms=200.0,   # each RTU polled 5x per second
         seed=42,
@@ -56,6 +57,11 @@ def main() -> None:
           f"{deployment.grid.total_load_mw():.1f} MW")
     print(f"\nSimulated {deployment.simulator.now / 1000:.0f} s in "
           f"{deployment.simulator.events_processed} events. Done.")
+
+    # the same numbers (and everything else the run measured: per-layer
+    # counters, Spines transit latencies, crypto/handler wall-clock
+    # profiles, structured events) in one aggregated report
+    ScenarioReport.from_deployment(deployment, title="quickstart").render(print)
 
 
 if __name__ == "__main__":

@@ -45,18 +45,19 @@ def main() -> None:
 
     run_scenario(
         "LAN, single site (all 6 replicas co-located)",
-        SpireOptions(**base, prime_preset="lan",
-                     placement={"lan0": 6}),
+        # single site: flooding == shortest, so the preset is exact
+        SpireOptions.lan(**base, overlay_mode="flooding",
+                         placement={"lan0": 6}),
         lan_topology(1),
     )
     run_scenario(
         "wide-area, 2 CC + 2 DC (paper placement)",
-        SpireOptions(**base),
+        SpireOptions.wan(**base),
         wide_area_topology(),
     )
     run_scenario(
         "wide-area, shortest-path overlay (no flooding)",
-        SpireOptions(**base, overlay_mode="shortest"),
+        SpireOptions.wan(**base, overlay_mode="shortest"),
         wide_area_topology(),
     )
 
@@ -66,7 +67,7 @@ def main() -> None:
     outage_options["seed"] = 12
     run_scenario(
         "wide-area + dc1 outage, flooding overlay",
-        SpireOptions(**outage_options),
+        SpireOptions.wan(**outage_options),
         wide_area_topology(),
         outage_site="dc1",
     )

@@ -4,6 +4,7 @@ SCADA for the Power Grid" (Spire, IEEE/IFIP DSN 2018).
 Subpackages
 -----------
 ``repro.simnet``     deterministic discrete-event substrate (virtual time)
+``repro.obs``        observability: typed metrics, structured events, spans
 ``repro.crypto``     RSA / threshold-RSA / providers, from scratch
 ``repro.spines``     intrusion-tolerant overlay network
 ``repro.prime``      Prime: BFT replication with bounded delay under attack
@@ -12,7 +13,8 @@ Subpackages
 ``repro.core``       Spire itself: replicas, proxies, HMIs, deployments
 ``repro.attacks``    Byzantine / DoS / overlay attacks, red-team campaign
 ``repro.baselines``  traditional SCADA comparison system
-``repro.analysis``   table/figure rendering for the benchmarks
+``repro.chaos``      seeded chaos schedules + runtime invariant monitors
+``repro.analysis``   table/figure rendering + scenario reports
 
 Quickstart: see ``examples/quickstart.py`` or
 

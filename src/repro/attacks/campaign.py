@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..core.deployment import SpireDeployment
 from ..core.diversity import Exploit
 from ..core.update import BreakerCommand, DeliveryRecord
+from ..obs import COMP_CAMPAIGN, EV_COMPROMISED, EV_EVICTED
 from ..baselines.traditional import TraditionalDeployment
 from .byzantine import make_delivery_forger, make_share_corruptor, make_silent
 
@@ -209,13 +210,15 @@ class SpireCampaign:
 
             uninstalls.append(make_delivery_forger(replica, fake_record))
         self.compromised[replica.name] = uninstalls
-        if self.deployment.trace is not None:
-            self.deployment.trace.event("campaign", "compromised", replica=replica.name)
+        self.deployment.obs.event(
+            COMP_CAMPAIGN, EV_COMPROMISED, replica=replica.name
+        )
 
     def _heal(self, replica_name: str) -> None:
         uninstalls = self.compromised.pop(replica_name, None)
         if uninstalls is not None:
             for uninstall in uninstalls:
                 uninstall()
-            if self.deployment.trace is not None:
-                self.deployment.trace.event("campaign", "evicted", replica=replica_name)
+            self.deployment.obs.event(
+                COMP_CAMPAIGN, EV_EVICTED, replica=replica_name
+            )

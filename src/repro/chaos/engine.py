@@ -23,6 +23,13 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..attacks.dos import LeaderChaser
 from ..core.deployment import SpireDeployment, SpireOptions
 from ..crypto.encoding import digest
+from ..obs import (
+    COMP_CHAOS,
+    COMP_RECOVERY_SCHEDULER,
+    EV_FAULT_SCHEDULED,
+    EV_REJUVENATE_DONE,
+    EV_REJUVENATE_START,
+)
 from ..simnet import DosAttack, FailureInjector
 from .generator import ChaosProfile, generate_schedule
 from .monitors import (
@@ -174,6 +181,8 @@ class ChaosEngine:
         watchdog = BoundedDelayMonitor(
             deployment.simulator, max_gap_ms=opts.max_delivery_gap_ms,
         )
+        for monitor in (safety, gate, quorum, watchdog):
+            monitor.bind_obs(deployment.obs)
 
         # --- fault schedule -------------------------------------------
         injector = FailureInjector(deployment.simulator, deployment.network)
@@ -221,6 +230,13 @@ class ChaosEngine:
     ) -> None:
         stream = f"chaos/{action.kind}/{index}"
         kind = action.kind
+        # Deterministic per (seed, schedule): emitted at sim time 0 with
+        # content drawn only from the schedule, so it is fingerprint-safe.
+        deployment.obs.event(
+            COMP_CHAOS, EV_FAULT_SCHEDULED,
+            index=index, fault=kind, targets=",".join(action.targets),
+            start_ms=action.start_ms, duration_ms=action.duration_ms,
+        )
         if kind == "crash":
             for target in action.targets:
                 injector.crash_window(target, action.start_ms, action.duration_ms)
@@ -331,8 +347,10 @@ class ChaosEngine:
             (action.start_ms, action.end_ms + opts.quiet_grace_ms)
             for action in schedule
         ]
-        starts = deployment.trace.events("recovery-scheduler", "rejuvenate-start")
-        ends = deployment.trace.events("recovery-scheduler", "rejuvenate-done")
+        starts = deployment.trace.events(
+            COMP_RECOVERY_SCHEDULER, EV_REJUVENATE_START
+        )
+        ends = deployment.trace.events(COMP_RECOVERY_SCHEDULER, EV_REJUVENATE_DONE)
         for event in starts:
             done = min(
                 (e.time for e in ends
@@ -376,6 +394,8 @@ class ChaosEngine:
                 if deployment.recovery_scheduler is not None else 0
             ),
             "quiet_checked_ms": round(watchdog.quiet_checked_ms, 3),
+            "trace_events": deployment.trace.count(),
+            "trace_dropped": deployment.trace.dropped,
         }
 
     @staticmethod

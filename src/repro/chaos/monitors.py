@@ -66,14 +66,26 @@ class Violation:
 class _BaseMonitor:
     name = "monitor"
 
+    #: optional ``repro.obs`` counter mirroring the violation count.
+    #: Monitors never emit trace *events* — the trace feeds the chaos
+    #: fingerprint and must stay identical with monitors detached.
+    _obs_violations = None
+
     def __init__(self, simulator: Simulator) -> None:
         self.simulator = simulator
         self._violations: List[Violation] = []
+
+    def bind_obs(self, obs) -> None:
+        """Mirror violation counts into a metric registry."""
+        if obs is not None and getattr(obs, "enabled", False):
+            self._obs_violations = obs.counter(f"chaos.violations.{self.name}")
 
     def violations(self) -> List[Violation]:
         return list(self._violations)
 
     def _flag(self, kind: str, **details: Any) -> None:
+        if self._obs_violations is not None:
+            self._obs_violations.inc()
         self._violations.append(Violation(
             self.name, kind, self.simulator.now,
             tuple(sorted((str(k), v) for k, v in details.items())),
@@ -295,6 +307,8 @@ class BoundedDelayMonitor(_BaseMonitor):
             previous = start
             for point in inside + [end]:
                 if point - previous > self.max_gap_ms:
+                    if self._obs_violations is not None:
+                        self._obs_violations.inc()
                     self._violations.append(Violation(
                         self.name, "delivery-stall", previous,
                         (

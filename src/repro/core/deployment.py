@@ -20,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..crypto.provider import CryptoProvider, FastCrypto, RealCrypto
+from ..crypto.provider import CryptoProvider, FastCrypto, RealCrypto, TimedCrypto
+from ..obs import NULL_OBS, Observability
 from ..prime.config import PrimeConfig, lan_prime_config, wan_prime_config
 from ..prime.transport import OverlayTransport
 from ..scada.grid import PowerGrid, build_radial_grid
@@ -41,7 +42,17 @@ __all__ = ["SpireOptions", "SpireDeployment"]
 
 @dataclass
 class SpireOptions:
-    """Knobs for one deployment scenario."""
+    """Knobs for one deployment scenario.
+
+    Prefer the :meth:`wan` / :meth:`lan` preset constructors over raw
+    construction — they pin the knobs that must move together (Prime
+    timeouts vs. overlay routing) and still accept per-field overrides::
+
+        opts = SpireOptions.wan(seed=7, num_substations=10)
+
+    :meth:`validate` is called by :class:`SpireDeployment`; call it
+    directly to fail fast when assembling options programmatically.
+    """
 
     f: int = 1
     k: int = 1
@@ -58,26 +69,141 @@ class SpireOptions:
     #: (period_ms, duration_ms) to enable proactive recovery
     proactive_recovery: Optional[Tuple[float, float]] = None
     checkpoint_interval_seqs: int = 50
+    #: False disables the entire observability layer (metrics, spans,
+    #: structured events): the deployment's ``obs`` is the shared no-op
+    #: recorder and ``trace`` stays empty. Use for maximum-speed sweeps
+    #: where nothing inspects events or metrics afterwards.
+    observability: bool = True
+
+    @classmethod
+    def wan(cls, **overrides) -> "SpireOptions":
+        """The paper's wide-area configuration: conservative Prime
+        timeouts sized for cross-site latency, resilient flooding on the
+        overlay."""
+        base = dict(prime_preset="wan", overlay_mode="flooding")
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def lan(cls, **overrides) -> "SpireOptions":
+        """Single-site configuration: aggressive Prime timeouts, cheap
+        shortest-path overlay routing."""
+        base = dict(prime_preset="lan", overlay_mode="shortest")
+        base.update(overrides)
+        return cls(**base)
+
+    @property
+    def n(self) -> int:
+        """Replica count required by the resilience parameters."""
+        return 3 * self.f + 2 * self.k + 1
+
+    def validate(self) -> "SpireOptions":
+        """Reject inconsistent knob combinations with actionable errors.
+
+        Returns ``self`` so it chains: ``SpireOptions(...).validate()``.
+        """
+        if self.f < 0 or self.k < 0:
+            raise ValueError(
+                f"f and k must be non-negative (got f={self.f}, k={self.k})"
+            )
+        if self.n < 1:
+            raise ValueError(
+                f"3f+2k+1 = {self.n} replicas: increase f or k"
+            )
+        if self.placement is not None:
+            total = sum(self.placement.values())
+            if total != self.n:
+                raise ValueError(
+                    f"placement assigns {total} replicas across "
+                    f"{len(self.placement)} sites, but f={self.f}, "
+                    f"k={self.k} requires exactly 3f+2k+1 = {self.n}; "
+                    f"adjust the placement counts or the resilience "
+                    f"parameters"
+                )
+            if any(count < 0 for count in self.placement.values()):
+                raise ValueError("placement counts must be non-negative")
+        if self.num_substations < 1:
+            raise ValueError(
+                f"num_substations must be >= 1 (got {self.num_substations})"
+            )
+        if self.num_hmis < 0:
+            raise ValueError(f"num_hmis must be >= 0 (got {self.num_hmis})")
+        if self.poll_interval_ms <= 0 or self.resubmit_timeout_ms <= 0:
+            raise ValueError(
+                "poll_interval_ms and resubmit_timeout_ms must be positive "
+                f"(got {self.poll_interval_ms}, {self.resubmit_timeout_ms})"
+            )
+        if self.overlay_mode not in ("flooding", "shortest"):
+            raise ValueError(
+                f"overlay_mode must be 'flooding' or 'shortest' "
+                f"(got {self.overlay_mode!r})"
+            )
+        if self.prime_preset not in ("wan", "lan"):
+            raise ValueError(
+                f"prime_preset must be 'wan' or 'lan' (got {self.prime_preset!r})"
+            )
+        if self.crypto_kind not in ("fast", "real"):
+            raise ValueError(
+                f"crypto_kind must be 'fast' or 'real' (got {self.crypto_kind!r})"
+            )
+        if self.checkpoint_interval_seqs < 1:
+            raise ValueError(
+                f"checkpoint_interval_seqs must be >= 1 "
+                f"(got {self.checkpoint_interval_seqs})"
+            )
+        if self.proactive_recovery is not None:
+            period_ms, duration_ms = self.proactive_recovery
+            if period_ms <= 0 or duration_ms <= 0:
+                raise ValueError(
+                    "proactive_recovery (period_ms, duration_ms) must both "
+                    f"be positive (got {self.proactive_recovery})"
+                )
+            if duration_ms >= period_ms:
+                raise ValueError(
+                    f"proactive recovery duration ({duration_ms}ms) must be "
+                    f"shorter than the period ({period_ms}ms), or replicas "
+                    f"re-crash before finishing recovery"
+                )
+        return self
 
 
 class SpireDeployment:
-    """A fully wired Spire system inside one simulator."""
+    """A fully wired Spire system inside one simulator.
+
+    All measurement flows through one :attr:`obs` handle
+    (:class:`repro.obs.Observability`): structured events, typed metrics
+    and spans for every layer. The legacy attributes — :attr:`trace`,
+    :attr:`status_recorder`, :attr:`command_recorder`,
+    :attr:`delivery_series` — are kept for one PR as views of the same
+    instruments (``trace`` *is* ``obs.log``; the recorders live in
+    ``obs.registry``).
+    """
 
     def __init__(
         self,
         options: Optional[SpireOptions] = None,
         topology: Optional[OverlayTopology] = None,
     ) -> None:
-        self.options = options or SpireOptions()
+        self.options = (options or SpireOptions()).validate()
         opts = self.options
         self.simulator = Simulator(seed=opts.seed)
         self.network = Network(self.simulator, LinkSpec(latency_ms=0.2, jitter_ms=0.05))
         self.trace = Trace(self.simulator)
+        if opts.observability:
+            self.obs = Observability(log=self.trace)
+            self.trace._obs = self.obs  # legacy trace= callers share it
+            self.simulator.bind_obs(self.obs)
+        else:
+            self.obs = NULL_OBS
         self.crypto: CryptoProvider = (
             RealCrypto(seed=f"spire/{opts.seed}")
             if opts.crypto_kind == "real"
             else FastCrypto(seed=f"spire/{opts.seed}")
         )
+        if opts.observability:
+            # Profile every crypto op; the inner provider (and therefore
+            # every signature/MAC byte) is unchanged.
+            self.crypto = TimedCrypto(self.crypto, self.obs)
         self.topology = topology or wide_area_topology()
         self.overlay = SpinesOverlay(
             self.simulator,
@@ -86,11 +212,19 @@ class SpireDeployment:
             mode=opts.overlay_mode,
             crypto=self.crypto,
             trace=self.trace,
+            obs=self.obs,
         )
         self.diversity = DiversityManager(seed=opts.seed)
-        self.status_recorder = LatencyRecorder()
-        self.command_recorder = LatencyRecorder()
-        self.delivery_series = IntervalSeries(interval_ms=1000.0)
+        if opts.observability:
+            self.status_recorder = self.obs.latency("proxy.status_latency")
+            self.command_recorder = self.obs.latency("hmi.command_latency")
+            self.delivery_series = self.obs.intervals(
+                "hmi.delivered_updates", interval_ms=1000.0
+            )
+        else:
+            self.status_recorder = LatencyRecorder()
+            self.command_recorder = LatencyRecorder()
+            self.delivery_series = IntervalSeries(interval_ms=1000.0)
         self._build_replicas()
         self._build_field()
         self._build_hmis()
@@ -105,6 +239,7 @@ class SpireDeployment:
                 recovery_duration_ms=duration_ms,
                 max_concurrent=opts.k if opts.k > 0 else 1,
                 trace=self.trace,
+                obs=self.obs,
                 on_rejuvenate=lambda r: self.diversity.rejuvenate(r.name),
                 min_live=self.prime_config.quorum,
             )
@@ -151,12 +286,14 @@ class SpireDeployment:
         self.replicas: List[SpireReplica] = []
         self.replica_sites: Dict[str, str] = {}
         for name, site_name in zip(names, sites):
+            app = ScadaMasterApp()
+            app.bind_obs(self.obs)
             replica = SpireReplica(
                 name, self.simulator, self.network, config, self.crypto,
-                app=ScadaMasterApp(), trace=self.trace,
+                app=app, trace=self.trace, obs=self.obs,
             )
             stack = self.overlay.attach(replica, site_name)
-            replica.transport = OverlayTransport(stack)
+            replica.transport = OverlayTransport(stack, obs=self.obs)
             self.diversity.assign(name)
             self.replicas.append(replica)
             self.replica_sites[name] = site_name
@@ -192,6 +329,7 @@ class SpireDeployment:
             trace=self.trace,
             poll_interval_ms=opts.poll_interval_ms,
             resubmit_timeout_ms=opts.resubmit_timeout_ms,
+            obs=self.obs,
         )
         self.proxy.stack = self.overlay.attach(self.proxy, self.field_site)
         for binding in bindings:
@@ -211,6 +349,7 @@ class SpireDeployment:
                 recorder=self.command_recorder,
                 trace=self.trace,
                 resubmit_timeout_ms=self.options.resubmit_timeout_ms,
+                obs=self.obs,
             )
             hmi.stack = self.overlay.attach(hmi, home)
             self.hmis.append(hmi)

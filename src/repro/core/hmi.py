@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..crypto.provider import CryptoProvider
+from ..obs import resolve_obs
 from ..simnet import Network, Process, Simulator, Trace
 from ..spines.overlay import OverlayStack
 from .collector import DeliveryCollector
@@ -38,11 +39,16 @@ class HmiClient(Process):
         trace: Optional[Trace] = None,
         resubmit_timeout_ms: float = 500.0,
         threshold_group: str = THRESHOLD_GROUP,
+        obs=None,
     ) -> None:
         super().__init__(name, simulator, network)
         self.crypto = crypto
         self.stack = stack
         self.trace = trace
+        self.obs = resolve_obs(obs, trace)
+        self._status_counter = (
+            self.obs.counter("hmi.status_updates") if self.obs.enabled else None
+        )
         self.collector = DeliveryCollector(crypto, threshold_group)
         self.submissions = SubmissionManager(
             client_name=name,
@@ -115,6 +121,8 @@ class HmiClient(Process):
         self.submissions.acknowledged(record.client, record.client_seq)
         if record.kind == "status" and isinstance(record.payload, StatusReading):
             self.status_updates_seen += 1
+            if self._status_counter is not None:
+                self._status_counter.inc()
             current = self.view.get(record.payload.substation)
             if current is None or current[0] < record.order_index:
                 self.view[record.payload.substation] = (

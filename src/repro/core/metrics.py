@@ -1,5 +1,20 @@
 """Measurement utilities used by tests, examples and benchmarks.
 
+.. deprecated::
+    These classes are now thin compatibility shims over the unified
+    observability layer, kept working for one PR:
+
+    * :class:`LatencyStats` is re-exported from
+      :class:`repro.obs.LatencyStats` unchanged;
+    * :class:`LatencyRecorder` subclasses
+      :class:`repro.obs.LatencyTracker`;
+    * :class:`IntervalSeries` subclasses
+      :class:`repro.obs.IntervalCounter`.
+
+    New code should obtain these instruments from a deployment's ``obs``
+    handle (``deployment.obs.latency("hmi.command")``) so they appear in
+    the registry snapshot and scenario reports automatically.
+
 The paper reports end-to-end *update latency* (poll at the proxy → verified
 delivery at the HMI/proxy) as distributions (mean / percentiles / CDF) and
 as timelines during attacks, plus availability over intervals. These
@@ -8,143 +23,24 @@ classes collect exactly those series from the simulation.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from repro.obs.instruments import IntervalCounter, LatencyStats, LatencyTracker
 
 __all__ = ["LatencyStats", "LatencyRecorder", "IntervalSeries"]
 
 
-@dataclass(frozen=True)
-class LatencyStats:
-    """Summary statistics over a latency sample (all in ms)."""
+class LatencyRecorder(LatencyTracker):
+    """Deprecated alias of :class:`repro.obs.LatencyTracker`.
 
-    count: int
-    mean: float
-    median: float
-    p90: float
-    p99: float
-    p999: float
-    maximum: float
-    minimum: float
-
-    @staticmethod
-    def from_samples(samples: Sequence[float]) -> "LatencyStats":
-        if not samples:
-            return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-        ordered = sorted(samples)
-
-        def percentile(p: float) -> float:
-            index = min(len(ordered) - 1, max(0, math.ceil(p * len(ordered)) - 1))
-            return ordered[index]
-
-        # fsum avoids catastrophic rounding on pathological inputs
-        # (e.g. subnormal samples); the clamp pins the remaining one-ulp
-        # division error inside [minimum, maximum].
-        mean = math.fsum(ordered) / len(ordered)
-        return LatencyStats(
-            count=len(ordered),
-            mean=min(max(mean, ordered[0]), ordered[-1]),
-            median=percentile(0.50),
-            p90=percentile(0.90),
-            p99=percentile(0.99),
-            p999=percentile(0.999),
-            maximum=ordered[-1],
-            minimum=ordered[0],
-        )
-
-    def row(self) -> str:
-        return (
-            f"n={self.count:7d}  mean={self.mean:8.2f}  median={self.median:8.2f}  "
-            f"p90={self.p90:8.2f}  p99={self.p99:8.2f}  p99.9={self.p999:8.2f}  "
-            f"max={self.maximum:8.2f}"
-        )
-
-
-class LatencyRecorder:
-    """Tracks per-item submit → acknowledge latency, keyed arbitrarily."""
+    Only the constructor differs: the legacy recorder was anonymous, so
+    ``name``/``deterministic`` stay at their defaults.
+    """
 
     def __init__(self) -> None:
-        self._submitted: Dict[Tuple, float] = {}
-        #: (ack_time, latency) pairs in acknowledgement order
-        self.samples: List[Tuple[float, float]] = []
-        self.duplicates = 0
-
-    def submitted(self, key: Tuple, at: float) -> None:
-        self._submitted.setdefault(key, at)
-
-    def acknowledged(self, key: Tuple, at: float) -> Optional[float]:
-        """Record completion; returns the latency (None for unknown/dup)."""
-        start = self._submitted.pop(key, None)
-        if start is None:
-            self.duplicates += 1
-            return None
-        latency = at - start
-        self.samples.append((at, latency))
-        return latency
-
-    @property
-    def outstanding(self) -> int:
-        return len(self._submitted)
-
-    def latencies(self, since: float = 0.0, until: Optional[float] = None) -> List[float]:
-        return [
-            latency for at, latency in self.samples
-            if at >= since and (until is None or at <= until)
-        ]
-
-    def stats(self, since: float = 0.0, until: Optional[float] = None) -> LatencyStats:
-        return LatencyStats.from_samples(self.latencies(since, until))
-
-    def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
-        """(latency, cumulative fraction) pairs for CDF plots/tables."""
-        values = sorted(latency for _, latency in self.samples)
-        if not values:
-            return []
-        step = max(1, len(values) // points)
-        out = []
-        for index in range(0, len(values), step):
-            out.append((values[index], (index + 1) / len(values)))
-        out.append((values[-1], 1.0))
-        return out
-
-    def timeline(self, bucket_ms: float) -> List[Tuple[float, float, int]]:
-        """(bucket_start, mean_latency, count) series for attack plots."""
-        buckets: Dict[int, List[float]] = {}
-        for at, latency in self.samples:
-            buckets.setdefault(int(at // bucket_ms), []).append(latency)
-        return [
-            (index * bucket_ms, sum(values) / len(values), len(values))
-            for index, values in sorted(buckets.items())
-        ]
+        super().__init__()
 
 
-class IntervalSeries:
-    """Counts events per fixed interval (e.g. delivered updates/second) —
-    the basis of the availability metric in the recovery and red-team
-    experiments."""
+class IntervalSeries(IntervalCounter):
+    """Deprecated alias of :class:`repro.obs.IntervalCounter`."""
 
     def __init__(self, interval_ms: float) -> None:
-        self.interval_ms = interval_ms
-        self._counts: Dict[int, int] = {}
-
-    def record(self, at: float, count: int = 1) -> None:
-        self._counts[int(at // self.interval_ms)] = (
-            self._counts.get(int(at // self.interval_ms), 0) + count
-        )
-
-    def series(self, start_ms: float, end_ms: float) -> List[Tuple[float, int]]:
-        first = int(start_ms // self.interval_ms)
-        last = int(end_ms // self.interval_ms)
-        return [
-            (index * self.interval_ms, self._counts.get(index, 0))
-            for index in range(first, last + 1)
-        ]
-
-    def availability(self, start_ms: float, end_ms: float, minimum: int = 1) -> float:
-        """Fraction of intervals with at least ``minimum`` events."""
-        series = self.series(start_ms, end_ms)
-        if not series:
-            return 0.0
-        good = sum(1 for _, count in series if count >= minimum)
-        return good / len(series)
+        super().__init__(interval_ms)

@@ -25,6 +25,7 @@ from ..scada.modbus import (
     unscale_measurement,
 )
 from ..scada.rtu import MEASUREMENT_ORDER, RtuDevice
+from ..obs import EV_COMMAND_TO_FIELD, resolve_obs
 from ..simnet import Network, Process, Simulator, Trace
 from ..spines.overlay import OverlayStack
 from .collector import DeliveryCollector
@@ -72,6 +73,7 @@ class RtuProxy(Process):
         device_timeout_ms: float = 50.0,
         resubmit_timeout_ms: float = 500.0,
         threshold_group: str = THRESHOLD_GROUP,
+        obs=None,
     ) -> None:
         super().__init__(name, simulator, network)
         self.crypto = crypto
@@ -79,6 +81,7 @@ class RtuProxy(Process):
         self._by_unit = {binding.unit_id: binding for binding in devices}
         self.stack = stack
         self.trace = trace
+        self.obs = resolve_obs(obs, trace)
         self.poll_interval_ms = poll_interval_ms
         self.device_timeout_ms = device_timeout_ms
         self.collector = DeliveryCollector(crypto, threshold_group)
@@ -221,9 +224,8 @@ class RtuProxy(Process):
             return
         frame = encode_frame(WriteCoilRequest(binding.unit_id, address, command.close))
         self.send(binding.device_name, RtuDevice.wrap(frame), size_bytes=16)
-        if self.trace is not None:
-            self.trace.event(
-                self.name, "command-to-field",
-                substation=command.substation, breaker=command.breaker_id,
-                close=command.close,
-            )
+        self.obs.event(
+            self.name, EV_COMMAND_TO_FIELD,
+            substation=command.substation, breaker=command.breaker_id,
+            close=command.close,
+        )

@@ -12,6 +12,14 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from ..obs import (
+    COMP_RECOVERY_SCHEDULER,
+    EV_REJUVENATE_DEFERRED,
+    EV_REJUVENATE_DONE,
+    EV_REJUVENATE_START,
+    Observability,
+    resolve_obs,
+)
 from ..simnet import Process, Simulator, Trace
 
 __all__ = ["ProactiveRecoveryScheduler"]
@@ -30,6 +38,7 @@ class ProactiveRecoveryScheduler:
         trace: Optional[Trace] = None,
         on_rejuvenate: Optional[Callable[[Process], None]] = None,
         min_live: Optional[int] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1")
@@ -39,6 +48,7 @@ class ProactiveRecoveryScheduler:
         self.recovery_duration_ms = recovery_duration_ms
         self.max_concurrent = max_concurrent
         self.trace = trace
+        self.obs = resolve_obs(obs, trace)
         self.on_rejuvenate = on_rejuvenate
         #: never start a rejuvenation that would leave fewer than this many
         #: replicas live (deployments pass the ordering quorum 2f+k+1);
@@ -84,9 +94,8 @@ class ProactiveRecoveryScheduler:
             # whole rejuvenation window. Defer this round; the rotation
             # resumes once enough replicas are back.
             self.deferred_rounds += 1
-            if self.trace is not None:
-                self.trace.event("recovery-scheduler", "rejuvenate-deferred",
-                                 live=self.live_count, min_live=self.min_live)
+            self.obs.event(COMP_RECOVERY_SCHEDULER, EV_REJUVENATE_DEFERRED,
+                           live=self.live_count, min_live=self.min_live)
             return
         candidates = len(self.replicas)
         for _ in range(candidates):
@@ -100,9 +109,8 @@ class ProactiveRecoveryScheduler:
     def _begin(self, replica: Process) -> None:
         self._in_recovery += 1
         self.recoveries_started += 1
-        if self.trace is not None:
-            self.trace.event("recovery-scheduler", "rejuvenate-start",
-                             replica=replica.name)
+        self.obs.event(COMP_RECOVERY_SCHEDULER, EV_REJUVENATE_START,
+                       replica=replica.name)
         replica.crash()
         self.simulator.schedule(self.recovery_duration_ms, self._finish, replica)
 
@@ -112,6 +120,5 @@ class ProactiveRecoveryScheduler:
         if self.on_rejuvenate is not None:
             self.on_rejuvenate(replica)
         replica.recover()
-        if self.trace is not None:
-            self.trace.event("recovery-scheduler", "rejuvenate-done",
-                             replica=replica.name)
+        self.obs.event(COMP_RECOVERY_SCHEDULER, EV_REJUVENATE_DONE,
+                       replica=replica.name)

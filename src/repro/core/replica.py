@@ -50,12 +50,17 @@ class SpireReplica(PrimeNode):
         trace: Optional[Trace] = None,
         transport: Optional[Transport] = None,
         threshold_group: str = THRESHOLD_GROUP,
+        obs=None,
     ) -> None:
         super().__init__(
             name, simulator, network, config,
             crypto, app or ScadaMasterApp(), trace=trace, transport=transport,
+            obs=obs,
         )
         self.threshold_group = threshold_group
+        self._deliveries_counter = (
+            self.obs.counter("replica.deliveries_sent") if self.obs.enabled else None
+        )
         self.share_index = config.index_of(name) + 1
         #: endpoints that receive every delivery (HMIs, historians)
         self.subscribers: List[str] = []
@@ -123,4 +128,6 @@ class SpireReplica(PrimeNode):
         for target in targets:
             if target != self.name:
                 self.deliveries_sent += 1
+                if self._deliveries_counter is not None:
+                    self._deliveries_counter.inc()
                 self.transport.send(target, delivery, size_bytes=350)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac as hmac_module
+from time import perf_counter as _perf_counter
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Optional, Tuple
 
@@ -42,6 +43,7 @@ __all__ = [
     "CryptoProvider",
     "RealCrypto",
     "FastCrypto",
+    "TimedCrypto",
     "Signature",
     "ThresholdShare",
     "ThresholdSignature",
@@ -262,3 +264,78 @@ class FastCrypto(CryptoProvider):
             self._secret("tsig", signature.group) + encode_cached(message)
         ).hexdigest()
         return signature.value == tag
+
+
+class TimedCrypto(CryptoProvider):
+    """Delegating wrapper that profiles every crypto operation.
+
+    Wraps any :class:`CryptoProvider` and records per-operation wall-clock
+    timing histograms (``crypto.<op>.wall_ms``, non-deterministic) plus
+    call counters (``crypto.<op>.calls``, deterministic) into a
+    ``repro.obs`` recorder. The underlying provider is untouched, so
+    signatures/MACs are bit-identical with or without the wrapper; if the
+    recorder is disabled the wrapper simply is not installed (deployments
+    construct it only when observability is on).
+    """
+
+    def __init__(self, inner: CryptoProvider, obs) -> None:
+        self.inner = inner
+        self._obs = obs
+        self._instruments: Dict[str, Tuple[Any, Any]] = {}
+
+    def _timed(self, op: str, fn, *args):
+        pair = self._instruments.get(op)
+        if pair is None:
+            pair = (
+                self._obs.counter(f"crypto.{op}.calls"),
+                self._obs.histogram(f"crypto.{op}.wall_ms", deterministic=False),
+            )
+            self._instruments[op] = pair
+        counter, hist = pair
+        counter.inc()
+        started = _perf_counter()
+        result = fn(*args)
+        hist.observe((_perf_counter() - started) * 1000.0)
+        return result
+
+    # -- individual signatures -----------------------------------------
+    def sign(self, signer: str, message: Any) -> Signature:
+        return self._timed("sign", self.inner.sign, signer, message)
+
+    def verify(self, signature: Signature, message: Any) -> bool:
+        return self._timed("verify", self.inner.verify, signature, message)
+
+    # -- link MACs ------------------------------------------------------
+    def mac(self, src: str, dst: str, message: Any) -> bytes:
+        return self._timed("mac", self.inner.mac, src, dst, message)
+
+    def check_mac(self, src: str, dst: str, message: Any, tag: bytes) -> bool:
+        return self._timed("check_mac", self.inner.check_mac, src, dst, message, tag)
+
+    # -- threshold signatures ------------------------------------------
+    def create_threshold_group(self, group: str, players: int, threshold: int) -> None:
+        return self._timed(
+            "create_threshold_group",
+            self.inner.create_threshold_group, group, players, threshold,
+        )
+
+    def threshold_parameters(self, group: str) -> Tuple[int, int]:
+        return self.inner.threshold_parameters(group)
+
+    def threshold_sign_share(self, group: str, index: int, message: Any) -> ThresholdShare:
+        return self._timed(
+            "threshold_sign_share",
+            self.inner.threshold_sign_share, group, index, message,
+        )
+
+    def threshold_combine(
+        self, group: str, message: Any, shares: Iterable[ThresholdShare]
+    ) -> Optional[ThresholdSignature]:
+        return self._timed(
+            "threshold_combine", self.inner.threshold_combine, group, message, shares
+        )
+
+    def threshold_verify(self, signature: ThresholdSignature, message: Any) -> bool:
+        return self._timed(
+            "threshold_verify", self.inner.threshold_verify, signature, message
+        )

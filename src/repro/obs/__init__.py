@@ -1,0 +1,106 @@
+"""``repro.obs`` — the unified observability layer.
+
+Every measurement in the reproduction flows through this package: typed
+**counters/gauges/histograms** in a central :class:`MetricRegistry`,
+hierarchical **spans** (wall-clock + sim-clock timing with parent/child
+nesting), a bounded structured **event log** (the engine behind
+:class:`repro.simnet.Trace`), and keyed **latency trackers** /
+**interval counters** (the engines behind the deprecated
+``repro.core.metrics`` recorders).
+
+The entry point is :class:`Observability` — one instance per deployment
+(``deployment.obs``) owns the registry, the event log and the span stack.
+Components accept an ``obs`` handle; when none is given they fall back to
+:data:`NULL_OBS`, a no-op recorder whose instruments swallow every call,
+so instrumentation has zero cost in un-observed runs.
+
+Quickstart::
+
+    from repro.obs import Observability
+
+    obs = Observability(now_fn=lambda: simulator.now)
+    requests = obs.counter("server.requests")
+    with obs.span("handle-request"):
+        requests.inc()
+        obs.event("server", "request-done", status=200)
+    print(obs.snapshot())
+"""
+
+from .events import (
+    Event,
+    EventLog,
+    NullEventLog,
+    # components
+    COMP_CAMPAIGN,
+    COMP_CHAOS,
+    COMP_RECOVERY_SCHEDULER,
+    # event kinds
+    EV_CHECKPOINT_STABLE,
+    EV_COMMAND_TO_FIELD,
+    EV_COMPROMISED,
+    EV_EQUIVOCATION,
+    EV_EVICTED,
+    EV_FAULT_SCHEDULED,
+    EV_NEW_VIEW,
+    EV_PBFT_NEW_VIEW,
+    EV_PBFT_TIMEOUT,
+    EV_PBFT_VIEW_CHANGE,
+    EV_RECOVERY_DONE,
+    EV_RECOVERY_START,
+    EV_REJUVENATE_DEFERRED,
+    EV_REJUVENATE_DONE,
+    EV_REJUVENATE_START,
+    EV_SUSPECT,
+    EV_VIEW_CHANGE_START,
+)
+from .instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    IntervalCounter,
+    LatencyStats,
+    LatencyTracker,
+    MetricRegistry,
+)
+from .recorder import NULL_OBS, NullObservability, Observability, resolve_obs
+from .spans import Span, SpanRecord, SpanRecorder
+
+__all__ = [
+    "Observability",
+    "NullObservability",
+    "NULL_OBS",
+    "resolve_obs",
+    "MetricRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencyStats",
+    "LatencyTracker",
+    "IntervalCounter",
+    "Event",
+    "EventLog",
+    "NullEventLog",
+    "Span",
+    "SpanRecord",
+    "SpanRecorder",
+    "COMP_CAMPAIGN",
+    "COMP_CHAOS",
+    "COMP_RECOVERY_SCHEDULER",
+    "EV_CHECKPOINT_STABLE",
+    "EV_COMMAND_TO_FIELD",
+    "EV_COMPROMISED",
+    "EV_EQUIVOCATION",
+    "EV_EVICTED",
+    "EV_FAULT_SCHEDULED",
+    "EV_NEW_VIEW",
+    "EV_PBFT_NEW_VIEW",
+    "EV_PBFT_TIMEOUT",
+    "EV_PBFT_VIEW_CHANGE",
+    "EV_RECOVERY_DONE",
+    "EV_RECOVERY_START",
+    "EV_REJUVENATE_DEFERRED",
+    "EV_REJUVENATE_DONE",
+    "EV_REJUVENATE_START",
+    "EV_SUSPECT",
+    "EV_VIEW_CHANGE_START",
+]

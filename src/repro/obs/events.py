@@ -1,0 +1,185 @@
+"""Structured event log plus the canonical event-kind vocabulary.
+
+An :class:`EventLog` is a bounded, in-memory structured log keyed by a
+caller-supplied clock. Components emit events (``log.event("prime",
+EV_NEW_VIEW, view=3)``); tests and benchmarks query them to assert
+protocol behaviour without parsing text. :class:`repro.simnet.Trace` is a
+thin shim over this class that binds the clock to a simulator.
+
+The module-level constants below replace the ad-hoc string kinds that
+used to be scattered across ``simnet``, ``prime``, ``pbft``, ``core`` and
+``chaos`` call sites — one spelling, importable, greppable. The string
+values are unchanged, so existing queries by literal string keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "NullEventLog",
+    "COMP_CAMPAIGN",
+    "COMP_CHAOS",
+    "COMP_RECOVERY_SCHEDULER",
+    "EV_CHECKPOINT_STABLE",
+    "EV_COMMAND_TO_FIELD",
+    "EV_COMPROMISED",
+    "EV_EQUIVOCATION",
+    "EV_EVICTED",
+    "EV_FAULT_SCHEDULED",
+    "EV_NEW_VIEW",
+    "EV_PBFT_NEW_VIEW",
+    "EV_PBFT_TIMEOUT",
+    "EV_PBFT_VIEW_CHANGE",
+    "EV_RECOVERY_DONE",
+    "EV_RECOVERY_START",
+    "EV_REJUVENATE_DEFERRED",
+    "EV_REJUVENATE_DONE",
+    "EV_REJUVENATE_START",
+    "EV_SUSPECT",
+    "EV_VIEW_CHANGE_START",
+]
+
+# ----------------------------------------------------------------------
+# Canonical components (emitters that are not a named process)
+# ----------------------------------------------------------------------
+COMP_RECOVERY_SCHEDULER = "recovery-scheduler"
+COMP_CAMPAIGN = "campaign"
+COMP_CHAOS = "chaos"
+
+# ----------------------------------------------------------------------
+# Prime protocol events
+# ----------------------------------------------------------------------
+EV_RECOVERY_START = "recovery-start"
+EV_RECOVERY_DONE = "recovery-done"
+EV_EQUIVOCATION = "equivocation"
+EV_CHECKPOINT_STABLE = "checkpoint-stable"
+EV_SUSPECT = "suspect"
+EV_VIEW_CHANGE_START = "view-change-start"
+EV_NEW_VIEW = "new-view"
+
+# ----------------------------------------------------------------------
+# PBFT baseline events
+# ----------------------------------------------------------------------
+EV_PBFT_TIMEOUT = "pbft-timeout"
+EV_PBFT_VIEW_CHANGE = "pbft-view-change"
+EV_PBFT_NEW_VIEW = "pbft-new-view"
+
+# ----------------------------------------------------------------------
+# Proactive recovery scheduler events
+# ----------------------------------------------------------------------
+EV_REJUVENATE_DEFERRED = "rejuvenate-deferred"
+EV_REJUVENATE_START = "rejuvenate-start"
+EV_REJUVENATE_DONE = "rejuvenate-done"
+
+# ----------------------------------------------------------------------
+# Endpoint / field events
+# ----------------------------------------------------------------------
+EV_COMMAND_TO_FIELD = "command-to-field"
+
+# ----------------------------------------------------------------------
+# Red-team campaign events
+# ----------------------------------------------------------------------
+EV_COMPROMISED = "compromised"
+EV_EVICTED = "evicted"
+
+# ----------------------------------------------------------------------
+# Chaos engine events
+# ----------------------------------------------------------------------
+EV_FAULT_SCHEDULED = "fault-scheduled"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured event record."""
+
+    time: float
+    component: str
+    kind: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        detail = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[t={self.time:10.1f}ms] {self.component:16s} {self.kind} {detail}"
+
+
+class EventLog:
+    """Bounded structured event log shared by one system's components.
+
+    ``now_fn`` supplies the timestamp for each emission (virtual time in
+    simulations). Past ``max_events`` the log stops storing and counts the
+    overflow in :attr:`dropped` — truncation is never silent; reports
+    surface the counter.
+    """
+
+    def __init__(
+        self,
+        now_fn: Optional[Callable[[], float]] = None,
+        max_events: int = 200_000,
+    ) -> None:
+        self.now_fn = now_fn or (lambda: 0.0)
+        self.max_events = max_events
+        self._events: List[Event] = []
+        #: events discarded because the log was full (visible in reports)
+        self.dropped = 0
+
+    def event(self, component: str, kind: str, **details: Any) -> None:
+        """Record one event at the current clock reading."""
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(Event(self.now_fn(), component, kind, details))
+
+    def events(
+        self,
+        component: Optional[str] = None,
+        kind: Optional[str] = None,
+        since: float = 0.0,
+        until: Optional[float] = None,
+    ) -> List[Event]:
+        """Query events, optionally filtered by component/kind/time window."""
+        out = []
+        for ev in self._events:
+            if component is not None and ev.component != component:
+                continue
+            if kind is not None and ev.kind != kind:
+                continue
+            if ev.time < since:
+                continue
+            if until is not None and ev.time > until:
+                continue
+            out.append(ev)
+        return out
+
+    def count(self, component: Optional[str] = None, kind: Optional[str] = None) -> int:
+        return len(self.events(component, kind))
+
+    def kind_counts(self) -> Dict[str, int]:
+        """Total recorded events per kind (sorted), for report summaries."""
+        counts: Dict[str, int] = {}
+        for ev in self._events:
+            counts[ev.kind] = counts.get(ev.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterable[Event]:
+        return iter(self._events)
+
+
+class NullEventLog(EventLog):
+    """Event log that records nothing (the disabled-observability path)."""
+
+    def __init__(self) -> None:
+        super().__init__(max_events=0)
+
+    def event(self, component: str, kind: str, **details: Any) -> None:
+        pass  # no dropped accounting either: disabled means zero work

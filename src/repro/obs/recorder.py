@@ -1,0 +1,324 @@
+"""The :class:`Observability` handle — one per deployment — and its no-op twin.
+
+``Observability`` bundles the three measurement surfaces behind a single
+object components can share:
+
+* a :class:`~repro.obs.instruments.MetricRegistry` of typed instruments,
+* a structured :class:`~repro.obs.events.EventLog`,
+* a :class:`~repro.obs.spans.SpanRecorder` for nested wall/sim timing.
+
+Components never construct their own; they accept an ``obs`` parameter
+and call :func:`resolve_obs` which falls back to :data:`NULL_OBS`, a
+shared :class:`NullObservability` whose instruments swallow every call.
+Hot paths additionally guard optional work (wall-clock reads, span
+creation) behind ``obs.enabled`` so disabled runs pay only an attribute
+test.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .events import EventLog, NullEventLog
+from .instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    IntervalCounter,
+    LatencyStats,
+    LatencyTracker,
+    MetricRegistry,
+)
+from .spans import NULL_SPAN, Span, SpanRecorder
+
+__all__ = ["Observability", "NullObservability", "NULL_OBS", "resolve_obs"]
+
+
+class Observability:
+    """Owns one system's registry, event log and span recorder.
+
+    ``now_fn`` reads the system's (virtual) clock and stamps events and
+    span sim-times. Pass ``log=`` to adopt an existing event log (this is
+    how a deployment's ``Trace`` shim and its ``obs`` handle share one
+    log); otherwise a fresh :class:`EventLog` is created.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        now_fn: Optional[Callable[[], float]] = None,
+        log: Optional[EventLog] = None,
+        max_events: int = 200_000,
+        wall_now_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if now_fn is None and log is not None:
+            now_fn = log.now_fn
+        self.now_fn = now_fn or (lambda: 0.0)
+        self.registry = MetricRegistry()
+        self.log = log if log is not None else EventLog(self.now_fn, max_events)
+        self.spans = SpanRecorder(
+            sim_now_fn=self.now_fn,
+            wall_now_fn=wall_now_fn,
+            registry=self.registry,
+        )
+
+    # -- instruments (get-or-create, delegated to the registry) --------
+    def counter(self, name: str, deterministic: bool = True) -> Counter:
+        return self.registry.counter(name, deterministic)
+
+    def gauge(self, name: str, deterministic: bool = True) -> Gauge:
+        return self.registry.gauge(name, deterministic)
+
+    def histogram(
+        self, name: str, deterministic: bool = True, max_samples: int = 200_000
+    ) -> Histogram:
+        return self.registry.histogram(name, deterministic, max_samples)
+
+    def latency(self, name: str, deterministic: bool = True) -> LatencyTracker:
+        return self.registry.latency(name, deterministic)
+
+    def intervals(
+        self, name: str, interval_ms: float = 1000.0, deterministic: bool = True
+    ) -> IntervalCounter:
+        return self.registry.intervals(name, interval_ms, deterministic)
+
+    # -- events --------------------------------------------------------
+    def event(self, component: str, kind: str, **details: Any) -> None:
+        self.log.event(component, kind, **details)
+
+    # -- spans ---------------------------------------------------------
+    def span(self, name: str, **details: Any) -> Span:
+        return self.spans.start(name, **details)
+
+    # -- snapshots -----------------------------------------------------
+    def snapshot(self, deterministic_only: bool = False) -> Dict[str, Any]:
+        """JSON-serializable image of metrics plus event-log summary."""
+        return {
+            "metrics": self.registry.snapshot(deterministic_only),
+            "events": {
+                "recorded": len(self.log),
+                "dropped": self.log.dropped,
+                "kinds": self.log.kind_counts(),
+            },
+        }
+
+    @classmethod
+    def for_trace(cls, trace: EventLog) -> "Observability":
+        """Observability wrapper sharing ``trace`` as its event log.
+
+        Cached on the trace object so every component handed the same
+        legacy ``trace=`` ends up on the same registry.
+        """
+        cached = getattr(trace, "_obs", None)
+        if cached is None:
+            cached = cls(log=trace)
+            trace._obs = cached
+        return cached
+
+
+class _NullInstrument:
+    """Shared no-op instrument: every mutator is a pass, every reader
+    returns an empty default. One singleton per family serves all
+    callers of :data:`NULL_OBS`."""
+
+    __slots__ = ()
+    name = "null"
+    deterministic = True
+
+    def snapshot(self) -> Any:
+        return None
+
+
+class _NullCounter(_NullInstrument):
+    kind = "counter"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def snapshot(self) -> int:
+        return 0
+
+
+class _NullGauge(_NullInstrument):
+    kind = "gauge"
+    value = 0.0
+    minimum = None
+    maximum = None
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(_NullInstrument):
+    kind = "histogram"
+    samples: Tuple[float, ...] = ()
+    count = 0
+    total = 0.0
+    overflowed = 0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(())
+
+
+class _NullLatency(_NullInstrument):
+    kind = "latency"
+    samples: Tuple[Tuple[float, float], ...] = ()
+    duplicates = 0
+    outstanding = 0
+
+    def submitted(self, key, at: float) -> None:
+        pass
+
+    def acknowledged(self, key, at: float) -> None:
+        return None
+
+    def latencies(self, since: float = 0.0, until: Optional[float] = None) -> List[float]:
+        return []
+
+    def stats(self, since: float = 0.0, until: Optional[float] = None) -> LatencyStats:
+        return LatencyStats.from_samples(())
+
+    def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
+        return []
+
+    def cdf_at_marks(
+        self, marks: Sequence[float], since: float = 0.0,
+        until: Optional[float] = None,
+    ) -> List[float]:
+        return [0.0 for _ in marks]
+
+    def timeline(self, bucket_ms: float) -> List[Tuple[float, float, int]]:
+        return []
+
+
+class _NullIntervals(_NullInstrument):
+    kind = "intervals"
+    interval_ms = 1000.0
+
+    def record(self, at: float, count: int = 1) -> None:
+        pass
+
+    def series(self, start_ms: float, end_ms: float) -> List[Tuple[float, int]]:
+        return []
+
+    def availability(self, start_ms: float, end_ms: float, minimum: int = 1) -> float:
+        return 0.0
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+_NULL_LATENCY = _NullLatency()
+_NULL_INTERVALS = _NullIntervals()
+
+
+class _NullRegistry:
+    """Registry facade returning the shared null instruments."""
+
+    __slots__ = ()
+
+    def counter(self, name: str, deterministic: bool = True) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, deterministic: bool = True) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self, name: str, deterministic: bool = True, max_samples: int = 200_000
+    ) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def latency(self, name: str, deterministic: bool = True) -> _NullLatency:
+        return _NULL_LATENCY
+
+    def intervals(
+        self, name: str, interval_ms: float = 1000.0, deterministic: bool = True
+    ) -> _NullIntervals:
+        return _NULL_INTERVALS
+
+    def register(self, instrument):
+        return instrument
+
+    def names(self) -> List[str]:
+        return []
+
+    def get(self, name: str) -> None:
+        return None
+
+    def snapshot(self, deterministic_only: bool = False) -> Dict[str, Any]:
+        return {}
+
+
+class _NullSpanRecorder:
+    """Span recorder facade: never times, never stores."""
+
+    __slots__ = ()
+    records: Tuple = ()
+    dropped = 0
+    depth = 0
+
+    def start(self, name: str, **details: Any):
+        return NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def by_path(self, path: str) -> List:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+class NullObservability(Observability):
+    """Disabled observability: every call is a no-op.
+
+    A single shared instance (:data:`NULL_OBS`) serves every
+    un-observed component; nothing is allocated per call, so the hot
+    path cost of instrumentation collapses to an ``obs.enabled`` test
+    (or a no-op method call where timing isn't involved).
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.now_fn = lambda: 0.0
+        self.registry = _NullRegistry()
+        self.log = NullEventLog()
+        self.spans = _NullSpanRecorder()
+
+    def event(self, component: str, kind: str, **details: Any) -> None:
+        pass
+
+    def span(self, name: str, **details: Any):
+        return NULL_SPAN
+
+    def snapshot(self, deterministic_only: bool = False) -> Dict[str, Any]:
+        return {"metrics": {}, "events": {"recorded": 0, "dropped": 0, "kinds": {}}}
+
+
+#: Shared no-op recorder — the default for every component not handed an
+#: explicit ``obs``.
+NULL_OBS = NullObservability()
+
+
+def resolve_obs(
+    obs: Optional[Observability] = None, trace: Optional[EventLog] = None
+) -> Observability:
+    """Resolve a component's ``obs`` parameter.
+
+    Priority: an explicit ``obs`` wins; else a legacy ``trace=`` argument
+    is wrapped via :meth:`Observability.for_trace` (all components
+    sharing that trace share one registry); else :data:`NULL_OBS`.
+    """
+    if obs is not None:
+        return obs
+    if trace is not None and not isinstance(trace, NullEventLog):
+        return Observability.for_trace(trace)
+    return NULL_OBS

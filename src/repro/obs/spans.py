@@ -1,0 +1,168 @@
+"""Hierarchical spans: timed regions on both the wall clock and sim clock.
+
+A span measures one named region of work. Spans nest — entering a span
+while another is open makes it a child, and the recorder tracks the full
+ancestry path (``"chaos.run/replica.dispatch"``). Each span captures two
+durations:
+
+* **wall time** (``time.perf_counter``) — where the *host* spends time;
+  the signal perf PRs optimise against. Inherently nondeterministic, so
+  wall aggregates are registered ``deterministic=False`` and excluded
+  from deterministic snapshots.
+* **sim time** (the deployment's virtual clock) — where *simulated* time
+  goes; deterministic for a given seed.
+
+Aggregation is per-path into the owning :class:`~repro.obs.instruments.
+MetricRegistry` (``span.<path>.wall_ms`` / ``span.<path>.sim_ms``
+histograms), so span data appears in the same snapshot as every other
+metric. Individual :class:`SpanRecord` objects are retained up to a
+bound for fine-grained inspection in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Span", "SpanRecord", "SpanRecorder"]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or open) span instance."""
+
+    name: str
+    path: str
+    depth: int
+    start_wall: float
+    start_sim: float
+    end_wall: Optional[float] = None
+    end_sim: Optional[float] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_ms(self) -> float:
+        if self.end_wall is None:
+            return 0.0
+        return (self.end_wall - self.start_wall) * 1000.0
+
+    @property
+    def sim_ms(self) -> float:
+        if self.end_sim is None:
+            return 0.0
+        return self.end_sim - self.start_sim
+
+
+class Span:
+    """Context manager handle for one open span."""
+
+    __slots__ = ("_recorder", "record")
+
+    def __init__(self, recorder: "SpanRecorder", record: SpanRecord) -> None:
+        self._recorder = recorder
+        self.record = record
+
+    def annotate(self, **details: Any) -> "Span":
+        self.record.details.update(details)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._recorder._finish(self)
+
+
+class _NullSpan:
+    """Reusable no-op span for disabled observability."""
+
+    __slots__ = ()
+
+    def annotate(self, **details: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanRecorder:
+    """Tracks the open-span stack and aggregates completed spans.
+
+    ``sim_now_fn`` reads the virtual clock; ``wall_now_fn`` defaults to
+    ``time.perf_counter``. ``registry`` (optional) receives per-path
+    wall/sim histograms so spans share the metric snapshot.
+    """
+
+    def __init__(
+        self,
+        sim_now_fn: Optional[Callable[[], float]] = None,
+        wall_now_fn: Optional[Callable[[], float]] = None,
+        registry=None,
+        max_records: int = 10_000,
+    ) -> None:
+        self.sim_now_fn = sim_now_fn or (lambda: 0.0)
+        self.wall_now_fn = wall_now_fn or time.perf_counter
+        self.registry = registry
+        self.max_records = max_records
+        self.records: List[SpanRecord] = []
+        self.dropped = 0
+        self._stack: List[SpanRecord] = []
+
+    def start(self, name: str, **details: Any) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        path = f"{parent.path}/{name}" if parent is not None else name
+        record = SpanRecord(
+            name=name,
+            path=path,
+            depth=len(self._stack),
+            start_wall=self.wall_now_fn(),
+            start_sim=self.sim_now_fn(),
+            details=dict(details),
+        )
+        self._stack.append(record)
+        return Span(self, record)
+
+    def _finish(self, span: Span) -> None:
+        record = span.record
+        record.end_wall = self.wall_now_fn()
+        record.end_sim = self.sim_now_fn()
+        # Tolerate out-of-order exits (exceptions unwinding): pop back to
+        # this record if it is on the stack.
+        if record in self._stack:
+            while self._stack and self._stack[-1] is not record:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+        if len(self.records) < self.max_records:
+            self.records.append(record)
+        else:
+            self.dropped += 1
+        if self.registry is not None:
+            self.registry.histogram(
+                f"span.{record.path}.wall_ms", deterministic=False
+            ).observe(record.wall_ms)
+            self.registry.histogram(
+                f"span.{record.path}.sim_ms"
+            ).observe(record.sim_ms)
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def current(self) -> Optional[SpanRecord]:
+        return self._stack[-1] if self._stack else None
+
+    def by_path(self, path: str) -> List[SpanRecord]:
+        return [record for record in self.records if record.path == path]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self._stack.clear()
+        self.dropped = 0

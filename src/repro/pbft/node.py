@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..crypto.encoding import digest
 from ..crypto.provider import CryptoProvider
+from ..obs import EV_PBFT_NEW_VIEW, EV_PBFT_TIMEOUT, EV_PBFT_VIEW_CHANGE
 from ..prime.app import ReplicatedApplication
 from ..prime.messages import ClientUpdate, SignedMessage
 from ..prime.dedup import ClientDedup
@@ -378,7 +379,7 @@ class PbftNode(Process):
         oldest = min((since for _, since in self._pending.values()), default=None)
         if oldest is not None and now - oldest > self.config.request_timeout_ms:
             if self.trace is not None:
-                self.trace.event(self.name, "pbft-timeout", view=self.view,
+                self.trace.event(self.name, EV_PBFT_TIMEOUT, view=self.view,
                                  age=now - oldest)
             self._start_view_change(self.view + 1)
 
@@ -389,7 +390,7 @@ class PbftNode(Process):
         self.view = max(self.view, new_view)
         self.in_view_change = True
         if self.trace is not None:
-            self.trace.event(self.name, "pbft-view-change", view=new_view)
+            self.trace.event(self.name, EV_PBFT_VIEW_CHANGE, view=new_view)
         prepared = []
         for seq in sorted(self.slots):
             slot = self.slots[seq]
@@ -490,7 +491,7 @@ class PbftNode(Process):
         self._min_fresh_seq = (expected[-1][0] if expected else self.last_executed) + 1
         self._next_seq = max(self._next_seq, self._min_fresh_seq)
         if self.trace is not None:
-            self.trace.event(self.name, "pbft-new-view", view=msg.view)
+            self.trace.event(self.name, EV_PBFT_NEW_VIEW, view=msg.view)
         for pp_signed in msg.pre_prepares:
             self._on_pre_prepare(pp_signed, pp_signed.payload, from_new_view=True)
         # re-forward pending work to the new leader

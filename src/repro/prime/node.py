@@ -19,10 +19,22 @@ all correct replicas execute the same sequence of client updates.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..crypto.encoding import digest
 from ..crypto.provider import CryptoProvider, Signature
+from ..obs import (
+    EV_CHECKPOINT_STABLE,
+    EV_EQUIVOCATION,
+    EV_NEW_VIEW,
+    EV_RECOVERY_DONE,
+    EV_RECOVERY_START,
+    EV_SUSPECT,
+    EV_VIEW_CHANGE_START,
+    Observability,
+    resolve_obs,
+)
 from ..simnet import Network, Process, Simulator, Trace
 from .app import ReplicatedApplication
 from .checkpoint import CheckpointManager
@@ -117,6 +129,7 @@ class PrimeNode(Process):
         app: ReplicatedApplication,
         trace: Optional[Trace] = None,
         transport: Optional[Transport] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         super().__init__(name, simulator, network)
         if name not in config.replicas:
@@ -125,7 +138,12 @@ class PrimeNode(Process):
         self.crypto = crypto
         self.app = app
         self.trace = trace
-        self.transport: Transport = transport or DirectTransport(self)
+        self.obs = resolve_obs(obs, trace)
+        # Per-message-kind profiling instruments, resolved lazily so the
+        # registry is consulted once per kind, not once per message.
+        self._handler_timing: Dict[type, Any] = {}
+        self._handler_counts: Dict[type, Any] = {}
+        self.transport: Transport = transport or DirectTransport(self, obs=self.obs)
         # State-transfer requests back off exponentially (with jitter) so a
         # recovering replica behind a lossy or partitioned link does not
         # flood the network with fixed-rate rebroadcasts.
@@ -197,8 +215,7 @@ class PrimeNode(Process):
         self.app.restore(self._genesis)
         self._init_protocol_state()
         self.awaiting_state = True
-        if self.trace is not None:
-            self.trace.event(self.name, "recovery-start", epoch=self._recoveries)
+        self.obs.event(self.name, EV_RECOVERY_START, epoch=self._recoveries)
         if self._started:
             self._start_timers()
             self._request_state()
@@ -266,9 +283,24 @@ class PrimeNode(Process):
             owner = payload.origin.split("#", 1)[0]
             if owner != signed.signature.signer or owner not in self.config.replicas:
                 return
-        handler = self._HANDLERS.get(type(payload))
-        if handler is not None:
+        kind = type(payload)
+        handler = self._HANDLERS.get(kind)
+        if handler is None:
+            return
+        if not self.obs.enabled:
             handler(self, signed, payload)
+            return
+        counter = self._handler_counts.get(kind)
+        if counter is None:
+            counter = self.obs.counter(f"prime.msgs.{kind.__name__}")
+            self._handler_counts[kind] = counter
+            self._handler_timing[kind] = self.obs.histogram(
+                f"prime.handler.{kind.__name__}.wall_ms", deterministic=False
+            )
+        counter.inc()
+        started = perf_counter()
+        handler(self, signed, payload)
+        self._handler_timing[kind].observe((perf_counter() - started) * 1000.0)
 
     # ------------------------------------------------------------------
     # Client updates and batching
@@ -324,9 +356,9 @@ class PrimeNode(Process):
         content_digest = digest(msg)
         existing = state.digests.get(msg.po_seq)
         if existing is not None:
-            if existing != content_digest and self.trace:
-                self.trace.event(self.name, "equivocation", origin=msg.origin,
-                                 po_seq=msg.po_seq)
+            if existing != content_digest:
+                self.obs.event(self.name, EV_EQUIVOCATION, origin=msg.origin,
+                               po_seq=msg.po_seq)
             return
         state.requests[msg.po_seq] = signed
         state.digests[msg.po_seq] = content_digest
@@ -641,8 +673,7 @@ class PrimeNode(Process):
     def _on_checkpoint(self, signed: SignedMessage, msg: CheckpointMsg) -> None:
         stable = self.checkpoints.add_vote(signed, msg)
         if stable is not None:
-            if self.trace is not None:
-                self.trace.event(self.name, "checkpoint-stable", seq=stable)
+            self.obs.event(self.name, EV_CHECKPOINT_STABLE, seq=stable)
             self._garbage_collect(stable)
 
     def _garbage_collect(self, stable_seq: int) -> None:
@@ -909,8 +940,7 @@ class PrimeNode(Process):
 
     def _send_suspect(self, reason: str) -> None:
         self.view_manager.note_own_suspect(self.view)
-        if self.trace is not None:
-            self.trace.event(self.name, "suspect", view=self.view, reason=reason)
+        self.obs.event(self.name, EV_SUSPECT, view=self.view, reason=reason)
         self._broadcast(Suspect(self.name, self.view, reason))
 
     def _on_suspect(self, signed: SignedMessage, msg: Suspect) -> None:
@@ -933,8 +963,7 @@ class PrimeNode(Process):
         self.in_view_change = True
         self.monitor.reset_for_new_view()
         self._last_proposed_key = None
-        if self.trace is not None:
-            self.trace.event(self.name, "view-change-start", view=new_view)
+        self.obs.event(self.name, EV_VIEW_CHANGE_START, view=new_view)
         prepared = []
         for seq in sorted(self.slots):
             slot = self.slots[seq]
@@ -1030,8 +1059,7 @@ class PrimeNode(Process):
         if self._vc_timer is not None:
             self._vc_timer.cancel()
             self._vc_timer = None
-        if self.trace is not None:
-            self.trace.event(self.name, "new-view", view=view, max_seq=max_seq)
+        self.obs.event(self.name, EV_NEW_VIEW, view=view, max_seq=max_seq)
         for pp_signed in pre_prepares:
             self._on_pre_prepare(pp_signed, pp_signed.payload, from_new_view=True)
         self.view_manager.garbage_collect(view)
@@ -1091,8 +1119,7 @@ class PrimeNode(Process):
                     self.awaiting_state = False
                     self._genesis_replies.clear()
                     self._reset_state_retry()
-                    if self.trace is not None:
-                        self.trace.event(self.name, "recovery-done", seq=0)
+                    self.obs.event(self.name, EV_RECOVERY_DONE, seq=0)
             return
         if msg.checkpoint_seq <= self.last_executed_seq:
             return
@@ -1128,8 +1155,7 @@ class PrimeNode(Process):
         self.awaiting_state = False
         self._reset_state_retry()
         self._summary_dirty = True
-        if self.trace is not None:
-            self.trace.event(self.name, "recovery-done", seq=msg.checkpoint_seq)
+        self.obs.event(self.name, EV_RECOVERY_DONE, seq=msg.checkpoint_seq)
         self._try_execute()
 
     # ------------------------------------------------------------------

@@ -81,6 +81,27 @@ class Simulator:
         self._rngs: dict[str, random.Random] = {}
         self._events_processed = 0
         self._stopped = False
+        # Observability: bound lazily so un-observed simulations pay only
+        # a None test per event in the hot loop.
+        self._obs = None
+        self._obs_events = None
+        self._obs_scheduled = None
+
+    def bind_obs(self, obs) -> None:
+        """Mirror engine counters into an ``repro.obs`` recorder.
+
+        The engine itself stays import-independent of ``repro.obs``; the
+        deployment (or test) passes the recorder in. Counters are
+        pre-resolved here so :meth:`step` never does a registry lookup.
+        """
+        if obs is None or not getattr(obs, "enabled", False):
+            self._obs = None
+            self._obs_events = None
+            self._obs_scheduled = None
+            return
+        self._obs = obs
+        self._obs_events = obs.counter("sim.events_processed")
+        self._obs_scheduled = obs.counter("sim.events_scheduled")
 
     # ------------------------------------------------------------------
     # Randomness
@@ -125,6 +146,8 @@ class Simulator:
             )
         event = _Event(when, priority, next(self._seq), action, args)
         heapq.heappush(self._queue, event)
+        if self._obs_scheduled is not None:
+            self._obs_scheduled.inc()
         return Timer(event, self)
 
     def call_every(
@@ -191,6 +214,8 @@ class Simulator:
             self.now = event.time
             event.action(*event.args)
             self._events_processed += 1
+            if self._obs_events is not None:
+                self._obs_events.inc()
             return True
         return False
 

@@ -1,82 +1,41 @@
 """Structured tracing for simulated components.
 
+.. deprecated::
+    :class:`Trace` is now a thin compatibility shim over
+    :class:`repro.obs.EventLog` — the structured event log of the unified
+    observability layer — kept for one PR. New code should go through a
+    deployment's ``obs`` handle (``deployment.obs.event(...)``) or create
+    a :class:`repro.obs.EventLog` directly; ``TraceEvent`` is an alias of
+    :class:`repro.obs.Event`.
+
 A :class:`Trace` is a bounded, in-memory structured log keyed by virtual
 time. Components emit events (``trace.event("prime", "view-change",
 view=3)``); tests and benchmarks query them to assert protocol behaviour
 (e.g. "exactly one view change happened during the DoS window") without
-parsing text.
+parsing text. Events past ``max_events`` are counted in :attr:`Trace.
+dropped` rather than silently discarded.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from repro.obs.events import Event, EventLog
 
 from .engine import Simulator
 
 __all__ = ["Trace", "TraceEvent"]
 
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One structured trace record."""
-
-    time: float
-    component: str
-    kind: str
-    details: Dict[str, Any] = field(default_factory=dict)
-
-    def __str__(self) -> str:  # pragma: no cover - debug aid
-        detail = " ".join(f"{k}={v}" for k, v in self.details.items())
-        return f"[t={self.time:10.1f}ms] {self.component:16s} {self.kind} {detail}"
+# Backwards-compatible alias: trace records *are* obs events.
+TraceEvent = Event
 
 
-class Trace:
-    """Bounded structured event log shared by a simulation's components."""
+class Trace(EventLog):
+    """Bounded structured event log bound to a simulator's virtual clock.
+
+    Deprecated shim: all behaviour lives in :class:`repro.obs.EventLog`;
+    this subclass only binds ``now_fn`` to ``simulator.now`` and keeps
+    the legacy ``simulator`` attribute.
+    """
 
     def __init__(self, simulator: Simulator, max_events: int = 200_000) -> None:
+        super().__init__(now_fn=lambda: simulator.now, max_events=max_events)
         self.simulator = simulator
-        self.max_events = max_events
-        self._events: List[TraceEvent] = []
-        self.dropped = 0
-
-    def event(self, component: str, kind: str, **details: Any) -> None:
-        """Record one event at the current virtual time."""
-        if len(self._events) >= self.max_events:
-            self.dropped += 1
-            return
-        self._events.append(TraceEvent(self.simulator.now, component, kind, details))
-
-    def events(
-        self,
-        component: Optional[str] = None,
-        kind: Optional[str] = None,
-        since: float = 0.0,
-        until: Optional[float] = None,
-    ) -> List[TraceEvent]:
-        """Query events, optionally filtered by component/kind/time window."""
-        out = []
-        for ev in self._events:
-            if component is not None and ev.component != component:
-                continue
-            if kind is not None and ev.kind != kind:
-                continue
-            if ev.time < since:
-                continue
-            if until is not None and ev.time > until:
-                continue
-            out.append(ev)
-        return out
-
-    def count(self, component: Optional[str] = None, kind: Optional[str] = None) -> int:
-        return len(self.events(component, kind))
-
-    def clear(self) -> None:
-        self._events.clear()
-        self.dropped = 0
-
-    def __len__(self) -> int:
-        return len(self._events)
-
-    def __iter__(self) -> Iterable[TraceEvent]:
-        return iter(self._events)

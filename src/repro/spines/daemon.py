@@ -26,6 +26,7 @@ from collections import OrderedDict, deque
 from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
 
 from ..crypto.provider import CryptoProvider
+from ..obs import Observability, resolve_obs
 from ..simnet import Network, Process, Simulator, Trace
 from .messages import OverlayData, OverlayDeliver, OverlayForward, OverlayIngress
 from .routing import RoutingStrategy
@@ -52,12 +53,26 @@ class SpinesDaemon(Process):
         fairness: bool = True,
         forward_capacity_per_ms: float = 0.0,
         dedup_window: int = 50_000,
+        obs: Optional[Observability] = None,
     ) -> None:
         super().__init__(f"spines:{site_name}", simulator, network)
         self.site_name = site_name
         self.routing = routing
         self.crypto = crypto
         self.trace = trace
+        self.obs = resolve_obs(obs, trace)
+        # Instruments shared by all daemons of a deployment (same names →
+        # same registry entries); resolved once so hops pay a None test.
+        self._hop_latency = None
+        self._e2e_latency = None
+        self._drop_counters: Dict[str, Any] = {}
+        if self.obs.enabled:
+            self._hop_latency = self.obs.histogram("spines.hop_latency_ms")
+            self._e2e_latency = self.obs.histogram("spines.transit_latency_ms")
+            for reason in ("auth", "dup", "behavior"):
+                self._drop_counters[reason] = self.obs.counter(
+                    f"spines.dropped_{reason}"
+                )
         self.link_auth = link_auth
         self.fairness = fairness
         self.forward_capacity_per_ms = forward_capacity_per_ms
@@ -92,6 +107,12 @@ class SpinesDaemon(Process):
     def daemon_name(site_name: str) -> str:
         return f"spines:{site_name}"
 
+    def _count_drop(self, reason: str) -> None:
+        self.stats[f"dropped_{reason}"] += 1
+        counter = self._drop_counters.get(reason)
+        if counter is not None:
+            counter.inc()
+
     # ------------------------------------------------------------------
     # Receive paths
     # ------------------------------------------------------------------
@@ -103,7 +124,7 @@ class SpinesDaemon(Process):
 
     def _on_ingress(self, src: str, data: OverlayData) -> None:
         if src not in self.attached or data.origin != src:
-            self.stats["dropped_auth"] += 1
+            self._count_drop("auth")
             return
         self.stats["ingress"] += 1
         if self._record_seen(data):
@@ -112,15 +133,17 @@ class SpinesDaemon(Process):
     def _on_forward(self, src: str, message: OverlayForward) -> None:
         sender_site = message.sender
         if self.daemon_name(sender_site) != src or sender_site not in self.neighbors:
-            self.stats["dropped_auth"] += 1
+            self._count_drop("auth")
             return
         if self.link_auth and not self.crypto.check_mac(
             src, self.name, message.data, message.mac
         ):
-            self.stats["dropped_auth"] += 1
+            self._count_drop("auth")
             return
+        if self._hop_latency is not None and message.sent_at:
+            self._hop_latency.observe(self.simulator.now - message.sent_at)
         if not self._record_seen(message.data):
-            self.stats["dropped_dup"] += 1
+            self._count_drop("dup")
             return
         self._route(message.data, arrived_from=sender_site)
 
@@ -154,13 +177,15 @@ class SpinesDaemon(Process):
             before = self.stats["forwarded"] + self.stats["delivered"]
             self._behavior(data, default_action)
             if self.stats["forwarded"] + self.stats["delivered"] == before:
-                self.stats["dropped_behavior"] += 1
+                self._count_drop("behavior")
         else:
             default_action()
 
     def _deliver_local(self, data: OverlayData) -> None:
         if data.dest in self.attached:
             self.stats["delivered"] += 1
+            if self._e2e_latency is not None and data.sent_at:
+                self._e2e_latency.observe(self.simulator.now - data.sent_at)
             self.send(data.dest, OverlayDeliver(data), size_bytes=data.size_bytes)
 
     # ------------------------------------------------------------------
@@ -199,7 +224,9 @@ class SpinesDaemon(Process):
         dst = self.daemon_name(neighbor_site)
         mac = self.crypto.mac(self.name, dst, data) if self.link_auth else b""
         self.stats["forwarded"] += 1
-        self.send(dst, OverlayForward(data, self.site_name, mac), size_bytes=data.size_bytes)
+        sent_at = self.simulator.now if self._hop_latency is not None else 0.0
+        self.send(dst, OverlayForward(data, self.site_name, mac, sent_at),
+                  size_bytes=data.size_bytes)
 
     # ------------------------------------------------------------------
     def on_recover(self) -> None:

@@ -22,6 +22,9 @@ class OverlayData:
     payload: Any
     size_bytes: int = 256
     priority: int = 0
+    #: virtual send time at the origin endpoint (for end-to-end overlay
+    #: latency profiling; 0.0 when the sender is not instrumented)
+    sent_at: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -38,6 +41,10 @@ class OverlayForward:
     data: OverlayData
     sender: str
     mac: bytes
+    #: virtual time this hop's transmission started (per-hop latency
+    #: profiling). Not covered by the link MAC — the MAC authenticates
+    #: ``data`` only, as in the seed — so tampering cannot forge payloads.
+    sent_at: float = 0.0
 
 
 @dataclass(frozen=True)

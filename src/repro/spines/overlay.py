@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 from ..crypto.provider import CryptoProvider, FastCrypto
+from ..obs import Observability, resolve_obs
 from ..simnet import LinkSpec, Network, Process, Simulator, Trace
 from .daemon import SpinesDaemon
 from .messages import OverlayData, OverlayDeliver, OverlayIngress
@@ -45,6 +46,10 @@ class OverlayStack:
             payload=payload,
             size_bytes=size_bytes,
             priority=priority,
+            sent_at=(
+                self._overlay.simulator.now
+                if self._overlay.obs.enabled else 0.0
+            ),
         )
         return self._endpoint.send(self.daemon_name, OverlayIngress(data),
                                    size_bytes=size_bytes)
@@ -72,6 +77,7 @@ class SpinesOverlay:
         fairness: bool = True,
         forward_capacity_per_ms: float = 0.0,
         last_mile_latency_ms: float = 0.1,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.simulator = simulator
         self.network = network
@@ -79,6 +85,7 @@ class SpinesOverlay:
         self.mode = mode
         self.crypto = crypto or FastCrypto()
         self.last_mile_latency_ms = last_mile_latency_ms
+        self.obs = resolve_obs(obs, trace)
         self.routing = make_routing(mode, topology)
         self.daemons: Dict[str, SpinesDaemon] = {}
         self._endpoint_home: Dict[str, str] = {}
@@ -87,6 +94,7 @@ class SpinesOverlay:
                 site.name, simulator, network, self.routing, self.crypto,
                 trace=trace, link_auth=link_auth, fairness=fairness,
                 forward_capacity_per_ms=forward_capacity_per_ms,
+                obs=obs,
             )
         for a, b in topology.graph.edges:
             attrs = topology.link_attributes(a, b)

@@ -1,0 +1,151 @@
+"""Deployment-level observability tests: the overhead guard, options
+presets/validation, and the scenario report."""
+
+import json
+
+import pytest
+
+from repro.analysis import ScenarioReport
+from repro.core import SpireDeployment, SpireOptions
+
+#: event budget of the guard configuration measured before the
+#: instrumentation layer existed (seed state of this repo) — the
+#: disabled-observability run must stay within 5% of it
+PRE_INSTRUMENTATION_EVENTS = 75_212
+GUARD_OPTIONS = dict(num_substations=2, poll_interval_ms=200.0, seed=7)
+GUARD_RUN_MS = 3000.0
+
+
+def _run(observability):
+    deployment = SpireDeployment(SpireOptions(
+        observability=observability, **GUARD_OPTIONS,
+    ))
+    deployment.start()
+    deployment.run_for(GUARD_RUN_MS)
+    return deployment
+
+
+# ----------------------------------------------------------------------
+# Overhead guard
+# ----------------------------------------------------------------------
+def test_observability_disabled_within_event_budget():
+    deployment = _run(observability=False)
+    events = deployment.simulator.events_processed
+    assert abs(events - PRE_INSTRUMENTATION_EVENTS) <= (
+        0.05 * PRE_INSTRUMENTATION_EVENTS
+    ), f"disabled-observability run processed {events} events"
+    # disabled means *disabled*: no metrics, no events, no spans
+    assert deployment.obs.enabled is False
+    assert deployment.trace.count() == 0
+    assert deployment.obs.registry.snapshot() == {}
+
+
+def test_observability_never_perturbs_the_simulation():
+    disabled = _run(observability=False)
+    enabled = _run(observability=True)
+    assert (
+        enabled.simulator.events_processed
+        == disabled.simulator.events_processed
+    )
+    assert enabled.network.stats.sent == disabled.network.stats.sent
+    # and the enabled run did measure things
+    metrics = enabled.obs.registry.snapshot()
+    assert metrics["sim.events_processed"] > 0
+    assert any(name.startswith("prime.msgs.") for name in metrics)
+    assert any(name.startswith("spines.") for name in metrics)
+    assert any(name.startswith("crypto.") for name in enabled.obs.registry.names())
+
+
+def test_legacy_recorders_are_registry_views():
+    deployment = _run(observability=True)
+    assert deployment.obs.registry.get("proxy.status_latency") \
+        is deployment.status_recorder
+    assert deployment.obs.registry.get("hmi.command_latency") \
+        is deployment.command_recorder
+    assert deployment.obs.registry.get("hmi.delivered_updates") \
+        is deployment.delivery_series
+    assert deployment.status_recorder.stats().count > 0
+
+
+# ----------------------------------------------------------------------
+# SpireOptions presets + validation
+# ----------------------------------------------------------------------
+def test_wan_lan_presets_pin_coupled_knobs():
+    wan = SpireOptions.wan(seed=3)
+    assert (wan.prime_preset, wan.overlay_mode) == ("wan", "flooding")
+    lan = SpireOptions.lan(seed=3, num_substations=2)
+    assert (lan.prime_preset, lan.overlay_mode) == ("lan", "shortest")
+    assert lan.num_substations == 2
+    # overrides still win
+    assert SpireOptions.lan(overlay_mode="flooding").overlay_mode == "flooding"
+
+
+def test_validate_rejects_bad_placement_with_actionable_error():
+    options = SpireOptions(f=1, k=1, placement={"a": 2, "b": 2})
+    with pytest.raises(ValueError) as excinfo:
+        options.validate()
+    message = str(excinfo.value)
+    assert "3f+2k+1" in message and "6" in message and "4" in message
+
+
+@pytest.mark.parametrize("bad", [
+    dict(f=-1),
+    dict(num_substations=0),
+    dict(poll_interval_ms=0.0),
+    dict(overlay_mode="broadcast"),
+    dict(prime_preset="metro"),
+    dict(crypto_kind="quantum"),
+    dict(checkpoint_interval_seqs=0),
+    dict(proactive_recovery=(1000.0, 1000.0)),
+    dict(proactive_recovery=(0.0, 100.0)),
+])
+def test_validate_rejects_inconsistent_knobs(bad):
+    with pytest.raises(ValueError):
+        SpireOptions(**bad).validate()
+
+
+def test_deployment_validates_options_on_construction():
+    with pytest.raises(ValueError):
+        SpireDeployment(SpireOptions(placement={"solo": 1}))
+
+
+# ----------------------------------------------------------------------
+# Scenario report
+# ----------------------------------------------------------------------
+def test_scenario_report_structure_and_rendering():
+    deployment = _run(observability=True)
+    report = ScenarioReport.from_deployment(deployment, title="guard")
+    data = report.to_dict()
+    assert data["title"] == "guard"
+    assert data["events_processed"] == deployment.simulator.events_processed
+    assert "proxy.status_latency" in data["latency_cdfs"]
+    assert len(data["latency_cdfs"]["proxy.status_latency"]) == len(
+        data["cdf_marks"]
+    )
+    assert data["metrics"]["sim.events_processed"] > 0
+    # the trace's dropped counter is surfaced, not hidden
+    assert data["events"]["dropped"] == 0
+    json.loads(report.to_json())  # valid JSON
+
+    text = report.text()
+    assert "scenario report: guard" in text
+    assert "proxy.status_latency" in text
+    assert "0 dropped" in text
+
+
+def test_scenario_report_surfaces_dropped_trace_events():
+    deployment = _run(observability=True)
+    deployment.trace.max_events = deployment.trace.count()
+    deployment.obs.event("test", "overflow-a")
+    deployment.obs.event("test", "overflow-b")
+    report = ScenarioReport.from_deployment(deployment)
+    assert report.to_dict()["events"]["dropped"] == 2
+    assert "2 dropped" in report.text()
+    assert "TRACE CLIPPED" in report.text()
+
+
+def test_scenario_report_deterministic_json_across_same_seed():
+    first = ScenarioReport.from_deployment(_run(True))
+    second = ScenarioReport.from_deployment(_run(True))
+    assert first.to_json(deterministic_only=True) == \
+        second.to_json(deterministic_only=True)

@@ -1,0 +1,229 @@
+"""Unit tests for the ``repro.obs`` primitives.
+
+Covers the redesigned instrumentation API: typed instruments and the
+registry, hierarchical spans (wall + sim clock, nesting), the structured
+event log, the no-op recorder, and snapshot determinism across runs of
+the same seed.
+"""
+
+import pytest
+
+from repro.obs import (
+    NULL_OBS,
+    EventLog,
+    MetricRegistry,
+    NullObservability,
+    Observability,
+    resolve_obs,
+)
+from repro.simnet import Simulator, Trace
+
+
+# ----------------------------------------------------------------------
+# Instruments + registry
+# ----------------------------------------------------------------------
+def test_counter_gauge_histogram_basics():
+    registry = MetricRegistry()
+    counter = registry.counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+    gauge = registry.gauge("g")
+    gauge.set(3.0)
+    gauge.set(-1.0)
+    gauge.set(2.0)
+    assert gauge.value == 2.0
+    assert gauge.minimum == -1.0
+    assert gauge.maximum == 3.0
+
+    histogram = registry.histogram("h")
+    for value in (1.0, 2.0, 3.0, 4.0):
+        histogram.observe(value)
+    stats = histogram.stats()
+    assert stats.count == 4
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.maximum == 4.0
+
+
+def test_registry_get_or_create_and_family_mismatch():
+    registry = MetricRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.histogram("x")
+    assert registry.names() == ["x"]
+
+
+def test_histogram_overflow_is_flagged_not_silent():
+    registry = MetricRegistry()
+    histogram = registry.histogram("h", max_samples=3)
+    for value in range(10):
+        histogram.observe(float(value))
+    assert histogram.count == 10
+    assert histogram.overflowed == 7
+    assert "overflowed" in histogram.snapshot()
+
+
+def test_latency_tracker_cdf_at_marks_matches_fig3_formula():
+    registry = MetricRegistry()
+    tracker = registry.latency("lat")
+    for index in range(10):
+        tracker.submitted(("k", index), at=0.0)
+        tracker.acknowledged(("k", index), at=float(index + 1))
+    values = sorted(tracker.latencies())
+    marks = (0.10, 0.50, 1.0)
+    expected = [
+        values[min(len(values) - 1, max(0, int(mark * len(values)) - 1))]
+        for mark in marks
+    ]
+    assert tracker.cdf_at_marks(marks) == expected
+
+
+# ----------------------------------------------------------------------
+# Spans: nesting, sim-vs-wall clocks
+# ----------------------------------------------------------------------
+def test_span_nesting_builds_paths_and_depths():
+    obs = Observability(now_fn=lambda: 0.0)
+    with obs.span("outer"):
+        with obs.span("inner"):
+            pass
+        with obs.span("inner"):
+            pass
+    records = obs.spans.records
+    paths = sorted(r.path for r in records)
+    assert paths == ["outer", "outer/inner", "outer/inner"]
+    by_depth = {r.path: r.depth for r in records}
+    assert by_depth["outer"] == 0
+    assert by_depth["outer/inner"] == 1
+
+
+def test_span_sim_clock_independent_of_wall_clock():
+    sim_now = {"t": 100.0}
+    wall_now = {"t": 5.0}
+    obs = Observability(
+        now_fn=lambda: sim_now["t"], wall_now_fn=lambda: wall_now["t"]
+    )
+    with obs.span("work"):
+        sim_now["t"] += 40.0     # virtual time advances 40 ms
+        wall_now["t"] += 0.002   # wall time advances 2 ms
+    (record,) = obs.spans.records
+    assert record.sim_ms == pytest.approx(40.0)
+    assert record.wall_ms == pytest.approx(2.0)  # wall clock is in seconds
+
+
+def test_span_histograms_separate_deterministic_sim_from_wall():
+    obs = Observability(now_fn=lambda: 0.0)
+    with obs.span("step"):
+        pass
+    deterministic = obs.registry.snapshot(deterministic_only=True)
+    everything = obs.registry.snapshot()
+    assert "span.step.sim_ms" in deterministic
+    assert "span.step.wall_ms" not in deterministic
+    assert "span.step.wall_ms" in everything
+
+
+def test_span_annotate_records_details():
+    obs = Observability(now_fn=lambda: 0.0)
+    with obs.span("op", phase="a") as span:
+        span.annotate(result="ok")
+    (record,) = obs.spans.records
+    assert record.details["phase"] == "a"
+    assert record.details["result"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# Event log
+# ----------------------------------------------------------------------
+def test_event_log_records_and_counts_kinds():
+    clock = {"t": 0.0}
+    log = EventLog(now_fn=lambda: clock["t"])
+    log.event("comp", "started", index=1)
+    clock["t"] = 5.0
+    log.event("comp", "stopped")
+    assert len(log) == 2
+    assert [e.time for e in log] == [0.0, 5.0]
+    assert log.kind_counts() == {"started": 1, "stopped": 1}
+    assert log.events("comp", "started")[0].details["index"] == 1
+
+
+def test_event_log_bounded_with_dropped_counter():
+    log = EventLog(now_fn=lambda: 0.0, max_events=2)
+    for index in range(5):
+        log.event("c", "k", i=index)
+    assert len(log) == 2
+    assert log.dropped == 3
+
+
+# ----------------------------------------------------------------------
+# Disabled recorder: everything is a no-op
+# ----------------------------------------------------------------------
+def test_null_obs_swallows_everything():
+    obs = NULL_OBS
+    assert obs.enabled is False
+    obs.counter("c").inc()
+    obs.gauge("g").set(1.0)
+    obs.histogram("h").observe(1.0)
+    obs.event("comp", "kind", a=1)
+    with obs.span("s"):
+        pass
+    assert obs.counter("c").value == 0
+    assert obs.registry.snapshot() == {}
+    assert len(obs.log) == 0
+    assert obs.spans.records == ()
+    assert obs.snapshot()["metrics"] == {}
+
+
+def test_null_obs_is_shared_singleton():
+    assert isinstance(NULL_OBS, NullObservability)
+    assert resolve_obs(None, None) is NULL_OBS
+    # explicit obs always wins, even the null one
+    assert resolve_obs(NULL_OBS, None) is NULL_OBS
+
+
+def test_resolve_obs_shares_one_registry_per_trace():
+    simulator = Simulator(seed=1)
+    trace = Trace(simulator)
+    first = resolve_obs(None, trace)
+    second = resolve_obs(None, trace)
+    assert first is second
+    assert first.enabled
+    first.counter("shared").inc()
+    assert second.counter("shared").value == 1
+    # events through obs land in the legacy trace (same log object)
+    first.event("comp", "kind")
+    assert trace.count() == 1
+
+
+# ----------------------------------------------------------------------
+# Snapshot determinism across identical seeds
+# ----------------------------------------------------------------------
+def _small_run(seed):
+    from repro.core import SpireDeployment, SpireOptions
+
+    deployment = SpireDeployment(SpireOptions(
+        num_substations=2, poll_interval_ms=250.0, seed=seed,
+    ))
+    deployment.start()
+    deployment.run_for(1500.0)
+    return deployment.obs.snapshot(deterministic_only=True)
+
+
+def test_deterministic_snapshot_identical_across_same_seed_runs():
+    first = _small_run(seed=11)
+    second = _small_run(seed=11)
+    assert first == second
+
+
+def test_deterministic_snapshot_excludes_wall_clock_instruments():
+    snapshot = _small_run(seed=11)
+    assert not any(name.endswith(".wall_ms") for name in snapshot["metrics"])
+    # but the full snapshot does include the wall-clock profiles
+    from repro.core import SpireDeployment, SpireOptions
+
+    deployment = SpireDeployment(SpireOptions(
+        num_substations=2, poll_interval_ms=250.0, seed=11,
+    ))
+    deployment.start()
+    deployment.run_for(1500.0)
+    full = deployment.obs.snapshot()
+    assert any(name.endswith(".wall_ms") for name in full["metrics"])
