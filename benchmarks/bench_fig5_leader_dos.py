@@ -72,9 +72,9 @@ def run_pbft():
         nodes[2].submit(sign_client_update(crypto, "c", seq, ("reading", seq)))
         simulator.run_for(250.0)
     simulator.run_for(3_000)
-    from repro.core import LatencyRecorder
+    from repro.obs import LatencyTracker
 
-    recorder = LatencyRecorder()
+    recorder = LatencyTracker()
     for key, start in submitted.items():
         if key in done:
             recorder.submitted(key, start)

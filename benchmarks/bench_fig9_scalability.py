@@ -8,7 +8,8 @@ rate scales.
 """
 
 from repro.analysis import print_table
-from repro.core import LatencyRecorder, SpireDeployment, SpireOptions
+from repro.core import SpireDeployment, SpireOptions
+from repro.obs import LatencyTracker
 from repro.crypto import FastCrypto
 from repro.pbft import PbftConfig, PbftNode
 from repro.prime import LoggingApp, PrimeNode, lan_prime_config, sign_client_update
@@ -37,7 +38,7 @@ def run_protocol(protocol, n):
     for node in nodes:
         node.start()
     simulator.run_for(100.0)
-    recorder = LatencyRecorder()
+    recorder = LatencyTracker()
     done = {}
     for node in nodes:
         node.execution_listeners.append(

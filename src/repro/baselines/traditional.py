@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs import EventLog
 from ..scada.grid import PowerGrid, build_radial_grid
 from ..scada.modbus import (
     ReadCoilsRequest,
@@ -28,7 +29,7 @@ from ..scada.modbus import (
     unscale_measurement,
 )
 from ..scada.rtu import MEASUREMENT_ORDER, RtuDevice
-from ..simnet import LinkSpec, Network, Process, Simulator, Trace
+from ..simnet import LinkSpec, Network, Process, Simulator
 
 __all__ = [
     "TStatus",
@@ -246,7 +247,7 @@ class TraditionalDeployment:
     ) -> None:
         self.simulator = Simulator(seed=seed)
         self.network = Network(self.simulator, LinkSpec(latency_ms=0.2, jitter_ms=0.05))
-        self.trace = Trace(self.simulator)
+        self.trace = EventLog(now_fn=lambda: self.simulator.now)
         self.grid = build_radial_grid(num_substations=num_substations, seed=seed)
         self.token = f"scada-secret-{seed}"
         master_names = ["master:primary"] + (["master:backup"] if with_backup else [])

@@ -15,8 +15,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..crypto.provider import CryptoProvider
 from ..prime.messages import ClientUpdate
 from ..prime.node import sign_client_update
-from ..prime.transport import RetryPolicy
-from .metrics import LatencyRecorder
+from ..obs import LatencyTracker
+from ..replication import RetryPolicy
 from .update import UpdateSubmission
 
 __all__ = ["SubmissionManager"]
@@ -45,7 +45,7 @@ class SubmissionManager:
         replicas: List[str],
         send_fn: SendFn,
         now_fn: Callable[[], float],
-        recorder: Optional[LatencyRecorder] = None,
+        recorder: Optional[LatencyTracker] = None,
         resubmit_timeout_ms: float = 500.0,
         start_index: int = 0,
         retry_policy: Optional[RetryPolicy] = None,

@@ -21,18 +21,23 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..crypto.provider import CryptoProvider, FastCrypto, RealCrypto, TimedCrypto
-from ..obs import NULL_OBS, Observability
+from ..obs import (
+    NULL_OBS,
+    EventLog,
+    IntervalCounter,
+    LatencyTracker,
+    Observability,
+)
 from ..prime.config import PrimeConfig, lan_prime_config, wan_prime_config
-from ..prime.transport import OverlayTransport
+from ..replication import OverlayTransport
 from ..scada.grid import PowerGrid, build_radial_grid
 from ..scada.rtu import RtuDevice
-from ..simnet import LinkSpec, Network, Simulator, Trace
+from ..simnet import LinkSpec, Network, Simulator
 from ..spines.overlay import SpinesOverlay
 from ..spines.topology import OverlayTopology, wide_area_topology
 from .diversity import DiversityManager
 from .hmi import HmiClient
 from .master import ScadaMasterApp
-from .metrics import IntervalSeries, LatencyRecorder
 from .proxy import DeviceBinding, RtuProxy
 from .recovery import ProactiveRecoveryScheduler
 from .replica import THRESHOLD_GROUP, SpireReplica
@@ -188,7 +193,7 @@ class SpireDeployment:
         opts = self.options
         self.simulator = Simulator(seed=opts.seed)
         self.network = Network(self.simulator, LinkSpec(latency_ms=0.2, jitter_ms=0.05))
-        self.trace = Trace(self.simulator)
+        self.trace = EventLog(now_fn=lambda: self.simulator.now)
         if opts.observability:
             self.obs = Observability(log=self.trace)
             self.trace._obs = self.obs  # legacy trace= callers share it
@@ -222,9 +227,9 @@ class SpireDeployment:
                 "hmi.delivered_updates", interval_ms=1000.0
             )
         else:
-            self.status_recorder = LatencyRecorder()
-            self.command_recorder = LatencyRecorder()
-            self.delivery_series = IntervalSeries(interval_ms=1000.0)
+            self.status_recorder = LatencyTracker()
+            self.command_recorder = LatencyTracker()
+            self.delivery_series = IntervalCounter(interval_ms=1000.0)
         self._build_replicas()
         self._build_field()
         self._build_hmis()

@@ -12,12 +12,11 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..crypto.provider import CryptoProvider
-from ..obs import resolve_obs
-from ..simnet import Network, Process, Simulator, Trace
+from ..obs import EventLog, LatencyTracker, resolve_obs
+from ..simnet import Network, Process, Simulator
 from ..spines.overlay import OverlayStack
 from .collector import DeliveryCollector
 from .client import SubmissionManager
-from .metrics import LatencyRecorder
 from .replica import THRESHOLD_GROUP
 from .update import BreakerCommand, DeliveryShare, StatusReading
 
@@ -35,8 +34,8 @@ class HmiClient(Process):
         crypto: CryptoProvider,
         replicas: List[str],
         stack: Optional[OverlayStack] = None,
-        recorder: Optional[LatencyRecorder] = None,
-        trace: Optional[Trace] = None,
+        recorder: Optional[LatencyTracker] = None,
+        trace: Optional[EventLog] = None,
         resubmit_timeout_ms: float = 500.0,
         threshold_group: str = THRESHOLD_GROUP,
         obs=None,

@@ -23,6 +23,8 @@ classes collect exactly those series from the simulation.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.obs.instruments import IntervalCounter, LatencyStats, LatencyTracker
 
 __all__ = ["LatencyStats", "LatencyRecorder", "IntervalSeries"]
@@ -36,6 +38,13 @@ class LatencyRecorder(LatencyTracker):
     """
 
     def __init__(self) -> None:
+        warnings.warn(
+            "repro.core.metrics.LatencyRecorder is deprecated; use "
+            "repro.obs.LatencyTracker or a deployment's "
+            "obs.latency(name) instrument instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__()
 
 
@@ -43,4 +52,11 @@ class IntervalSeries(IntervalCounter):
     """Deprecated alias of :class:`repro.obs.IntervalCounter`."""
 
     def __init__(self, interval_ms: float) -> None:
+        warnings.warn(
+            "repro.core.metrics.IntervalSeries is deprecated; use "
+            "repro.obs.IntervalCounter or a deployment's "
+            "obs.intervals(name) instrument instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(interval_ms)

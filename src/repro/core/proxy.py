@@ -25,12 +25,11 @@ from ..scada.modbus import (
     unscale_measurement,
 )
 from ..scada.rtu import MEASUREMENT_ORDER, RtuDevice
-from ..obs import EV_COMMAND_TO_FIELD, resolve_obs
-from ..simnet import Network, Process, Simulator, Trace
+from ..obs import EV_COMMAND_TO_FIELD, EventLog, LatencyTracker, resolve_obs
+from ..simnet import Network, Process, Simulator
 from ..spines.overlay import OverlayStack
 from .collector import DeliveryCollector
 from .client import SubmissionManager
-from .metrics import LatencyRecorder
 from .replica import THRESHOLD_GROUP
 from .update import BreakerCommand, DeliveryShare, StatusReading
 
@@ -67,8 +66,8 @@ class RtuProxy(Process):
         replicas: List[str],
         devices: List[DeviceBinding],
         stack: Optional[OverlayStack] = None,
-        recorder: Optional[LatencyRecorder] = None,
-        trace: Optional[Trace] = None,
+        recorder: Optional[LatencyTracker] = None,
+        trace: Optional[EventLog] = None,
         poll_interval_ms: float = 100.0,
         device_timeout_ms: float = 50.0,
         resubmit_timeout_ms: float = 500.0,

@@ -17,10 +17,11 @@ from ..obs import (
     EV_REJUVENATE_DEFERRED,
     EV_REJUVENATE_DONE,
     EV_REJUVENATE_START,
+    EventLog,
     Observability,
     resolve_obs,
 )
-from ..simnet import Process, Simulator, Trace
+from ..simnet import Process, Simulator
 
 __all__ = ["ProactiveRecoveryScheduler"]
 
@@ -35,7 +36,7 @@ class ProactiveRecoveryScheduler:
         period_ms: float,
         recovery_duration_ms: float,
         max_concurrent: int = 1,
-        trace: Optional[Trace] = None,
+        trace: Optional[EventLog] = None,
         on_rejuvenate: Optional[Callable[[Process], None]] = None,
         min_live: Optional[int] = None,
         obs: Optional[Observability] = None,

@@ -25,8 +25,9 @@ from ..prime.app import ReplicatedApplication
 from ..prime.config import PrimeConfig
 from ..prime.messages import ClientUpdate
 from ..prime.node import PrimeNode
-from ..prime.transport import Transport
-from ..simnet import Network, Simulator, Trace
+from ..replication import Transport
+from ..obs import EventLog
+from ..simnet import Network, Simulator
 from .master import ScadaMasterApp
 from .update import BreakerCommand, DeliveryShare, UpdateSubmission, record_for
 
@@ -47,7 +48,7 @@ class SpireReplica(PrimeNode):
         config: PrimeConfig,
         crypto: CryptoProvider,
         app: Optional[ReplicatedApplication] = None,
-        trace: Optional[Trace] = None,
+        trace: Optional[EventLog] = None,
         transport: Optional[Transport] = None,
         threshold_group: str = THRESHOLD_GROUP,
         obs=None,

@@ -17,6 +17,18 @@ re-proposal derivation, and retransmission against loss. It does not
 implement checkpointing/state transfer or Byzantine-proof view-change
 validation — those are exercised through Prime, which is the system under
 test; the baseline exists to reproduce the performance comparison.
+
+Like Prime, the node rides on the shared
+:class:`~repro.replication.runtime.ReplicationRuntime` (envelope
+discipline, membership fan-out, send accounting), a
+:class:`~repro.replication.dispatch.Dispatcher` for typed routing with
+per-kind observability, :class:`~repro.replication.ordering.ThreePhaseSlot`
+for per-slot agreement state, and
+:class:`~repro.replication.epoch.EpochVoteTable` /
+:func:`~repro.replication.epoch.derive_reproposals` for its view-change
+bookkeeping. Head-of-line retransmission backs off through the shared
+:class:`~repro.replication.retry.RetrySchedule` instead of hammering at a
+fixed interval.
 """
 
 from __future__ import annotations
@@ -25,13 +37,30 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..crypto.encoding import digest
 from ..crypto.provider import CryptoProvider
-from ..obs import EV_PBFT_NEW_VIEW, EV_PBFT_TIMEOUT, EV_PBFT_VIEW_CHANGE
+from ..obs import (
+    EV_PBFT_NEW_VIEW,
+    EV_PBFT_TIMEOUT,
+    EV_PBFT_VIEW_CHANGE,
+    EventLog,
+    Observability,
+    resolve_obs,
+)
 from ..prime.app import ReplicatedApplication
-from ..prime.messages import ClientUpdate, SignedMessage
 from ..prime.dedup import ClientDedup
-from ..prime.node import verify_client_update
-from ..prime.transport import DirectTransport, Transport
-from ..simnet import Network, Process, Simulator, Trace
+from ..prime.messages import ClientUpdate, verify_client_update
+from ..replication import (
+    Dispatcher,
+    DirectTransport,
+    EpochVoteTable,
+    ReplicationRuntime,
+    RetryPolicy,
+    RetrySchedule,
+    SignedMessage,
+    ThreePhaseSlot,
+    Transport,
+    derive_reproposals,
+)
+from ..simnet import Network, Process, Simulator
 from .messages import (
     ForwardedUpdate,
     PbftCommit,
@@ -84,17 +113,11 @@ class PbftConfig:
         return self.replicas[view % self.n]
 
 
-class _Slot:
-    def __init__(self, seq: int) -> None:
-        self.seq = seq
-        self.pre_prepares: Dict[int, SignedMessage] = {}
-        self.prepares: Dict[Tuple[int, str], Dict[str, SignedMessage]] = {}
-        self.commits: Dict[Tuple[int, str], Dict[str, SignedMessage]] = {}
-        self.prepared_vote: Optional[Tuple[int, str]] = None
-        self.committed_vote: Optional[Tuple[int, str]] = None
-        self.prepared_cert: Optional[Tuple[int, str]] = None
-        self.prepared_proof: Optional[Tuple[SignedMessage, ...]] = None
-        self.ordered: Optional[Tuple[int, str, SignedMessage]] = None
+def _sender_matches_signer(payload: Any, signer: str) -> bool:
+    # The baseline deliberately skips the membership half of the standard
+    # sender check (non-members cannot produce verifying envelopes under
+    # the simulated PKI); Byzantine-proof validation is Prime's job.
+    return payload.sender == signer
 
 
 class PbftNode(Process):
@@ -108,18 +131,33 @@ class PbftNode(Process):
         config: PbftConfig,
         crypto: CryptoProvider,
         app: ReplicatedApplication,
-        trace: Optional[Trace] = None,
+        trace: Optional[EventLog] = None,
         transport: Optional[Transport] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         super().__init__(name, simulator, network)
         self.config = config
         self.crypto = crypto
         self.app = app
         self.trace = trace
-        self.transport: Transport = transport or DirectTransport(self)
+        self.obs = resolve_obs(obs, trace)
+        self.transport: Transport = transport or DirectTransport(self, obs=self.obs)
+        self.dispatcher = Dispatcher(obs=self.obs, metric_prefix="pbft")
+        self.runtime = ReplicationRuntime(
+            process=self,
+            crypto=crypto,
+            replicas_fn=lambda: self.config.replicas,
+            dispatcher=self.dispatcher,
+            size_of=lambda payload: 200,
+            obs=self.obs,
+            metric_prefix="pbft",
+            # PBFT point-to-point self-sends loop back through dispatch
+            # (a leader forwards pending updates to itself).
+            loopback_dispatch=True,
+        )
         self.view = 0
         self.in_view_change = False
-        self.slots: Dict[int, _Slot] = {}
+        self.slots: Dict[int, ThreePhaseSlot] = {}
         self.last_executed = 0
         self.executed_counter = 0
         self.client_dedup = ClientDedup()
@@ -131,9 +169,35 @@ class PbftNode(Process):
         self._batch_timer_set = False
         self._next_seq = 1
         self._min_fresh_seq = 1
-        self._view_changes: Dict[int, Dict[str, SignedMessage]] = {}
+        #: new_view -> sender -> signed PbftViewChange
+        self._view_changes = EpochVoteTable()
         self._sent_vc_for: set = set()
         self._sent_nv_for: set = set()
+        #: head-of-line retransmission backoff (shared RetrySchedule)
+        self._retrans_schedule = RetrySchedule(
+            RetryPolicy(
+                base_ms=config.retrans_interval_ms,
+                factor=2.0,
+                max_ms=config.retrans_interval_ms * 16,
+                max_attempts=8,
+            ),
+            rng=simulator.rng(f"pbft-retrans/{name}"),
+        )
+        self._retrans_head: Optional[int] = None
+        self._retrans_due = 0.0
+        self._register_handlers()
+
+    def _register_handlers(self) -> None:
+        reg = self.dispatcher.register
+        reg(ForwardedUpdate, self._on_forwarded)
+        # PbftPrePrepare / PbftNewView keep their leader/signer checks
+        # in-handler: new-view replay re-enters _on_pre_prepare directly.
+        reg(PbftPrePrepare, self._on_pre_prepare)
+        reg(PbftPrepare, self._on_prepare, sender_check=_sender_matches_signer)
+        reg(PbftCommit, self._on_commit, sender_check=_sender_matches_signer)
+        reg(PbftViewChange, self._on_view_change,
+            sender_check=_sender_matches_signer)
+        reg(PbftNewView, self._on_new_view)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -146,25 +210,16 @@ class PbftNode(Process):
         return self.config.leader_of_view(self.view) == self.name
 
     def sign_message(self, payload: Any) -> SignedMessage:
-        return SignedMessage(payload, self.crypto.sign(self.name, payload))
+        return self.runtime.sign(payload)
 
     def verify_signed(self, signed: SignedMessage) -> bool:
-        return self.crypto.verify(signed.signature, signed.payload)
+        return self.runtime.verify(signed)
 
     def _broadcast(self, payload: Any, include_self: bool = True) -> SignedMessage:
-        signed = self.sign_message(payload)
-        for peer in self.config.replicas:
-            if peer != self.name:
-                self.transport.send(peer, signed, size_bytes=200)
-        if include_self:
-            self._dispatch(signed)
-        return signed
+        return self.runtime.broadcast(payload, include_self=include_self)
 
     def _send_to(self, peer: str, payload: Any) -> None:
-        if peer == self.name:
-            self._dispatch(self.sign_message(payload))
-        else:
-            self.transport.send(peer, self.sign_message(payload), size_bytes=200)
+        self.runtime.send_to(peer, payload)
 
     # ------------------------------------------------------------------
     # Client path
@@ -225,29 +280,14 @@ class PbftNode(Process):
     # Ordering
     # ------------------------------------------------------------------
     def on_message(self, src: str, payload: Any) -> None:
-        unwrapped = self.transport.unwrap(payload)
-        if unwrapped is not None:
-            _, payload = unwrapped
-        if isinstance(payload, SignedMessage) and self.verify_signed(payload):
-            self._dispatch(payload)
+        self.runtime.receive(payload)
 
     def _dispatch(self, signed: SignedMessage) -> None:
-        payload = signed.payload
-        handlers = {
-            ForwardedUpdate: self._on_forwarded,
-            PbftPrePrepare: self._on_pre_prepare,
-            PbftPrepare: self._on_prepare,
-            PbftCommit: self._on_commit,
-            PbftViewChange: self._on_view_change,
-            PbftNewView: self._on_new_view,
-        }
-        handler = handlers.get(type(payload))
-        if handler is not None:
-            handler(signed, payload)
+        self.dispatcher.dispatch(signed)
 
-    def _slot(self, seq: int) -> _Slot:
+    def _slot(self, seq: int) -> ThreePhaseSlot:
         if seq not in self.slots:
-            self.slots[seq] = _Slot(seq)
+            self.slots[seq] = ThreePhaseSlot(seq)
         return self.slots[seq]
 
     @staticmethod
@@ -271,48 +311,39 @@ class PbftNode(Process):
             return
         slot.pre_prepares[msg.view] = signed
         batch_digest = self._batch_digest(msg.seq, msg.batch)
-        slot.prepares.setdefault((msg.view, batch_digest), {})[msg.leader] = signed
-        if slot.prepared_vote is None or slot.prepared_vote[0] < msg.view:
+        # the leader's pre-prepare doubles as its prepare vote
+        slot.record_prepare(msg.view, batch_digest, msg.leader, signed)
+        if slot.should_vote_prepare(msg.view):
             slot.prepared_vote = (msg.view, batch_digest)
             self._broadcast(PbftPrepare(self.name, msg.view, msg.seq, batch_digest))
         self._check_prepared(slot, msg.view, batch_digest)
         self._check_ordered(slot, msg.view, batch_digest)
 
     def _on_prepare(self, signed: SignedMessage, msg: PbftPrepare) -> None:
-        if msg.sender != signed.signature.signer:
-            return
         slot = self._slot(msg.seq)
-        slot.prepares.setdefault((msg.view, msg.digest), {})[msg.sender] = signed
+        slot.record_prepare(msg.view, msg.digest, msg.sender, signed)
         self._check_prepared(slot, msg.view, msg.digest)
 
-    def _check_prepared(self, slot: _Slot, view: int, batch_digest: str) -> None:
-        voters = slot.prepares.get((view, batch_digest), {})
-        if len(voters) < self.config.quorum:
+    def _check_prepared(
+        self, slot: ThreePhaseSlot, view: int, batch_digest: str
+    ) -> None:
+        if not slot.note_prepared(view, batch_digest, self.config.quorum):
             return
-        if slot.prepared_cert is None or slot.prepared_cert[0] <= view:
-            slot.prepared_cert = (view, batch_digest)
-            slot.prepared_proof = tuple(
-                voters[s] for s in sorted(voters)
-            )[: self.config.quorum]
-        if (
-            (slot.committed_vote is None or slot.committed_vote[0] < view)
-            and slot.prepared_vote == (view, batch_digest)
-        ):
+        if slot.should_vote_commit(view, batch_digest):
             slot.committed_vote = (view, batch_digest)
             self._broadcast(PbftCommit(self.name, view, slot.seq, batch_digest))
 
     def _on_commit(self, signed: SignedMessage, msg: PbftCommit) -> None:
-        if msg.sender != signed.signature.signer:
-            return
         slot = self._slot(msg.seq)
-        slot.commits.setdefault((msg.view, msg.digest), {})[msg.sender] = signed
+        slot.record_commit(msg.view, msg.digest, msg.sender, signed)
         self._check_ordered(slot, msg.view, msg.digest)
 
-    def _check_ordered(self, slot: _Slot, view: int, batch_digest: str) -> None:
+    def _check_ordered(
+        self, slot: ThreePhaseSlot, view: int, batch_digest: str
+    ) -> None:
         if slot.ordered is not None:
             return
-        commits = slot.commits.get((view, batch_digest), {})
-        if len(commits) < self.config.quorum:
+        if len(slot.commit_voters(view, batch_digest)) < self.config.quorum:
             return
         pre_prepare = slot.pre_prepares.get(view)
         if pre_prepare is None:
@@ -347,17 +378,27 @@ class PbftNode(Process):
             listener(update, self.executed_counter, result)
 
     # ------------------------------------------------------------------
-    # Retransmission
+    # Retransmission (bounded backoff over the shared RetrySchedule)
     # ------------------------------------------------------------------
     def _retrans_tick(self) -> None:
         slot = self.slots.get(self.last_executed + 1)
         if slot is None or slot.ordered is not None:
+            if self._retrans_head is not None:
+                self._retrans_head = None
+                self._retrans_schedule.reset()
             return
+        now = self.simulator.now
+        if slot.seq != self._retrans_head:
+            # new head-of-line stall: resend immediately, then back off
+            self._retrans_head = slot.seq
+            self._retrans_schedule.reset()
+            self._retrans_due = now
+        if now < self._retrans_due:
+            return
+        self._retrans_due = now + self._retrans_schedule.next_delay_ms()
         pre_prepare = slot.pre_prepares.get(self.view)
         if pre_prepare is not None:
-            for peer in self.config.replicas:
-                if peer != self.name:
-                    self.transport.send(peer, pre_prepare, size_bytes=300)
+            self.runtime.resend(pre_prepare, size_bytes=300)
         if slot.committed_vote is not None:
             view, batch_digest = slot.committed_vote
             self._broadcast(
@@ -378,9 +419,8 @@ class PbftNode(Process):
         now = self.simulator.now
         oldest = min((since for _, since in self._pending.values()), default=None)
         if oldest is not None and now - oldest > self.config.request_timeout_ms:
-            if self.trace is not None:
-                self.trace.event(self.name, EV_PBFT_TIMEOUT, view=self.view,
-                                 age=now - oldest)
+            self.obs.event(self.name, EV_PBFT_TIMEOUT, view=self.view,
+                           age=now - oldest)
             self._start_view_change(self.view + 1)
 
     def _start_view_change(self, new_view: int) -> None:
@@ -389,8 +429,7 @@ class PbftNode(Process):
         self._sent_vc_for.add(new_view)
         self.view = max(self.view, new_view)
         self.in_view_change = True
-        if self.trace is not None:
-            self.trace.event(self.name, EV_PBFT_VIEW_CHANGE, view=new_view)
+        self.obs.event(self.name, EV_PBFT_VIEW_CHANGE, view=new_view)
         prepared = []
         for seq in sorted(self.slots):
             slot = self.slots[seq]
@@ -417,40 +456,27 @@ class PbftNode(Process):
 
     @staticmethod
     def _derive(view_changes: List[PbftViewChange]):
-        start = max((vc.last_executed for vc in view_changes), default=0)
-        best: Dict[int, PbftPrepared] = {}
-        for vc in view_changes:
-            for entry in vc.prepared:
-                if entry.seq <= start:
-                    continue
-                current = best.get(entry.seq)
-                if current is None or entry.view > current.view or (
-                    entry.view == current.view and entry.digest < current.digest
-                ):
-                    best[entry.seq] = entry
-        max_seq = max(best.keys(), default=start)
-        out = []
-        for seq in range(start + 1, max_seq + 1):
-            entry = best.get(seq)
-            out.append((seq, entry.pre_prepare.payload.batch if entry else ()))
-        return start, out
+        return derive_reproposals(
+            view_changes,
+            anchor_of=lambda vc: vc.last_executed,
+            entries_of=lambda vc: vc.prepared,
+            content_of=lambda entry: entry.pre_prepare.payload.batch,
+            empty=(),
+        )
 
     def _on_view_change(self, signed: SignedMessage, msg: PbftViewChange) -> None:
-        if msg.sender != signed.signature.signer:
-            return
         if msg.new_view < self.view:
             return
-        table = self._view_changes.setdefault(msg.new_view, {})
-        table[msg.sender] = signed
-        if msg.new_view > self.view and len(table) >= self.config.num_faults + 1:
+        count = self._view_changes.record(msg.new_view, msg.sender, signed)
+        if msg.new_view > self.view and count >= self.config.num_faults + 1:
             self._start_view_change(msg.new_view)
         if (
             self.config.leader_of_view(msg.new_view) == self.name
-            and len(table) >= self.config.quorum
+            and count >= self.config.quorum
             and msg.new_view not in self._sent_nv_for
         ):
             self._sent_nv_for.add(msg.new_view)
-            chosen = [table[s] for s in sorted(table)][: self.config.quorum]
+            chosen = self._view_changes.chosen(msg.new_view, self.config.quorum)
             _, proposals = self._derive([s.payload for s in chosen])
             pre_prepares = tuple(
                 self.sign_message(PbftPrePrepare(self.name, msg.new_view, seq, batch))
@@ -490,8 +516,7 @@ class PbftNode(Process):
         self.in_view_change = False
         self._min_fresh_seq = (expected[-1][0] if expected else self.last_executed) + 1
         self._next_seq = max(self._next_seq, self._min_fresh_seq)
-        if self.trace is not None:
-            self.trace.event(self.name, EV_PBFT_NEW_VIEW, view=msg.view)
+        self.obs.event(self.name, EV_PBFT_NEW_VIEW, view=msg.view)
         for pp_signed in msg.pre_prepares:
             self._on_pre_prepare(pp_signed, pp_signed.payload, from_new_view=True)
         # re-forward pending work to the new leader

@@ -8,6 +8,11 @@ quorum proof) are also what proactively-recovered replicas install during
 state transfer — a recovering replica accepts a snapshot only with a valid
 quorum proof whose digest matches the snapshot, so ≤ f compromised replicas
 cannot feed it a corrupt state.
+
+Vote collection and proof verification ride on the shared
+:mod:`repro.replication.quorum` primitives; the checkpoint-specific
+policy (snapshot retention, serveability, stability transitions) lives
+here.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 from ..crypto.encoding import digest
+from ..replication.quorum import QuorumTracker, collect_valid_voters
 from .config import PrimeConfig
 from .messages import CheckpointMsg, SignedMessage
 
@@ -26,8 +32,8 @@ class CheckpointManager:
 
     def __init__(self, config: PrimeConfig) -> None:
         self.config = config
-        #: seq -> state_digest -> sender -> signed CheckpointMsg
-        self._votes: Dict[int, Dict[str, Dict[str, SignedMessage]]] = {}
+        #: votes: seq -> state_digest -> sender -> signed CheckpointMsg
+        self._votes = QuorumTracker()
         #: our own snapshots by seq (bounded: last two checkpoints)
         self._snapshots: Dict[int, Any] = {}
         self._own_digests: Dict[int, str] = {}
@@ -55,18 +61,14 @@ class CheckpointManager:
         """Record a checkpoint vote; returns the seq if it became stable."""
         if msg.seq <= self.stable_seq:
             return None
-        by_digest = self._votes.setdefault(msg.seq, {})
-        senders = by_digest.setdefault(msg.state_digest, {})
-        senders[msg.sender] = signed
-        if len(senders) >= self.config.quorum:
+        self._votes.add(msg.seq, msg.state_digest, msg.sender, signed)
+        proof = self._votes.certificate(msg.seq, msg.state_digest, self.config.quorum)
+        if proof is not None:
             self.stable_seq = msg.seq
             self.stable_digest = msg.state_digest
-            self.stable_proof = tuple(
-                senders[name] for name in sorted(senders)
-            )[: self.config.quorum]
+            self.stable_proof = proof
             self._remember_proven(msg.seq, msg.state_digest, self.stable_proof)
-            for seq in [s for s in self._votes if s <= msg.seq]:
-                del self._votes[seq]
+            self._votes.drop_upto(msg.seq)
             return msg.seq
         return None
 
@@ -113,25 +115,20 @@ class CheckpointManager:
         """Check a quorum proof that (seq, digest) is a stable checkpoint.
 
         ``verify_signed`` is the node's envelope verifier (signature +
-        sender-is-replica check).
+        sender-is-replica check). One invalid vote rejects the proof — its
+        sender vouched for the whole set.
         """
         if seq == 0:
             return True
-        senders = set()
-        for signed in proof:
-            payload = signed.payload
-            if not isinstance(payload, CheckpointMsg):
-                return False
-            if payload.seq != seq or payload.state_digest != state_digest:
-                return False
-            if payload.sender != signed.signature.signer:
-                return False
-            if payload.sender not in self.config.replicas:
-                return False
-            if not verify_signed(signed):
-                return False
-            senders.add(payload.sender)
-        return len(senders) >= self.config.quorum
+        voters = collect_valid_voters(
+            proof,
+            membership=self.config.replicas,
+            verify_signed=verify_signed,
+            expected_kind=CheckpointMsg,
+            check=lambda p: p.seq == seq and p.state_digest == state_digest,
+            strict=True,
+        )
+        return voters is not None and len(voters) >= self.config.quorum
 
     def adopt_stable(
         self, seq: int, state_digest: str, proof: Tuple[SignedMessage, ...]
@@ -143,8 +140,7 @@ class CheckpointManager:
         self.stable_seq = seq
         self.stable_digest = state_digest
         self.stable_proof = proof
-        for old in [s for s in self._votes if s <= seq]:
-            del self._votes[old]
+        self._votes.drop_upto(seq)
 
     def reset(self) -> None:
         """Wipe all volatile checkpoint state (replica recovery)."""

@@ -12,7 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
-from ..crypto.provider import Signature
+from ..crypto.encoding import digest
+from ..crypto.provider import CryptoProvider, Signature
+from ..replication.messages import SignedMessage
 
 __all__ = [
     "ClientUpdate",
@@ -36,15 +38,10 @@ __all__ = [
     "StateRequest",
     "StateReply",
     "SignedMessage",
+    "client_update_body",
+    "sign_client_update",
+    "verify_client_update",
 ]
-
-
-@dataclass(frozen=True)
-class SignedMessage:
-    """Envelope: ``payload`` signed by ``signature.signer``."""
-
-    payload: Any
-    signature: Signature
 
 
 @dataclass(frozen=True)
@@ -250,3 +247,29 @@ class StateReply:
     snapshot: Any
     proof: Tuple[SignedMessage, ...]         # SignedMessage[CheckpointMsg] x quorum
     view: int
+
+
+# ----------------------------------------------------------------------
+# Client-update signing helpers (used by proxies/HMIs and both protocols)
+# ----------------------------------------------------------------------
+
+def client_update_body(client: str, client_seq: int, payload: Any) -> Tuple:
+    """The signed portion of a client update."""
+    return ("client-update", client, client_seq, digest(payload))
+
+
+def sign_client_update(
+    crypto: CryptoProvider, client: str, client_seq: int, payload: Any
+) -> ClientUpdate:
+    """Create a signed client update (used by proxies/HMIs)."""
+    signature = crypto.sign(client, client_update_body(client, client_seq, payload))
+    return ClientUpdate(client, client_seq, payload, signature)
+
+
+def verify_client_update(crypto: CryptoProvider, update: ClientUpdate) -> bool:
+    if update.signature is None:
+        return False
+    if update.signature.signer != update.client:
+        return False
+    body = client_update_body(update.client, update.client_seq, update.payload)
+    return crypto.verify(update.signature, body)

@@ -1,44 +1,51 @@
-"""The Prime replica.
+"""The Prime replica: a composition of protocol stages on the shared
+replication runtime.
 
-One :class:`PrimeNode` implements the full protocol stack described in
-DESIGN.md §1.2: pre-ordering (PO-Request / PO-Ack / PO-Summary), ordering
-(Pre-Prepare / Prepare / Commit over summary matrices), suspect-leader
-monitoring (:mod:`repro.prime.suspect`), view changes
-(:mod:`repro.prime.viewchange`), checkpointing and state transfer
-(:mod:`repro.prime.checkpoint`), and reconciliation (push/pull of certified
-pre-order data so message loss and recoveries cannot stall execution).
+One :class:`PrimeNode` mounts the full protocol stack described in
+DESIGN.md §1.2 and §8 as four stage objects on a
+:class:`~repro.replication.runtime.ReplicationRuntime`:
 
-Execution model: a pre-prepare carries a *matrix* of signed PO-summaries.
-Once ordered, the matrix defines, per origin stream, a coverage cutoff —
-the quorum-th largest acknowledged po_seq — and every update at or below
-the cutoff that has not yet executed is executed in deterministic order
-(origin streams sorted lexicographically, then by po_seq). Because the
-cutoff computation and the certified content are both fixed by quorums,
-all correct replicas execute the same sequence of client updates.
+* :class:`~repro.prime.preorder.PreOrderStage` — client-update batching,
+  PO-Request/Ack certification, PO-Summary gossip;
+* :class:`~repro.prime.ordering.OrderingStage` — leader proposals and
+  three-phase agreement over summary matrices;
+* :class:`~repro.prime.execution.ExecutionCutoff` — coverage-cutoff
+  execution of ordered matrices;
+* :class:`~repro.prime.recovery.RecoveryStage` — checkpoints,
+  reconciliation, and state transfer;
+* :class:`~repro.prime.leadership.LeadershipStage` — RTT/TAT suspect
+  monitoring and view changes.
+
+Protocol *state* lives on the node (it is shared between stages and is
+the surface tests, benchmarks and attack installers instrument);
+*behaviour* lives in the stages. Message routing goes through a
+:class:`~repro.replication.dispatch.Dispatcher` that authenticates each
+payload's claimed sender before any handler runs, and all sending goes
+through the runtime (sign once, fan out, loop back through
+``_dispatch`` so instrumentation wrappers intercept local delivery too).
 """
 
 from __future__ import annotations
 
-from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from ..crypto.encoding import digest
-from ..crypto.provider import CryptoProvider, Signature
-from ..obs import (
-    EV_CHECKPOINT_STABLE,
-    EV_EQUIVOCATION,
-    EV_NEW_VIEW,
-    EV_RECOVERY_DONE,
-    EV_RECOVERY_START,
-    EV_SUSPECT,
-    EV_VIEW_CHANGE_START,
-    Observability,
-    resolve_obs,
+from ..crypto.provider import CryptoProvider
+from ..obs import EV_RECOVERY_START, EventLog, Observability, resolve_obs
+from ..replication import (
+    DirectTransport,
+    Dispatcher,
+    ReplicationRuntime,
+    RetryPolicy,
+    Transport,
+    sender_field_check,
 )
-from ..simnet import Network, Process, Simulator, Trace
+from ..simnet import Network, Process, Simulator
 from .app import ReplicatedApplication
 from .checkpoint import CheckpointManager
 from .config import PrimeConfig
+from .dedup import ClientDedup
+from .execution import ExecutionCutoff, coverage_cutoffs
+from .leadership import LeadershipStage
 from .messages import (
     CheckpointMsg,
     ClientUpdate,
@@ -52,7 +59,6 @@ from .messages import (
     PoRequest,
     PoSummary,
     Prepare,
-    PreparedEntry,
     PrePrepare,
     ReconReply,
     ReconRequest,
@@ -61,36 +67,18 @@ from .messages import (
     StateRequest,
     Suspect,
     ViewChange,
+    client_update_body,
+    sign_client_update,
+    verify_client_update,
 )
-from .dedup import ClientDedup
+from .ordering import OrderingStage, slot_digest
+from .preorder import PreOrderStage
+from .recovery import RecoveryStage
 from .state import OrderingSlot, OriginState
 from .suspect import SuspectMonitor
-from .transport import DirectTransport, RetryPolicy, Transport
 from .viewchange import ViewChangeManager
 
 __all__ = ["PrimeNode", "sign_client_update", "verify_client_update", "client_update_body"]
-
-
-def client_update_body(client: str, client_seq: int, payload: Any) -> Tuple:
-    """The signed portion of a client update."""
-    return ("client-update", client, client_seq, digest(payload))
-
-
-def sign_client_update(
-    crypto: CryptoProvider, client: str, client_seq: int, payload: Any
-) -> ClientUpdate:
-    """Create a signed client update (used by proxies/HMIs)."""
-    signature = crypto.sign(client, client_update_body(client, client_seq, payload))
-    return ClientUpdate(client, client_seq, payload, signature)
-
-
-def verify_client_update(crypto: CryptoProvider, update: ClientUpdate) -> bool:
-    if update.signature is None:
-        return False
-    if update.signature.signer != update.client:
-        return False
-    body = client_update_body(update.client, update.client_seq, update.payload)
-    return crypto.verify(update.signature, body)
 
 
 #: rough wire sizes (bytes) per message type, for bandwidth modelling
@@ -127,7 +115,7 @@ class PrimeNode(Process):
         config: PrimeConfig,
         crypto: CryptoProvider,
         app: ReplicatedApplication,
-        trace: Optional[Trace] = None,
+        trace: Optional[EventLog] = None,
         transport: Optional[Transport] = None,
         obs: Optional[Observability] = None,
     ) -> None:
@@ -139,11 +127,18 @@ class PrimeNode(Process):
         self.app = app
         self.trace = trace
         self.obs = resolve_obs(obs, trace)
-        # Per-message-kind profiling instruments, resolved lazily so the
-        # registry is consulted once per kind, not once per message.
-        self._handler_timing: Dict[type, Any] = {}
-        self._handler_counts: Dict[type, Any] = {}
         self.transport: Transport = transport or DirectTransport(self, obs=self.obs)
+        self.dispatcher = Dispatcher(obs=self.obs, metric_prefix="prime")
+        self.runtime = ReplicationRuntime(
+            process=self,
+            crypto=crypto,
+            replicas_fn=self._replicas,
+            dispatcher=self.dispatcher,
+            size_of=self._size_of,
+            obs=self.obs,
+            metric_prefix="prime",
+            loopback_dispatch=False,
+        )
         # State-transfer requests back off exponentially (with jitter) so a
         # recovering replica behind a lossy or partitioned link does not
         # flood the network with fixed-rate rebroadcasts.
@@ -191,6 +186,48 @@ class PrimeNode(Process):
         self._genesis_replies: Set[str] = set()
         self._state_retry_attempts = 0
         self._state_retry_timer = None
+        # Fresh stages per incarnation: recovery must not leak stage-level
+        # references to pre-recovery state.
+        self.preorder = PreOrderStage(self)
+        self.ordering = OrderingStage(self)
+        self.execution = ExecutionCutoff(self)
+        self.recovery = RecoveryStage(self)
+        self.leadership = LeadershipStage(self)
+        self._register_handlers()
+
+    def _register_handlers(self) -> None:
+        """Bind each wire message to its stage handler, with the sender
+        check the dispatcher enforces before any protocol code runs."""
+        sender = sender_field_check("sender", self._replicas)
+        leader = sender_field_check("leader", self._replicas)
+        register = self.dispatcher.register
+        register(PoRequest, self.preorder.on_po_request, self._po_request_check)
+        register(PoAck, self.preorder.on_po_ack, sender)
+        register(PoSummary, self.preorder.on_po_summary, sender)
+        register(PrePrepare, self.ordering.on_pre_prepare, leader)
+        register(Prepare, self.ordering.on_prepare, sender)
+        register(Commit, self.ordering.on_commit, sender)
+        register(Suspect, self.leadership.on_suspect, sender)
+        register(ViewChange, self.leadership.on_view_change, sender)
+        register(NewView, self.leadership.on_new_view, leader)
+        register(CheckpointMsg, self.recovery.on_checkpoint, sender)
+        register(Ping, self.leadership.on_ping, sender)
+        register(Pong, self.leadership.on_pong, sender)
+        register(ReconRequest, self.recovery.on_recon_request, sender)
+        register(ReconReply, self.recovery.on_recon_reply, sender)
+        register(OrderedRequest, self.recovery.on_ordered_request, sender)
+        register(OrderedReply, self.recovery.on_ordered_reply, sender)
+        register(StateRequest, self.recovery.on_state_request, sender)
+        register(StateReply, self.recovery.on_state_reply, sender)
+
+    def _replicas(self) -> Tuple[str, ...]:
+        return self.config.replicas
+
+    def _po_request_check(self, payload: PoRequest, signer: str) -> bool:
+        # A PoRequest is signed by the replica owning the origin stream
+        # (``replica#epoch``), not by a ``sender`` field.
+        owner = payload.origin.split("#", 1)[0]
+        return owner == signer and owner in self.config.replicas
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -221,126 +258,36 @@ class PrimeNode(Process):
             self._request_state()
 
     # ------------------------------------------------------------------
-    # Helpers: signing, dispatch, sizes
+    # Runtime facade: signing, sending, dispatch
+    #
+    # These stay methods on the node — attack installers wrap them and
+    # tests call them, and the stages route every send through them so
+    # such wrappers always intercept.
     # ------------------------------------------------------------------
     def sign_message(self, payload: Any) -> SignedMessage:
-        return SignedMessage(payload, self.crypto.sign(self.name, payload))
+        return self.runtime.sign(payload)
 
     def verify_signed(self, signed: SignedMessage) -> bool:
-        return self.crypto.verify(signed.signature, signed.payload)
+        return self.runtime.verify(signed)
 
     @staticmethod
     def _size_of(payload: Any) -> int:
         return _BASE_SIZES.get(type(payload).__name__, 150)
 
     def _broadcast(self, payload: Any, include_self: bool = True) -> SignedMessage:
-        signed = self.sign_message(payload)
-        size = self._size_of(payload)
-        for peer in self.config.replicas:
-            if peer == self.name:
-                continue
-            self.transport.send(peer, signed, size_bytes=size)
-        if include_self:
-            self._dispatch(signed)
-        return signed
+        return self.runtime.broadcast(payload, include_self=include_self)
 
     def _send_to(self, peer: str, payload: Any) -> None:
-        if peer == self.name:
-            return
-        signed = self.sign_message(payload)
-        self.transport.send(peer, signed, size_bytes=self._size_of(payload))
+        self.runtime.send_to(peer, payload)
 
-    # ------------------------------------------------------------------
-    # Message entry point
-    # ------------------------------------------------------------------
     def on_message(self, src: str, payload: Any) -> None:
-        unwrapped = self.transport.unwrap(payload)
-        if unwrapped is not None:
-            _, payload = unwrapped
-        if isinstance(payload, SignedMessage):
-            if not self.verify_signed(payload):
-                return
-            self._dispatch(payload)
-
-    _EXPECTED_SENDER_FIELD = {
-        PoAck: "sender", PoSummary: "sender", Prepare: "sender",
-        Commit: "sender", Suspect: "sender", ViewChange: "sender",
-        CheckpointMsg: "sender", Ping: "sender", Pong: "sender",
-        ReconRequest: "sender", ReconReply: "sender",
-        OrderedRequest: "sender", OrderedReply: "sender",
-        StateRequest: "sender", StateReply: "sender",
-        PrePrepare: "leader", NewView: "leader",
-    }
+        self.runtime.receive(payload)
 
     def _dispatch(self, signed: SignedMessage) -> None:
-        payload = signed.payload
-        field = self._EXPECTED_SENDER_FIELD.get(type(payload))
-        if field is not None:
-            claimed = getattr(payload, field)
-            if claimed != signed.signature.signer or claimed not in self.config.replicas:
-                return
-        elif isinstance(payload, PoRequest):
-            owner = payload.origin.split("#", 1)[0]
-            if owner != signed.signature.signer or owner not in self.config.replicas:
-                return
-        kind = type(payload)
-        handler = self._HANDLERS.get(kind)
-        if handler is None:
-            return
-        if not self.obs.enabled:
-            handler(self, signed, payload)
-            return
-        counter = self._handler_counts.get(kind)
-        if counter is None:
-            counter = self.obs.counter(f"prime.msgs.{kind.__name__}")
-            self._handler_counts[kind] = counter
-            self._handler_timing[kind] = self.obs.histogram(
-                f"prime.handler.{kind.__name__}.wall_ms", deterministic=False
-            )
-        counter.inc()
-        started = perf_counter()
-        handler(self, signed, payload)
-        self._handler_timing[kind].observe((perf_counter() - started) * 1000.0)
+        self.dispatcher.dispatch(signed)
 
     # ------------------------------------------------------------------
-    # Client updates and batching
-    # ------------------------------------------------------------------
-    def submit(self, update: ClientUpdate) -> bool:
-        """Inject a client update at this replica (its origin)."""
-        if not self.is_up or self.awaiting_state:
-            return False
-        if not verify_client_update(self.crypto, update):
-            return False
-        if self.client_dedup.is_duplicate(update.client, update.client_seq):
-            return False  # already executed
-        self._pending_updates.append(update)
-        if not self._batch_timer_set:
-            self._batch_timer_set = True
-            self.set_timer(self.config.batch_interval_ms, self._flush_batch)
-        return True
-
-    def _flush_batch(self) -> None:
-        self._batch_timer_set = False
-        if not self._pending_updates or self.in_view_change:
-            if self._pending_updates:
-                # retry after the view change settles
-                self._batch_timer_set = True
-                self.set_timer(self.config.batch_interval_ms, self._flush_batch)
-            return
-        # Sort so that per-client sequence order survives network reordering
-        # between the client and this origin.
-        self._pending_updates.sort(key=lambda u: (u.client, u.client_seq))
-        batch = tuple(self._pending_updates[: self.config.batch_max_updates])
-        del self._pending_updates[: len(batch)]
-        self._own_po_seq += 1
-        request = PoRequest(self.origin_id, self._own_po_seq, batch)
-        self._broadcast(request)
-        if self._pending_updates:
-            self._batch_timer_set = True
-            self.set_timer(self.config.batch_interval_ms, self._flush_batch)
-
-    # ------------------------------------------------------------------
-    # Pre-ordering
+    # Shared state helpers
     # ------------------------------------------------------------------
     def _origin_state(self, origin: str) -> OriginState:
         state = self.origins.get(origin)
@@ -349,141 +296,6 @@ class PrimeNode(Process):
             self.origins[origin] = state
         return state
 
-    def _on_po_request(self, signed: SignedMessage, msg: PoRequest) -> None:
-        state = self._origin_state(msg.origin)
-        if msg.po_seq <= state.executed_upto:
-            return
-        content_digest = digest(msg)
-        existing = state.digests.get(msg.po_seq)
-        if existing is not None:
-            if existing != content_digest:
-                self.obs.event(self.name, EV_EQUIVOCATION, origin=msg.origin,
-                               po_seq=msg.po_seq)
-            return
-        state.requests[msg.po_seq] = signed
-        state.digests[msg.po_seq] = content_digest
-        ack = PoAck(self.name, msg.origin, msg.po_seq, content_digest)
-        self._broadcast(ack)
-        self._check_po_cert(state, msg.po_seq)
-
-    def _on_po_ack(self, signed: SignedMessage, msg: PoAck) -> None:
-        state = self._origin_state(msg.origin)
-        if msg.po_seq <= state.executed_upto or msg.po_seq in state.certs:
-            return
-        by_digest = state.acks.setdefault(msg.po_seq, {})
-        by_digest.setdefault(msg.digest, {})[msg.sender] = signed
-        self._check_po_cert(state, msg.po_seq)
-
-    def _check_po_cert(self, state: OriginState, po_seq: int) -> None:
-        """Complete a pre-order certificate when quorum acks match our copy."""
-        if po_seq in state.certs:
-            return
-        our_digest = state.digests.get(po_seq)
-        if our_digest is None:
-            return
-        senders = state.acks.get(po_seq, {}).get(our_digest, {})
-        if len(senders) >= self.config.quorum:
-            proof = tuple(senders[s] for s in sorted(senders))[: self.config.quorum]
-            state.certs[po_seq] = (our_digest, proof)
-            if state.advance_certified():
-                self._summary_dirty = True
-            self._try_execute()
-
-    def _current_vector(self) -> Tuple[Tuple[str, int], ...]:
-        return tuple(sorted(
-            (origin, st.certified_upto)
-            for origin, st in self.origins.items()
-            if st.certified_upto > 0
-        ))
-
-    def _summary_tick(self) -> None:
-        keepalive = 10 * self.config.summary_interval_ms
-        if not self._summary_dirty and (
-            self.simulator.now - self._last_summary_sent < keepalive
-        ):
-            return
-        dirty = self._summary_dirty
-        self._summary_dirty = False
-        self._last_summary_sent = self.simulator.now
-        self._own_summary_seq += 1
-        summary = PoSummary(
-            self.name, self._own_summary_seq, self._current_vector(),
-            self.checkpoints.stable_seq, self._recoveries,
-        )
-        self._broadcast(summary)
-        if dirty:
-            self.monitor.note_summary_sent(self._own_summary_seq, self.simulator.now)
-
-    def _on_po_summary(self, signed: SignedMessage, msg: PoSummary) -> None:
-        latest = self._latest_summaries.get(msg.sender)
-        if latest is None or (
-            (latest.payload.epoch, latest.payload.summary_seq)
-            < (msg.epoch, msg.summary_seq)
-        ):
-            self._latest_summaries[msg.sender] = signed
-        # Fell behind the garbage-collection horizon: the ordered slots we
-        # still need may no longer exist anywhere, so state-transfer. Trust
-        # the signal only when f+1 distinct replicas claim it (a lone
-        # Byzantine replica must not be able to stall us in fake recovery).
-        if not self.awaiting_state:
-            horizon = self.config.checkpoint_interval_seqs + self.last_executed_seq
-            claimants = sum(
-                1 for entry in self._latest_summaries.values()
-                if entry.payload.stable_seq > horizon
-            )
-            if claimants >= self.config.num_faults + 1:
-                self.awaiting_state = True
-                self._request_state()
-
-    # ------------------------------------------------------------------
-    # Ordering: leader proposals
-    # ------------------------------------------------------------------
-    @property
-    def is_leader(self) -> bool:
-        return self.config.leader_of_view(self.view) == self.name
-
-    def _propose_tick(self) -> None:
-        if not self.is_leader or self.in_view_change or self.awaiting_state:
-            return
-        matrix = tuple(
-            self._latest_summaries[sender]
-            for sender in sorted(self._latest_summaries)
-        )
-        key = tuple(
-            (entry.payload.sender, entry.payload.vector) for entry in matrix
-        )
-        if key == self._last_proposed_key:
-            return
-        self._last_proposed_key = key
-        pre_prepare = PrePrepare(self.name, self.view, self._next_seq, matrix)
-        self._next_seq += 1
-        self._broadcast(pre_prepare)
-
-    # ------------------------------------------------------------------
-    # Ordering: replica side
-    # ------------------------------------------------------------------
-    def slot_digest(self, seq: int, matrix: Tuple[SignedMessage, ...]) -> str:
-        content = tuple(
-            (entry.payload.sender, entry.payload.summary_seq, entry.payload.vector)
-            for entry in matrix
-        )
-        return digest((seq, content))
-
-    def _validate_matrix(self, matrix: Tuple[SignedMessage, ...]) -> bool:
-        seen = set()
-        for entry in matrix:
-            payload = entry.payload
-            if not isinstance(payload, PoSummary):
-                return False
-            if payload.sender in seen or payload.sender not in self.config.replicas:
-                return False
-            if payload.sender != entry.signature.signer:
-                return False
-            if not self.verify_signed(entry):
-                return False
-            seen.add(payload.sender)
-        return True
-
     def _slot(self, seq: int) -> OrderingSlot:
         slot = self.slots.get(seq)
         if slot is None:
@@ -491,694 +303,56 @@ class PrimeNode(Process):
             self.slots[seq] = slot
         return slot
 
-    def _on_pre_prepare(
-        self, signed: SignedMessage, msg: PrePrepare, from_new_view: bool = False
-    ) -> None:
-        if msg.view != self.view or (self.in_view_change and not from_new_view):
-            return
-        if msg.leader != self.config.leader_of_view(msg.view):
-            return
-        if msg.seq <= self.checkpoints.stable_seq:
-            return
-        if not from_new_view and msg.seq < self._min_fresh_seq:
-            return
-        if not self._validate_matrix(msg.matrix):
-            return
-        slot = self._slot(msg.seq)
-        if msg.view in slot.pre_prepares:
-            return  # first proposal per (view, seq) wins
-        slot.pre_prepares[msg.view] = signed
-        slot_digest = self.slot_digest(msg.seq, msg.matrix)
-        # The leader's pre-prepare counts as its prepare vote.
-        slot.prepares.setdefault((msg.view, slot_digest), {})[msg.leader] = signed
-        # Turnaround-time sample: did this proposal include our summary
-        # (from our *current* incarnation)?
-        if msg.leader == self.config.leader_of_view(self.view):
-            own_seq = 0
-            for entry in msg.matrix:
-                if (
-                    entry.payload.sender == self.name
-                    and entry.payload.epoch == self._recoveries
-                ):
-                    own_seq = max(own_seq, entry.payload.summary_seq)
-            if own_seq:
-                self.monitor.note_pre_prepare(own_seq, self.simulator.now)
-        if slot.prepared_vote is None or slot.prepared_vote[0] < msg.view:
-            slot.prepared_vote = (msg.view, slot_digest)
-            self._broadcast(Prepare(self.name, msg.view, msg.seq, slot_digest))
-        self._check_prepared(slot, msg.view, slot_digest)
-        self._check_ordered(slot, msg.view, slot_digest)
+    @property
+    def is_leader(self) -> bool:
+        return self.config.leader_of_view(self.view) == self.name
 
-    def _on_prepare(self, signed: SignedMessage, msg: Prepare) -> None:
-        if msg.seq <= self.checkpoints.stable_seq:
-            return
-        slot = self._slot(msg.seq)
-        slot.prepares.setdefault((msg.view, msg.digest), {})[msg.sender] = signed
-        self._check_prepared(slot, msg.view, msg.digest)
+    # Stable public/compat surface kept from the monolithic node.
+    coverage_cutoffs = staticmethod(coverage_cutoffs)
 
-    def _check_prepared(self, slot: OrderingSlot, view: int, slot_digest: str) -> None:
-        voters = slot.prepares.get((view, slot_digest), {})
-        if len(voters) < self.config.quorum:
-            return
-        if slot.prepared_cert is None or slot.prepared_cert[0] <= view:
-            proof = tuple(voters[s] for s in sorted(voters))[: self.config.quorum]
-            slot.prepared_cert = (view, slot_digest)
-            slot.prepared_proof = proof
-        if (
-            (slot.committed_vote is None or slot.committed_vote[0] < view)
-            and slot.prepared_vote == (view, slot_digest)
-        ):
-            slot.committed_vote = (view, slot_digest)
-            self._broadcast(Commit(self.name, view, slot.seq, slot_digest))
-
-    def _on_commit(self, signed: SignedMessage, msg: Commit) -> None:
-        if msg.seq <= self.checkpoints.stable_seq:
-            return
-        slot = self._slot(msg.seq)
-        slot.commits.setdefault((msg.view, msg.digest), {})[msg.sender] = signed
-        self._check_ordered(slot, msg.view, msg.digest)
-
-    def _check_ordered(self, slot: OrderingSlot, view: int, slot_digest: str) -> None:
-        if slot.is_ordered:
-            return
-        commits = slot.commits.get((view, slot_digest), {})
-        if len(commits) < self.config.quorum:
-            return
-        pre_prepare = slot.pre_prepares.get(view)
-        if pre_prepare is None:
-            return
-        if self.slot_digest(slot.seq, pre_prepare.payload.matrix) != slot_digest:
-            return
-        proof = tuple(commits[s] for s in sorted(commits))[: self.config.quorum]
-        slot.ordered = (view, slot_digest, pre_prepare, proof)
-        if slot.prepared_cert is None or slot.prepared_cert[0] < view:
-            slot.prepared_cert = (view, slot_digest)
-            slot.prepared_proof = proof
-        self._try_execute()
+    def slot_digest(self, seq: int, matrix: Tuple[SignedMessage, ...]) -> str:
+        return slot_digest(seq, matrix)
 
     # ------------------------------------------------------------------
-    # Execution
+    # Stage entry points
+    #
+    # Timer callbacks and cross-stage calls go through these thin
+    # delegators so they resolve the *current* stage objects (recovery
+    # replaces the stages) and remain monkeypatchable per node.
     # ------------------------------------------------------------------
-    @staticmethod
-    def coverage_cutoffs(
-        matrix: Tuple[SignedMessage, ...], n: int, quorum: int
-    ) -> Dict[str, int]:
-        """Per-origin cutoffs: the quorum-th largest acknowledged po_seq."""
-        values: Dict[str, List[int]] = {}
-        rows = 0
-        for entry in matrix:
-            rows += 1
-            for origin, upto in entry.payload.vector:
-                values.setdefault(origin, []).append(upto)
-        cutoffs: Dict[str, int] = {}
-        for origin, reported in values.items():
-            padded = reported + [0] * (n - len(reported))
-            padded.sort(reverse=True)
-            cutoffs[origin] = padded[quorum - 1] if len(padded) >= quorum else 0
-        return cutoffs
+    def submit(self, update: ClientUpdate) -> bool:
+        """Inject a client update at this replica (its origin)."""
+        return self.preorder.submit(update)
+
+    def _flush_batch(self) -> None:
+        self.preorder.flush_batch()
+
+    def _summary_tick(self) -> None:
+        self.preorder.summary_tick()
+
+    def _propose_tick(self) -> None:
+        self.ordering.propose_tick()
 
     def _try_execute(self) -> None:
-        while True:
-            slot = self.slots.get(self.last_executed_seq + 1)
-            if slot is None or not slot.is_ordered:
-                break
-            if not self._execute_slot(slot):
-                break
-            self.last_executed_seq += 1
-            if self.last_executed_seq % self.config.checkpoint_interval_seqs == 0:
-                self._make_checkpoint(self.last_executed_seq)
+        self.execution.try_execute()
 
-    def _missing_for_slot(self, slot: OrderingSlot) -> List[Tuple[str, int]]:
-        _, _, pre_prepare, _ = slot.ordered
-        cutoffs = self.coverage_cutoffs(
-            pre_prepare.payload.matrix, self.config.n, self.config.quorum
-        )
-        missing = []
-        for origin, cutoff in cutoffs.items():
-            state = self._origin_state(origin)
-            for po_seq in range(state.executed_upto + 1, cutoff + 1):
-                if not (state.has_cert(po_seq) and po_seq in state.requests):
-                    missing.append((origin, po_seq))
-        return missing
-
-    def _execute_slot(self, slot: OrderingSlot) -> bool:
-        missing = self._missing_for_slot(slot)
-        if missing:
-            self._request_recon(missing, slot)
-            return False
-        _, _, pre_prepare, _ = slot.ordered
-        cutoffs = self.coverage_cutoffs(
-            pre_prepare.payload.matrix, self.config.n, self.config.quorum
-        )
-        for origin in sorted(cutoffs):
-            state = self._origin_state(origin)
-            cutoff = cutoffs[origin]
-            while state.executed_upto < cutoff:
-                po_seq = state.executed_upto + 1
-                request = state.requests[po_seq].payload
-                for update in request.updates:
-                    self._execute_update(update)
-                state.executed_upto = po_seq
-        return True
-
-    def _execute_update(self, update: ClientUpdate) -> None:
-        if self.client_dedup.is_duplicate(update.client, update.client_seq):
-            return  # at-most-once per (client, client_seq)
-        if not verify_client_update(self.crypto, update):
-            return  # deterministic: all replicas reject the same forgeries
-        self.client_dedup.mark(update.client, update.client_seq)
-        self.executed_counter += 1
-        result = self.app.execute(update, self.executed_counter)
-        for listener in self.execution_listeners:
-            listener(update, self.executed_counter, result)
-
-    # ------------------------------------------------------------------
-    # Checkpoints
-    # ------------------------------------------------------------------
-    def _full_snapshot(self) -> Dict[str, Any]:
-        return {
-            "app": self.app.snapshot(),
-            "origins": {o: st.executed_upto for o, st in self.origins.items()
-                        if st.executed_upto > 0},
-            "clients": self.client_dedup.snapshot(),
-            "executed_counter": self.executed_counter,
-            "last_seq": self.last_executed_seq,
-        }
-
-    def _make_checkpoint(self, seq: int) -> None:
-        snapshot = self._full_snapshot()
-        state_digest = self.checkpoints.record_own(seq, snapshot)
-        self._broadcast(CheckpointMsg(self.name, seq, state_digest))
-
-    def _on_checkpoint(self, signed: SignedMessage, msg: CheckpointMsg) -> None:
-        stable = self.checkpoints.add_vote(signed, msg)
-        if stable is not None:
-            self.obs.event(self.name, EV_CHECKPOINT_STABLE, seq=stable)
-            self._garbage_collect(stable)
-
-    def _garbage_collect(self, stable_seq: int) -> None:
-        # Keep one checkpoint window of ordered slots below the stable
-        # checkpoint so modestly-lagging replicas can catch up by ordered
-        # certificates instead of a full state transfer.
-        horizon = stable_seq - self.config.checkpoint_interval_seqs
-        for seq in [s for s in self.slots if s <= horizon]:
-            del self.slots[seq]
-        for state in self.origins.values():
-            state.garbage_collect(state.executed_upto)
-        self.view_manager.garbage_collect(self.view)
-
-    # ------------------------------------------------------------------
-    # Reconciliation
-    # ------------------------------------------------------------------
-    def _request_recon(
-        self, missing: List[Tuple[str, int]], slot: OrderingSlot
-    ) -> None:
-        """Pull certified pre-order data we lack from replicas that claim it."""
-        _, _, pre_prepare, _ = slot.ordered
-        claimants: Dict[str, List[str]] = {}
-        for entry in pre_prepare.payload.matrix:
-            vector = dict(entry.payload.vector)
-            for origin, po_seq in missing:
-                if vector.get(origin, 0) >= po_seq:
-                    claimants.setdefault(origin, []).append(entry.payload.sender)
-        by_origin: Dict[str, List[int]] = {}
-        for origin, po_seq in missing:
-            by_origin.setdefault(origin, []).append(po_seq)
-        for origin, seqs in by_origin.items():
-            peers = [p for p in claimants.get(origin, []) if p != self.name]
-            if not peers:
-                peers = [p for p in self.config.replicas if p != self.name]
-            peer = peers[self._recon_rotor % len(peers)]
-            self._recon_rotor += 1
-            self._send_to(
-                peer, ReconRequest(self.name, origin, min(seqs), max(seqs))
-            )
-
-    def _on_recon_request(self, signed: SignedMessage, msg: ReconRequest) -> None:
-        state = self.origins.get(msg.origin)
-        if state is None:
-            return
-        upper = min(msg.to_seq, msg.from_seq + self.config.recon_window - 1)
-        for po_seq in range(msg.from_seq, upper + 1):
-            cert = state.certs.get(po_seq)
-            request = state.requests.get(po_seq)
-            if cert is not None and request is not None:
-                _, proof = cert
-                self._send_to(msg.sender, ReconReply(self.name, request, proof))
-
-    def _on_recon_reply(self, signed: SignedMessage, msg: ReconReply) -> None:
-        request_signed = msg.request
-        request = request_signed.payload
-        if not isinstance(request, PoRequest):
-            return
-        owner = request.origin.split("#", 1)[0]
-        if request_signed.signature.signer != owner or owner not in self.config.replicas:
-            return
-        if not self.verify_signed(request_signed):
-            return
-        content_digest = digest(request)
-        senders = set()
-        for ack_signed in msg.acks:
-            ack = ack_signed.payload
-            if not isinstance(ack, PoAck):
-                return
-            if (
-                ack.origin != request.origin
-                or ack.po_seq != request.po_seq
-                or ack.digest != content_digest
-                or ack.sender != ack_signed.signature.signer
-                or ack.sender not in self.config.replicas
-            ):
-                return
-            if not self.verify_signed(ack_signed):
-                return
-            senders.add(ack.sender)
-        if len(senders) < self.config.quorum:
-            return
-        state = self._origin_state(request.origin)
-        if request.po_seq <= state.executed_upto or request.po_seq in state.certs:
-            return
-        state.requests[request.po_seq] = request_signed
-        state.digests[request.po_seq] = content_digest
-        state.certs[request.po_seq] = (content_digest, tuple(msg.acks))
-        if state.advance_certified():
-            self._summary_dirty = True
-        self._try_execute()
-
-    def _recon_tick(self) -> None:
-        if self.awaiting_state:
-            return
-        # Behind the garbage-collection horizon and unable to make ordering
-        # progress: the slots we need may no longer exist anywhere, so fall
-        # back to state transfer. (Being merely one checkpoint behind is
-        # normal transient lag — those slots are still retained.)
-        head = self.slots.get(self.last_executed_seq + 1)
-        horizon = self.checkpoints.stable_seq - self.config.checkpoint_interval_seqs
-        if horizon > self.last_executed_seq and (
-            head is None or not head.is_ordered
-        ):
-            self.awaiting_state = True
-            self._request_state()
-            return
-        self._retransmit_own_requests()
-        self._push_recon()
-        self._ordering_catchup()
-
-    def _retransmit_own_requests(self) -> None:
-        state = self.origins.get(self.origin_id)
-        if state is None or state.certified_upto >= self._own_po_seq:
-            return
-        upper = min(
-            state.certified_upto + self.config.recon_window, self._own_po_seq
-        )
-        for po_seq in range(state.certified_upto + 1, upper + 1):
-            stored = state.requests.get(po_seq)
-            if stored is not None:
-                size = self._size_of(stored.payload)
-                for peer in self.config.replicas:
-                    if peer != self.name:
-                        self.transport.send(peer, stored, size_bytes=size)
-
-    def _push_recon(self, push_window: int = 8) -> None:
-        """Push certified data to peers whose summaries show them behind."""
-        for peer, summary in self._latest_summaries.items():
-            if peer == self.name:
-                continue
-            their = dict(summary.payload.vector)
-            for origin, state in self.origins.items():
-                theirs = their.get(origin, 0)
-                if state.certified_upto <= theirs:
-                    continue
-                upper = min(theirs + push_window, state.certified_upto)
-                for po_seq in range(theirs + 1, upper + 1):
-                    cert = state.certs.get(po_seq)
-                    request = state.requests.get(po_seq)
-                    if cert is not None and request is not None:
-                        self._send_to(peer, ReconReply(self.name, request, cert[1]))
-
-    def _ordering_catchup(self) -> None:
-        next_seq = self.last_executed_seq + 1
-        have_later = any(
-            s.seq > next_seq and s.is_ordered for s in self.slots.values()
-        )
-        slot = self.slots.get(next_seq)
-        if slot is not None and slot.is_ordered:
-            self._try_execute()
-            return
-        if have_later:
-            # fetch a whole window of missing slots, spread across peers,
-            # so a replica many slots behind catches up quickly
-            peers = [p for p in self.config.replicas if p != self.name]
-            highest_ordered = max(
-                (s.seq for s in self.slots.values() if s.is_ordered),
-                default=next_seq,
-            )
-            upper = min(next_seq + 16, highest_ordered)
-            for seq in range(next_seq, upper + 1):
-                slot = self.slots.get(seq)
-                if slot is not None and slot.is_ordered:
-                    continue
-                peer = peers[self._recon_rotor % len(peers)]
-                self._recon_rotor += 1
-                self._send_to(peer, OrderedRequest(self.name, seq))
-        # re-broadcast our votes for the head slot to overcome loss
-        if slot is not None and not slot.is_ordered:
-            own_pp = slot.pre_prepares.get(self.view)
-            if (
-                own_pp is not None
-                and own_pp.payload.leader == self.name
-            ):
-                size = self._size_of(own_pp.payload)
-                for peer in self.config.replicas:
-                    if peer != self.name:
-                        self.transport.send(peer, own_pp, size_bytes=size)
-            if slot.committed_vote is not None:
-                view, slot_digest = slot.committed_vote
-                self._broadcast(
-                    Commit(self.name, view, slot.seq, slot_digest), include_self=False
-                )
-            elif slot.prepared_vote is not None:
-                view, slot_digest = slot.prepared_vote
-                self._broadcast(
-                    Prepare(self.name, view, slot.seq, slot_digest), include_self=False
-                )
-
-    def _on_ordered_request(self, signed: SignedMessage, msg: OrderedRequest) -> None:
-        slot = self.slots.get(msg.seq)
-        if slot is None or not slot.is_ordered:
-            return
-        view, slot_digest, pre_prepare, proof = slot.ordered
-        self._send_to(msg.sender, OrderedReply(self.name, msg.seq, pre_prepare, proof))
-
-    def _on_ordered_reply(self, signed: SignedMessage, msg: OrderedReply) -> None:
-        if msg.seq <= self.checkpoints.stable_seq or msg.seq <= self.last_executed_seq:
-            return
-        slot = self._slot(msg.seq)
-        if slot.is_ordered:
-            return
-        pp_signed = msg.pre_prepare
-        pp = pp_signed.payload
-        if not isinstance(pp, PrePrepare) or pp.seq != msg.seq:
-            return
-        if pp.leader != self.config.leader_of_view(pp.view):
-            return
-        if pp_signed.signature.signer != pp.leader or not self.verify_signed(pp_signed):
-            return
-        if not self._validate_matrix(pp.matrix):
-            return
-        slot_digest = self.slot_digest(msg.seq, pp.matrix)
-        senders = set()
-        for commit_signed in msg.commits:
-            commit = commit_signed.payload
-            if not isinstance(commit, Commit):
-                return
-            if (
-                commit.view != pp.view
-                or commit.seq != msg.seq
-                or commit.digest != slot_digest
-                or commit.sender != commit_signed.signature.signer
-                or commit.sender not in self.config.replicas
-            ):
-                return
-            if not self.verify_signed(commit_signed):
-                return
-            senders.add(commit.sender)
-        if len(senders) < self.config.quorum:
-            return
-        slot.pre_prepares[pp.view] = pp_signed
-        slot.ordered = (pp.view, slot_digest, pp_signed, tuple(msg.commits))
-        if slot.prepared_cert is None or slot.prepared_cert[0] < pp.view:
-            slot.prepared_cert = (pp.view, slot_digest)
-            slot.prepared_proof = tuple(msg.commits)
-        self._try_execute()
-
-    # ------------------------------------------------------------------
-    # Pings / TAT / suspicion
-    # ------------------------------------------------------------------
     def _ping_tick(self) -> None:
-        self._ping_nonce += 1
-        ping = Ping(self.name, self._ping_nonce, self.simulator.now)
-        self._broadcast(ping, include_self=False)
-        self.monitor.record_rtt(self.name, 0.0)
-
-    def _on_ping(self, signed: SignedMessage, msg: Ping) -> None:
-        self._send_to(msg.sender, Pong(self.name, msg.nonce, msg.sent_at))
-
-    def _on_pong(self, signed: SignedMessage, msg: Pong) -> None:
-        rtt = self.simulator.now - msg.sent_at
-        if rtt >= 0:
-            self.monitor.record_rtt(msg.sender, rtt)
+        self.leadership.ping_tick()
 
     def _tat_tick(self) -> None:
-        if self.in_view_change or self.awaiting_state:
-            return
-        if self.view in self.view_manager.sent_suspect_for:
-            return
-        reason = self.monitor.should_suspect(self.simulator.now)
-        if reason is not None:
-            self._send_suspect(reason)
+        self.leadership.tat_tick()
 
-    def _send_suspect(self, reason: str) -> None:
-        self.view_manager.note_own_suspect(self.view)
-        self.obs.event(self.name, EV_SUSPECT, view=self.view, reason=reason)
-        self._broadcast(Suspect(self.name, self.view, reason))
+    def _recon_tick(self) -> None:
+        self.recovery.recon_tick()
 
-    def _on_suspect(self, signed: SignedMessage, msg: Suspect) -> None:
-        amplify, view_change = self.view_manager.add_suspect(signed, msg, self.view)
-        if amplify:
-            self._send_suspect("amplified")
-        if view_change and msg.view >= self.view:
-            self._initiate_view_change(msg.view + 1)
-
-    # ------------------------------------------------------------------
-    # View changes
-    # ------------------------------------------------------------------
-    def _initiate_view_change(self, new_view: int) -> None:
-        if new_view <= self.view_manager.highest_vc_started or new_view <= 0:
-            return
-        if new_view <= self.view and not self.in_view_change:
-            return
-        self.view_manager.highest_vc_started = new_view
-        self.view = new_view
-        self.in_view_change = True
-        self.monitor.reset_for_new_view()
-        self._last_proposed_key = None
-        self.obs.event(self.name, EV_VIEW_CHANGE_START, view=new_view)
-        prepared = []
-        for seq in sorted(self.slots):
-            slot = self.slots[seq]
-            if seq <= self.checkpoints.stable_seq:
-                continue
-            cert = slot.prepared_cert
-            if cert is None:
-                continue
-            view, slot_digest = cert
-            pp_signed = slot.pre_prepares.get(view)
-            proof = getattr(slot, "prepared_proof", None)
-            if pp_signed is None or proof is None:
-                continue
-            prepared.append(
-                PreparedEntry(seq, view, slot_digest, pp_signed, tuple(proof))
-            )
-        vc = ViewChange(
-            self.name,
-            new_view,
-            self.checkpoints.stable_seq,
-            self.checkpoints.stable_proof,
-            tuple(prepared),
-        )
-        self._broadcast(vc)
-        if self._vc_timer is not None:
-            self._vc_timer.cancel()
-        self._vc_timer = self.set_timer(
-            self.config.view_change_timeout_ms, self._view_change_timeout, new_view
-        )
-
-    def _view_change_timeout(self, expected_view: int) -> None:
-        if self.in_view_change and self.view == expected_view:
-            if self.view not in self.view_manager.sent_suspect_for:
-                self._send_suspect("new-view-timeout")
-
-    def _verify_checkpoint_proof(self, seq: int, proof: Tuple[SignedMessage, ...]) -> bool:
-        digests = {
-            p.payload.state_digest
-            for p in proof
-            if isinstance(p.payload, CheckpointMsg)
-        }
-        if len(digests) != 1:
-            return False
-        return self.checkpoints.verify_proof(
-            seq, next(iter(digests)), proof, self.verify_signed
-        )
-
-    def _on_view_change(self, signed: SignedMessage, msg: ViewChange) -> None:
-        if msg.new_view < self.view:
-            return
-        if not self.view_manager.validate_view_change(
-            signed, msg, self.verify_signed, self._verify_checkpoint_proof
-        ):
-            return
-        count = self.view_manager.add_view_change(signed, msg)
-        # Join a view change others already started.
-        if (
-            msg.new_view > self.view
-            and count >= self.config.num_faults + 1
-        ):
-            self._initiate_view_change(msg.new_view)
-        if (
-            self.config.leader_of_view(msg.new_view) == self.name
-            and count >= self.config.quorum
-            and msg.new_view not in self.view_manager.sent_new_view_for
-            and msg.new_view >= self.view
-        ):
-            built = self.view_manager.build_new_view(msg.new_view, self.sign_message)
-            if built is not None:
-                nv, _ = built
-                self._broadcast(nv)
-
-    def _on_new_view(self, signed: SignedMessage, msg: NewView) -> None:
-        if msg.view < self.view or (msg.view == self.view and not self.in_view_change):
-            return
-        verified = self.view_manager.verify_new_view(
-            signed, msg, self.verify_signed, self._verify_checkpoint_proof
-        )
-        if verified is None:
-            return
-        pre_prepares, start_seq, max_seq = verified
-        self._install_new_view(msg.view, pre_prepares, max_seq)
-
-    def _install_new_view(
-        self, view: int, pre_prepares: List[SignedMessage], max_seq: int
-    ) -> None:
-        self.view = view
-        self.in_view_change = False
-        self.monitor.reset_for_new_view()
-        self._min_fresh_seq = max_seq + 1
-        self._next_seq = max(self._next_seq, max_seq + 1)
-        self._last_proposed_key = None
-        if self._vc_timer is not None:
-            self._vc_timer.cancel()
-            self._vc_timer = None
-        self.obs.event(self.name, EV_NEW_VIEW, view=view, max_seq=max_seq)
-        for pp_signed in pre_prepares:
-            self._on_pre_prepare(pp_signed, pp_signed.payload, from_new_view=True)
-        self.view_manager.garbage_collect(view)
-
-    # ------------------------------------------------------------------
-    # State transfer
-    # ------------------------------------------------------------------
     def _request_state(self) -> None:
-        self._broadcast(StateRequest(self.name), include_self=False)
-        self._arm_state_retry()
-
-    def _arm_state_retry(self) -> None:
-        """Schedule the next state-transfer retry under the backoff policy."""
-        if self._state_retry_timer is not None:
-            self._state_retry_timer.cancel()
-        delay = self._state_retry_policy.delay_ms(
-            self._state_retry_attempts,
-            self.simulator.rng(f"state-retry/{self.name}"),
-        )
-        self._state_retry_attempts += 1
-        self._state_retry_timer = self.set_timer(delay, self._state_retry_tick)
-
-    def _reset_state_retry(self) -> None:
-        self._state_retry_attempts = 0
-        if self._state_retry_timer is not None:
-            self._state_retry_timer.cancel()
-            self._state_retry_timer = None
+        self.recovery.request_state()
 
     def _state_retry_tick(self) -> None:
-        self._state_retry_timer = None
-        if self.awaiting_state:
-            self._request_state()
-        else:
-            self._reset_state_retry()
+        self.recovery.state_retry_tick()
 
-    def _on_state_request(self, signed: SignedMessage, msg: StateRequest) -> None:
-        if self.awaiting_state:
-            return
-        serveable = self.checkpoints.best_serveable()
-        if serveable is not None:
-            seq, snapshot, proof = serveable
-            reply = StateReply(self.name, seq, snapshot, proof, self.view)
-        else:
-            reply = StateReply(self.name, 0, None, (), self.view)
-        self._send_to(msg.sender, reply)
+    def _initiate_view_change(self, new_view: int) -> None:
+        self.leadership.initiate_view_change(new_view)
 
-    def _on_state_reply(self, signed: SignedMessage, msg: StateReply) -> None:
-        if not self.awaiting_state:
-            return
-        if msg.checkpoint_seq == 0:
-            # "No checkpoint anywhere" is only believable from a quorum —
-            # a single early genesis reply must not end recovery while
-            # other replicas hold a real checkpoint.
-            if self.last_executed_seq == 0:
-                self._genesis_replies.add(msg.sender)
-                if len(self._genesis_replies) >= self.config.quorum - 1:
-                    self.awaiting_state = False
-                    self._genesis_replies.clear()
-                    self._reset_state_retry()
-                    self.obs.event(self.name, EV_RECOVERY_DONE, seq=0)
-            return
-        if msg.checkpoint_seq <= self.last_executed_seq:
-            return
-        state_digest = digest(msg.snapshot)
-        if not self.checkpoints.verify_proof(
-            msg.checkpoint_seq, state_digest, msg.proof, self.verify_signed
-        ):
-            return
-        self._install_snapshot(msg, state_digest)
-
-    def _install_snapshot(self, msg: StateReply, state_digest: str) -> None:
-        snapshot = msg.snapshot
-        self.app.restore(snapshot["app"])
-        self.client_dedup.restore(snapshot["clients"])
-        self.executed_counter = int(snapshot["executed_counter"])
-        self.last_executed_seq = int(msg.checkpoint_seq)
-        for origin, upto in dict(snapshot["origins"]).items():
-            state = self._origin_state(origin)
-            if state.executed_upto < upto:
-                state.executed_upto = upto
-                state.certified_upto = max(state.certified_upto, upto)
-                state.garbage_collect(upto)
-            # certificates collected while the transfer was in flight may
-            # extend contiguously past the installed frontier
-            state.advance_certified()
-        self.checkpoints.adopt_stable(msg.checkpoint_seq, state_digest, msg.proof)
-        self.checkpoints.record_own(msg.checkpoint_seq, snapshot)
-        for seq in [s for s in self.slots if s <= msg.checkpoint_seq]:
-            del self.slots[seq]
-        if msg.view > self.view:
-            self.view = msg.view
-            self.in_view_change = False
-        self.awaiting_state = False
-        self._reset_state_retry()
-        self._summary_dirty = True
-        self.obs.event(self.name, EV_RECOVERY_DONE, seq=msg.checkpoint_seq)
-        self._try_execute()
-
-    # ------------------------------------------------------------------
-    _HANDLERS: Dict[type, Callable] = {}
-
-
-PrimeNode._HANDLERS = {
-    PoRequest: PrimeNode._on_po_request,
-    PoAck: PrimeNode._on_po_ack,
-    PoSummary: PrimeNode._on_po_summary,
-    PrePrepare: PrimeNode._on_pre_prepare,
-    Prepare: PrimeNode._on_prepare,
-    Commit: PrimeNode._on_commit,
-    Suspect: PrimeNode._on_suspect,
-    ViewChange: PrimeNode._on_view_change,
-    NewView: PrimeNode._on_new_view,
-    CheckpointMsg: PrimeNode._on_checkpoint,
-    Ping: PrimeNode._on_ping,
-    Pong: PrimeNode._on_pong,
-    ReconRequest: PrimeNode._on_recon_request,
-    ReconReply: PrimeNode._on_recon_reply,
-    OrderedRequest: PrimeNode._on_ordered_request,
-    OrderedReply: PrimeNode._on_ordered_reply,
-    StateRequest: PrimeNode._on_state_request,
-    StateReply: PrimeNode._on_state_reply,
-}
+    def _view_change_timeout(self, expected_view: int) -> None:
+        self.leadership.view_change_timeout(expected_view)

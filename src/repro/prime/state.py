@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Dict, Tuple
 
+from ..replication.ordering import ThreePhaseSlot
 from .messages import SignedMessage
 
 __all__ = ["OriginState", "OrderingSlot"]
@@ -52,27 +53,9 @@ class OriginState:
 
 
 @dataclass
-class OrderingSlot:
-    """Global-ordering state for one (seq) slot."""
+class OrderingSlot(ThreePhaseSlot):
+    """Global-ordering state for one (seq) slot.
 
-    seq: int
-    #: view -> signed PrePrepare received for this slot in that view
-    pre_prepares: Dict[int, SignedMessage] = field(default_factory=dict)
-    #: (view, digest) -> sender -> signed Prepare
-    prepares: Dict[Tuple[int, str], Dict[str, SignedMessage]] = field(default_factory=dict)
-    #: (view, digest) -> sender -> signed Commit
-    commits: Dict[Tuple[int, str], Dict[str, SignedMessage]] = field(default_factory=dict)
-    #: set when this replica sent its Prepare: (view, digest)
-    prepared_vote: Optional[Tuple[int, str]] = None
-    #: set when this replica sent its Commit: (view, digest)
-    committed_vote: Optional[Tuple[int, str]] = None
-    #: highest view in which this slot reached a prepare certificate here
-    prepared_cert: Optional[Tuple[int, str]] = None
-    #: the certificate itself: quorum of signed Prepare/Commit messages
-    prepared_proof: Optional[Tuple[SignedMessage, ...]] = None
-    #: the ordered result: (view, digest, signed PrePrepare, commit proof)
-    ordered: Optional[Tuple[int, str, SignedMessage, Tuple[SignedMessage, ...]]] = None
-
-    @property
-    def is_ordered(self) -> bool:
-        return self.ordered is not None
+    Prime's specialisation of the shared three-phase slot: ``ordered`` is
+    ``(view, digest, signed PrePrepare, commit proof)``.
+    """

@@ -1,118 +1,21 @@
-"""Transport abstraction: how replicas reach each other and their clients.
+"""Transport and retry primitives (compatibility re-exports).
 
-In the paper, all Spire traffic — replica-to-replica Prime messages and
-replica-to-proxy update delivery — flows over the Spines overlay. Tests
-and LAN scenarios can instead use the raw simulated network. Both are
-hidden behind the two-method :class:`Transport` interface.
+The transport stack and retry policy now live in
+:mod:`repro.replication` — they are protocol-agnostic and shared with the
+PBFT baseline and the client/proxy resubmission paths. This module
+remains so existing imports (``repro.prime.transport``) keep working; new
+code should import from :mod:`repro.replication` directly.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from ..replication.retry import RetryPolicy, RetrySchedule
+from ..replication.transport import DirectTransport, OverlayTransport, Transport
 
-from ..simnet import Process
-from ..spines.overlay import OverlayStack
-
-__all__ = ["Transport", "DirectTransport", "OverlayTransport", "RetryPolicy"]
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded exponential backoff with jitter for resend paths.
-
-    Replaces fixed-interval retries: the delay for attempt ``i`` grows as
-    ``base_ms * factor**i`` up to ``max_ms``, with a multiplicative jitter
-    in ``[1, 1 + jitter_frac)`` drawn from the caller's RNG stream (so
-    simulated retries stay deterministic per seed). After ``max_attempts``
-    the delay stays pinned at the cap — retries never stop entirely,
-    because a replica that gives up on state transfer is lost forever, but
-    their rate is bounded so a partitioned replica cannot flood the
-    network on rejoin.
-    """
-
-    base_ms: float = 100.0
-    factor: float = 2.0
-    max_ms: float = 4000.0
-    max_attempts: int = 8
-    jitter_frac: float = 0.25
-
-    def __post_init__(self) -> None:
-        if self.base_ms <= 0 or self.factor < 1.0 or self.max_ms < self.base_ms:
-            raise ValueError("invalid retry policy parameters")
-
-    def delay_ms(self, attempt: int, rng: Optional[random.Random] = None) -> float:
-        """Backoff delay before retry number ``attempt`` (0-based)."""
-        exponent = min(attempt, self.max_attempts)
-        delay = min(self.max_ms, self.base_ms * self.factor ** exponent)
-        if rng is not None and self.jitter_frac > 0.0:
-            delay *= 1.0 + self.jitter_frac * rng.random()
-        return delay
-
-    def capped(self, attempt: int) -> bool:
-        """True once the backoff has reached its bounded ceiling."""
-        return attempt >= self.max_attempts
-
-
-class Transport:
-    """Minimal send/unwrap interface used by protocol nodes."""
-
-    def send(self, dst: str, payload: Any, size_bytes: int = 256) -> bool:
-        raise NotImplementedError
-
-    def unwrap(self, message: Any) -> Optional[Tuple[str, Any]]:
-        """Extract (source, payload) from an incoming raw message, or None
-        if the message does not belong to this transport."""
-        raise NotImplementedError
-
-
-class _SendCounters:
-    """Shared observability wiring for transports.
-
-    Counters are resolved once at construction; when observability is
-    disabled (or no ``obs`` is given) sends pay only a None test.
-    """
-
-    _sent = None
-    _sent_bytes = None
-
-    def _bind_obs(self, obs, prefix: str) -> None:
-        if obs is not None and getattr(obs, "enabled", False):
-            self._sent = obs.counter(f"{prefix}.sent")
-            self._sent_bytes = obs.counter(f"{prefix}.sent_bytes")
-
-    def _count_send(self, size_bytes: int) -> None:
-        if self._sent is not None:
-            self._sent.inc()
-            self._sent_bytes.inc(size_bytes)
-
-
-class DirectTransport(_SendCounters, Transport):
-    """Point-to-point delivery over the raw simulated network."""
-
-    def __init__(self, process: Process, obs=None) -> None:
-        self._process = process
-        self._bind_obs(obs, "prime.transport.direct")
-
-    def send(self, dst: str, payload: Any, size_bytes: int = 256) -> bool:
-        self._count_send(size_bytes)
-        return self._process.send(dst, payload, size_bytes)
-
-    def unwrap(self, message: Any) -> Optional[Tuple[str, Any]]:
-        return None  # raw network messages arrive with src already split out
-
-
-class OverlayTransport(_SendCounters, Transport):
-    """Delivery via a Spines overlay stack."""
-
-    def __init__(self, stack: OverlayStack, obs=None) -> None:
-        self._stack = stack
-        self._bind_obs(obs, "prime.transport.overlay")
-
-    def send(self, dst: str, payload: Any, size_bytes: int = 256) -> bool:
-        self._count_send(size_bytes)
-        return self._stack.send(dst, payload, size_bytes=size_bytes)
-
-    def unwrap(self, message: Any) -> Optional[Tuple[str, Any]]:
-        return OverlayStack.unwrap(message)
+__all__ = [
+    "Transport",
+    "DirectTransport",
+    "OverlayTransport",
+    "RetryPolicy",
+    "RetrySchedule",
+]

@@ -19,12 +19,20 @@ The flow is PBFT-style, adapted to Prime's matrix proposals:
 
 If the new leader stalls, the view-change timeout fires and replicas
 suspect it in turn, cascading to the next view.
+
+The per-epoch vote tables are shared
+:class:`~repro.replication.epoch.EpochVoteTable` instances and the
+re-proposal derivation delegates to
+:func:`~repro.replication.epoch.derive_reproposals`; Prime keeps only
+its validation rules and NewView construction here.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Tuple
 
+from ..replication.epoch import EpochVoteTable, derive_reproposals
+from ..replication.quorum import collect_valid_voters
 from .config import PrimeConfig
 from .messages import (
     Commit,
@@ -52,11 +60,11 @@ class ViewChangeManager:
         self.config = config
         self.name = name
         #: view -> sender -> signed Suspect
-        self.suspects: Dict[int, Dict[str, SignedMessage]] = {}
+        self.suspects = EpochVoteTable()
         #: new_view -> sender -> signed ViewChange
-        self.view_changes: Dict[int, Dict[str, SignedMessage]] = {}
-        self.sent_suspect_for: Set[int] = set()
-        self.sent_new_view_for: Set[int] = set()
+        self.view_changes = EpochVoteTable()
+        self.sent_suspect_for: set = set()
+        self.sent_new_view_for: set = set()
         self.highest_vc_started: int = 0
 
     # ------------------------------------------------------------------
@@ -72,9 +80,7 @@ class ViewChangeManager:
         """
         if msg.view < current_view:
             return (False, False)
-        senders = self.suspects.setdefault(msg.view, {})
-        senders[msg.sender] = signed
-        count = len(senders)
+        count = self.suspects.record(msg.view, msg.sender, signed)
         amplify = (
             msg.view == current_view
             and count >= self.config.num_faults + 1
@@ -130,26 +136,25 @@ class ViewChangeManager:
             return False
         # Prepare certificate: quorum of distinct replicas vouching
         # (view, seq, digest); the leader's pre-prepare counts as one.
-        voters = {pp.leader}
-        for proof_signed in entry.proof:
-            payload = proof_signed.payload
-            if isinstance(payload, (Prepare, Commit)):
-                if (
-                    payload.view == entry.view
-                    and payload.seq == entry.seq
-                    and payload.digest == entry.digest
-                    and payload.sender == proof_signed.signature.signer
-                    and payload.sender in self.config.replicas
-                    and verify_signed(proof_signed)
-                ):
-                    voters.add(payload.sender)
-        return len(voters) >= self.config.quorum
+        # Lenient scan: appended garbage must not invalidate honest votes.
+        voters = collect_valid_voters(
+            entry.proof,
+            membership=self.config.replicas,
+            verify_signed=verify_signed,
+            expected_kind=(Prepare, Commit),
+            check=lambda p: (
+                p.view == entry.view
+                and p.seq == entry.seq
+                and p.digest == entry.digest
+            ),
+            strict=False,
+            initial=(pp.leader,),
+        )
+        return voters is not None and len(voters) >= self.config.quorum
 
     def add_view_change(self, signed: SignedMessage, vc: ViewChange) -> int:
         """Store a validated ViewChange; returns the count for its view."""
-        senders = self.view_changes.setdefault(vc.new_view, {})
-        senders[vc.sender] = signed
-        return len(senders)
+        return self.view_changes.record(vc.new_view, vc.sender, signed)
 
     # ------------------------------------------------------------------
     # NewView construction / verification
@@ -163,26 +168,13 @@ class ViewChangeManager:
         Returns (start_seq, [(seq, matrix), ...]) where matrices for gap
         sequences are empty tuples (no-ops).
         """
-        start_seq = max((vc.checkpoint_seq for vc in view_changes), default=0)
-        best: Dict[int, PreparedEntry] = {}
-        for vc in view_changes:
-            for entry in vc.prepared:
-                if entry.seq <= start_seq:
-                    continue
-                current = best.get(entry.seq)
-                if (
-                    current is None
-                    or entry.view > current.view
-                    or (entry.view == current.view and entry.digest < current.digest)
-                ):
-                    best[entry.seq] = entry
-        max_seq = max(best.keys(), default=start_seq)
-        proposals = []
-        for seq in range(start_seq + 1, max_seq + 1):
-            entry = best.get(seq)
-            matrix = entry.pre_prepare.payload.matrix if entry is not None else ()
-            proposals.append((seq, matrix))
-        return start_seq, proposals
+        return derive_reproposals(
+            view_changes,
+            anchor_of=lambda vc: vc.checkpoint_seq,
+            entries_of=lambda vc: vc.prepared,
+            content_of=lambda entry: entry.pre_prepare.payload.matrix,
+            empty=(),
+        )
 
     def build_new_view(
         self, view: int, sign_pre_prepare
@@ -192,10 +184,9 @@ class ViewChangeManager:
         ``sign_pre_prepare(PrePrepare) -> SignedMessage``. Returns
         (new_view_message, max_seq) or None if below quorum.
         """
-        stored = self.view_changes.get(view, {})
-        if len(stored) < self.config.quorum:
+        if self.view_changes.count(view) < self.config.quorum:
             return None
-        chosen = [stored[s] for s in sorted(stored)][: self.config.quorum]
+        chosen = self.view_changes.chosen(view, self.config.quorum)
         vcs = [signed.payload for signed in chosen]
         start_seq, proposals = self.derive_re_proposals(vcs)
         pre_prepares = tuple(
@@ -255,6 +246,5 @@ class ViewChangeManager:
 
     # ------------------------------------------------------------------
     def garbage_collect(self, below_view: int) -> None:
-        for table in (self.suspects, self.view_changes):
-            for view in [v for v in table if v < below_view]:
-                del table[view]
+        self.suspects.drop_below(below_view)
+        self.view_changes.drop_below(below_view)

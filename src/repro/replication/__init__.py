@@ -1,0 +1,63 @@
+"""Protocol-agnostic replication runtime.
+
+The substrate both BFT protocols in this reproduction (Prime and the
+PBFT baseline) are built on, layered bottom-up:
+
+* :mod:`~repro.replication.transport` — how replicas reach each other:
+  the two-method :class:`Transport` interface with direct-network and
+  Spines-overlay implementations, send accounting wired into
+  :mod:`repro.obs`;
+* :mod:`~repro.replication.retry` — bounded-backoff retransmission
+  (:class:`RetryPolicy` / :class:`RetrySchedule`) shared by every resend
+  path: Prime state transfer, PBFT head-slot retransmission,
+  client/proxy resubmission;
+* :mod:`~repro.replication.messages` — the :class:`SignedMessage`
+  envelope (authenticated links);
+* :mod:`~repro.replication.dispatch` — typed handler registration with
+  sender authentication and per-kind receive counters/timing;
+* :mod:`~repro.replication.runtime` — :class:`ReplicationRuntime`:
+  sign/verify, membership fan-out, loopback rules, per-kind send
+  counters;
+* :mod:`~repro.replication.quorum` — vote collection
+  (:class:`QuorumTracker`) and signed-certificate assembly/verification;
+* :mod:`~repro.replication.ordering` — the shared three-phase
+  (pre-prepare/prepare/commit) per-slot agreement state;
+* :mod:`~repro.replication.epoch` — view-change scaffolding: per-epoch
+  vote tables and the deterministic re-proposal derivation.
+
+Protocol packages (:mod:`repro.prime`, :mod:`repro.pbft`) mount their
+stage objects on these primitives; see DESIGN.md §8 for the layering.
+"""
+
+from .dispatch import Dispatcher, sender_field_check
+from .epoch import EpochVoteTable, derive_reproposals
+from .messages import SignedMessage
+from .ordering import ThreePhaseSlot
+from .quorum import (
+    QuorumTracker,
+    assemble_certificate,
+    collect_valid_voters,
+    verify_certificate,
+)
+from .retry import RetryPolicy, RetrySchedule
+from .runtime import ReplicationRuntime
+from .transport import DirectTransport, OverlayTransport, Transport
+
+__all__ = [
+    "Dispatcher",
+    "DirectTransport",
+    "EpochVoteTable",
+    "OverlayTransport",
+    "QuorumTracker",
+    "ReplicationRuntime",
+    "RetryPolicy",
+    "RetrySchedule",
+    "SignedMessage",
+    "ThreePhaseSlot",
+    "Transport",
+    "assemble_certificate",
+    "collect_valid_voters",
+    "derive_reproposals",
+    "sender_field_check",
+    "verify_certificate",
+]

@@ -1,0 +1,116 @@
+"""View-change / epoch scaffold shared by leader-based protocols.
+
+Both Prime and the PBFT baseline change leaders the same way: collect
+per-epoch votes (suspects, view-changes) until thresholds fire, then have
+the incoming leader derive — deterministically, so every replica can
+re-check it — which prepared proposals the new view must re-issue. The
+vote bookkeeping (:class:`EpochVoteTable`) and the derivation
+(:func:`derive_reproposals`) live here; the protocol-specific validation
+(what makes a ViewChange *valid*) stays with each protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from .messages import SignedMessage
+
+__all__ = ["EpochVoteTable", "derive_reproposals"]
+
+
+class EpochVoteTable:
+    """Vote table ``epoch -> sender -> signed vote``.
+
+    One sender counts once per epoch (re-votes overwrite). Supports
+    mapping-style introspection (``epoch in table``, iteration over
+    epochs) so tests and monitors can inspect it like the plain dicts it
+    replaces.
+    """
+
+    def __init__(self) -> None:
+        self._epochs: Dict[int, Dict[str, SignedMessage]] = {}
+
+    def record(self, epoch: int, sender: str, signed: SignedMessage) -> int:
+        """Record one vote; returns the vote count for ``epoch``."""
+        senders = self._epochs.setdefault(epoch, {})
+        senders[sender] = signed
+        return len(senders)
+
+    def senders(self, epoch: int) -> Dict[str, SignedMessage]:
+        return self._epochs.get(epoch, {})
+
+    def count(self, epoch: int) -> int:
+        return len(self._epochs.get(epoch, ()))
+
+    def chosen(self, epoch: int, quorum: int) -> List[SignedMessage]:
+        """A deterministic quorum-slice of the epoch's votes (sender-name
+        order) — the set a new leader embeds in its NewView."""
+        senders = self.senders(epoch)
+        return [senders[s] for s in sorted(senders)][:quorum]
+
+    def drop_below(self, bound: int) -> None:
+        for epoch in [e for e in self._epochs if e < bound]:
+            del self._epochs[epoch]
+
+    def clear(self) -> None:
+        self._epochs.clear()
+
+    # -- mapping-style introspection -----------------------------------
+    def get(self, epoch: int, default: Any = None) -> Any:
+        return self._epochs.get(epoch, default)
+
+    def __getitem__(self, epoch: int) -> Dict[str, SignedMessage]:
+        return self._epochs[epoch]
+
+    def __contains__(self, epoch: int) -> bool:
+        return epoch in self._epochs
+
+    def __iter__(self):
+        return iter(self._epochs)
+
+    def __len__(self) -> int:
+        return len(self._epochs)
+
+
+def derive_reproposals(
+    view_changes: Iterable[Any],
+    *,
+    anchor_of: Callable[[Any], int],
+    entries_of: Callable[[Any], Iterable[Any]],
+    content_of: Callable[[Any], Any],
+    empty: Any = (),
+) -> Tuple[int, List[Tuple[int, Any]]]:
+    """Deterministically derive a new view's re-proposals.
+
+    ``anchor_of`` reads a ViewChange's execution floor (stable checkpoint
+    seq for Prime, last-executed seq for the baseline); ``entries_of``
+    its prepared entries (each with ``seq``/``view``/``digest``
+    attributes); ``content_of`` the proposal content to re-issue from a
+    winning entry. For every seq above the highest anchor, the prepared
+    entry from the highest view wins (digest as the deterministic
+    tie-break); gaps become ``empty`` (no-op) proposals.
+
+    Returns ``(start_seq, [(seq, content), ...])``. Every replica runs
+    this same derivation over the same ViewChange set, so a Byzantine
+    new leader cannot smuggle in proposals the set does not justify.
+    """
+    vcs = list(view_changes)
+    start_seq = max((anchor_of(vc) for vc in vcs), default=0)
+    best: Dict[int, Any] = {}
+    for vc in vcs:
+        for entry in entries_of(vc):
+            if entry.seq <= start_seq:
+                continue
+            current = best.get(entry.seq)
+            if (
+                current is None
+                or entry.view > current.view
+                or (entry.view == current.view and entry.digest < current.digest)
+            ):
+                best[entry.seq] = entry
+    max_seq = max(best.keys(), default=start_seq)
+    proposals: List[Tuple[int, Any]] = []
+    for seq in range(start_seq + 1, max_seq + 1):
+        entry = best.get(seq)
+        proposals.append((seq, content_of(entry) if entry is not None else empty))
+    return start_seq, proposals

@@ -1,0 +1,27 @@
+"""Protocol-agnostic wire envelope shared by every replication protocol.
+
+:class:`SignedMessage` is the authenticated-link envelope from the paper:
+receivers drop any message whose signature does not verify against the
+claimed sender, confining Byzantine replicas to lying in *their own*
+messages. Both Prime and the PBFT baseline wrap every protocol message in
+it; the canonical encoding (:mod:`repro.crypto.encoding`) keys dataclasses
+by class *name*, so the envelope living here is wire-compatible with the
+historical ``repro.prime.messages.SignedMessage`` (which re-exports it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..crypto.provider import Signature
+
+__all__ = ["SignedMessage"]
+
+
+@dataclass(frozen=True)
+class SignedMessage:
+    """Envelope: ``payload`` signed by ``signature.signer``."""
+
+    payload: Any
+    signature: Signature

@@ -1,0 +1,113 @@
+"""Three-phase agreement state shared by leader-based protocols.
+
+Prime's ordering layer and the PBFT baseline run the same
+pre-prepare/prepare/commit skeleton per sequence-number slot; only the
+proposal *content* (a summary matrix vs. an update batch) and the shape
+of the final ordered record differ. :class:`ThreePhaseSlot` owns the
+common per-slot state — vote tables, this replica's own votes, the
+prepare certificate — and the quorum transitions over it, built on
+:mod:`repro.replication.quorum` so certificates are assembled
+identically everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .messages import SignedMessage
+from .quorum import assemble_certificate
+
+__all__ = ["ThreePhaseSlot"]
+
+
+@dataclass
+class ThreePhaseSlot:
+    """Agreement state for one global sequence number.
+
+    Vote keys are ``(view, digest)`` pairs: a view change restarts the
+    vote for the same slot, and votes for different proposal digests must
+    never pool. ``ordered`` is protocol-specific (Prime stores the commit
+    certificate alongside the winning pre-prepare; the baseline does
+    not), so its tuple shape is left to the subclass/owner.
+    """
+
+    seq: int
+    #: view -> signed PrePrepare received for this slot in that view
+    pre_prepares: Dict[int, SignedMessage] = field(default_factory=dict)
+    #: (view, digest) -> sender -> signed Prepare
+    prepares: Dict[Tuple[int, str], Dict[str, SignedMessage]] = field(
+        default_factory=dict
+    )
+    #: (view, digest) -> sender -> signed Commit
+    commits: Dict[Tuple[int, str], Dict[str, SignedMessage]] = field(
+        default_factory=dict
+    )
+    #: set when this replica sent its Prepare: (view, digest)
+    prepared_vote: Optional[Tuple[int, str]] = None
+    #: set when this replica sent its Commit: (view, digest)
+    committed_vote: Optional[Tuple[int, str]] = None
+    #: highest view in which this slot reached a prepare certificate here
+    prepared_cert: Optional[Tuple[int, str]] = None
+    #: the certificate itself: quorum of signed Prepare/Commit messages
+    prepared_proof: Optional[Tuple[SignedMessage, ...]] = None
+    #: the ordered result; tuple shape is protocol-specific
+    ordered: Optional[Tuple] = None
+
+    @property
+    def is_ordered(self) -> bool:
+        return self.ordered is not None
+
+    # -- vote recording ------------------------------------------------
+    def record_prepare(
+        self, view: int, digest: str, sender: str, signed: SignedMessage
+    ) -> None:
+        self.prepares.setdefault((view, digest), {})[sender] = signed
+
+    def record_commit(
+        self, view: int, digest: str, sender: str, signed: SignedMessage
+    ) -> None:
+        self.commits.setdefault((view, digest), {})[sender] = signed
+
+    def prepare_voters(self, view: int, digest: str) -> Dict[str, SignedMessage]:
+        return self.prepares.get((view, digest), {})
+
+    def commit_voters(self, view: int, digest: str) -> Dict[str, SignedMessage]:
+        return self.commits.get((view, digest), {})
+
+    # -- own-vote guards -----------------------------------------------
+    def should_vote_prepare(self, view: int) -> bool:
+        """Vote at most once per view, never regressing to an older one."""
+        return self.prepared_vote is None or self.prepared_vote[0] < view
+
+    def should_vote_commit(self, view: int, digest: str) -> bool:
+        """Commit only what we prepared, at most once per view."""
+        return (
+            self.committed_vote is None or self.committed_vote[0] < view
+        ) and self.prepared_vote == (view, digest)
+
+    # -- quorum transitions --------------------------------------------
+    def note_prepared(self, view: int, digest: str, quorum: int) -> bool:
+        """Check for a prepare certificate at ``(view, digest)``.
+
+        Returns True once a quorum of prepares exists; as a side effect,
+        (re)establishes :attr:`prepared_cert`/:attr:`prepared_proof` when
+        this view is at least as new as the recorded certificate's.
+        """
+        voters = self.prepares.get((view, digest), {})
+        if len(voters) < quorum:
+            return False
+        if self.prepared_cert is None or self.prepared_cert[0] <= view:
+            self.prepared_cert = (view, digest)
+            self.prepared_proof = assemble_certificate(voters, quorum)
+        return True
+
+    def commit_certificate(
+        self, view: int, digest: str, quorum: int
+    ) -> Optional[Tuple[SignedMessage, ...]]:
+        """The commit certificate for ``(view, digest)``, once a quorum of
+        commits exists; None below quorum."""
+        voters = self.commits.get((view, digest), {})
+        if len(voters) < quorum:
+            return None
+        return assemble_certificate(voters, quorum)

@@ -1,0 +1,154 @@
+"""The replication runtime: signing, sending and receiving for one replica.
+
+:class:`ReplicationRuntime` is the layer a protocol node mounts its
+stages on. It owns the envelope discipline (sign on the way out, verify
+on the way in), the fan-out over the replica membership, the loopback
+rule (does a self-addressed message dispatch locally or get dropped?),
+and per-kind send accounting — everything that used to be copy-pasted
+between ``PrimeNode`` and ``PbftNode``.
+
+The transport is read through the owning process on every send
+(``process.transport``), never captured: deployments install an
+:class:`~repro.replication.transport.OverlayTransport` *after*
+construction, and attack installers wrap ``node.transport.send`` at
+runtime — both must take effect immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+from ..crypto.provider import CryptoProvider
+from ..obs import NULL_OBS, Observability
+from .dispatch import Dispatcher
+from .messages import SignedMessage
+from .transport import Transport
+
+__all__ = ["ReplicationRuntime"]
+
+
+class ReplicationRuntime:
+    """Protocol-agnostic send/receive machinery for one replica process.
+
+    ``replicas_fn`` returns the current membership (consulted per
+    operation, so a swapped config takes effect immediately);
+    ``size_of`` models wire size per payload; ``loopback_dispatch``
+    selects the self-send rule: Prime drops self-addressed point-to-point
+    messages before signing, the PBFT baseline signs and dispatches them
+    locally.
+    """
+
+    def __init__(
+        self,
+        process: Any,
+        crypto: CryptoProvider,
+        replicas_fn: Callable[[], Tuple[str, ...]],
+        dispatcher: Dispatcher,
+        size_of: Callable[[Any], int],
+        obs: Optional[Observability] = None,
+        metric_prefix: str = "replication",
+        loopback_dispatch: bool = False,
+    ) -> None:
+        self._process = process
+        self.crypto = crypto
+        self.replicas_fn = replicas_fn
+        self.dispatcher = dispatcher
+        self.size_of = size_of
+        self.obs = obs if obs is not None else NULL_OBS
+        self._prefix = metric_prefix
+        self.loopback_dispatch = loopback_dispatch
+        self._send_counts: Dict[type, Any] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._process.name
+
+    @property
+    def transport(self) -> Transport:
+        return self._process.transport
+
+    # ------------------------------------------------------------------
+    # Envelope discipline
+    # ------------------------------------------------------------------
+    def sign(self, payload: Any) -> SignedMessage:
+        return SignedMessage(payload, self.crypto.sign(self.name, payload))
+
+    def verify(self, signed: SignedMessage) -> bool:
+        return self.crypto.verify(signed.signature, signed.payload)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _count_send(self, kind: type, sends: int) -> None:
+        if not self.obs.enabled or sends <= 0:
+            return
+        counter = self._send_counts.get(kind)
+        if counter is None:
+            counter = self.obs.counter(f"{self._prefix}.send.{kind.__name__}")
+            self._send_counts[kind] = counter
+        counter.inc(sends)
+
+    def broadcast(self, payload: Any, include_self: bool = True) -> SignedMessage:
+        """Sign once, send to every peer, optionally dispatch locally.
+
+        Local dispatch goes through the *process's* ``_dispatch`` so
+        instrumentation-time wrappers (attack installers) intercept it
+        exactly as they intercept network-delivered messages.
+        """
+        signed = self.sign(payload)
+        size = self.size_of(payload)
+        name = self.name
+        sends = 0
+        transport = self.transport
+        for peer in self.replicas_fn():
+            if peer == name:
+                continue
+            transport.send(peer, signed, size_bytes=size)
+            sends += 1
+        self._count_send(type(payload), sends)
+        if include_self:
+            self._process._dispatch(signed)
+        return signed
+
+    def send_to(self, peer: str, payload: Any) -> None:
+        """Point-to-point send, applying this protocol's loopback rule."""
+        if peer == self.name:
+            if self.loopback_dispatch:
+                self._process._dispatch(self.sign(payload))
+            return
+        self.transport.send(peer, self.sign(payload), size_bytes=self.size_of(payload))
+        self._count_send(type(payload), 1)
+
+    def resend(
+        self,
+        signed: SignedMessage,
+        peers: Optional[Iterable[str]] = None,
+        size_bytes: Optional[int] = None,
+    ) -> None:
+        """Retransmit an already-signed message (no re-sign, no loopback)."""
+        size = size_bytes if size_bytes is not None else self.size_of(signed.payload)
+        name = self.name
+        sends = 0
+        transport = self.transport
+        for peer in peers if peers is not None else self.replicas_fn():
+            if peer == name:
+                continue
+            transport.send(peer, signed, size_bytes=size)
+            sends += 1
+        self._count_send(type(signed.payload), sends)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def receive(self, payload: Any) -> None:
+        """The body of ``Process.on_message``: unwrap the transport
+        envelope, drop anything whose signature does not verify, and
+        dispatch the rest."""
+        unwrapped = self.transport.unwrap(payload)
+        if unwrapped is not None:
+            _, payload = unwrapped
+        if isinstance(payload, SignedMessage):
+            if not self.verify(payload):
+                return
+            self._process._dispatch(payload)

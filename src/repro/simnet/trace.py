@@ -18,6 +18,8 @@ dropped` rather than silently discarded.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.obs.events import Event, EventLog
 
 from .engine import Simulator
@@ -37,5 +39,12 @@ class Trace(EventLog):
     """
 
     def __init__(self, simulator: Simulator, max_events: int = 200_000) -> None:
+        warnings.warn(
+            "repro.simnet.Trace is deprecated; use repro.obs.EventLog "
+            "(e.g. EventLog(now_fn=lambda: simulator.now)) or a "
+            "deployment's obs handle instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(now_fn=lambda: simulator.now, max_events=max_events)
         self.simulator = simulator

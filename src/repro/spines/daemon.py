@@ -26,8 +26,8 @@ from collections import OrderedDict, deque
 from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
 
 from ..crypto.provider import CryptoProvider
-from ..obs import Observability, resolve_obs
-from ..simnet import Network, Process, Simulator, Trace
+from ..obs import EventLog, Observability, resolve_obs
+from ..simnet import Network, Process, Simulator
 from .messages import OverlayData, OverlayDeliver, OverlayForward, OverlayIngress
 from .routing import RoutingStrategy
 
@@ -48,7 +48,7 @@ class SpinesDaemon(Process):
         network: Network,
         routing: RoutingStrategy,
         crypto: CryptoProvider,
-        trace: Optional[Trace] = None,
+        trace: Optional[EventLog] = None,
         link_auth: bool = True,
         fairness: bool = True,
         forward_capacity_per_ms: float = 0.0,

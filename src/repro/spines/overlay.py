@@ -12,8 +12,8 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 from ..crypto.provider import CryptoProvider, FastCrypto
-from ..obs import Observability, resolve_obs
-from ..simnet import LinkSpec, Network, Process, Simulator, Trace
+from ..obs import EventLog, Observability, resolve_obs
+from ..simnet import LinkSpec, Network, Process, Simulator
 from .daemon import SpinesDaemon
 from .messages import OverlayData, OverlayDeliver, OverlayIngress
 from .routing import make_routing
@@ -72,7 +72,7 @@ class SpinesOverlay:
         topology: OverlayTopology,
         mode: str = "flooding",
         crypto: Optional[CryptoProvider] = None,
-        trace: Optional[Trace] = None,
+        trace: Optional[EventLog] = None,
         link_auth: bool = True,
         fairness: bool = True,
         forward_capacity_per_ms: float = 0.0,

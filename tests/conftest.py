@@ -11,7 +11,8 @@ from repro.prime import (
     lan_prime_config,
     sign_client_update,
 )
-from repro.simnet import LinkSpec, Network, Simulator, Trace
+from repro.obs import EventLog
+from repro.simnet import LinkSpec, Network, Simulator
 
 
 @pytest.fixture
@@ -47,7 +48,7 @@ class PrimeCluster:
             self.simulator, LinkSpec(latency_ms=latency_ms, jitter_ms=0.1, loss=loss)
         )
         self.crypto = crypto or FastCrypto(seed=f"cluster/{seed}")
-        self.trace = Trace(self.simulator)
+        self.trace = EventLog(now_fn=lambda: self.simulator.now)
         names = tuple(f"replica:{i}" for i in range(n))
         self.config = config or lan_prime_config(names, f=f, k=k)
         self.nodes = [

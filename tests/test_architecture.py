@@ -1,0 +1,39 @@
+"""Architecture guards: keep the decomposition from regressing.
+
+The PrimeNode monolith was decomposed into stage objects mounted on
+``repro.replication`` (see DESIGN.md §8). These guards fail loudly if the
+composition root starts reabsorbing stage logic, or if protocol nodes
+stop going through the shared runtime.
+"""
+
+import pathlib
+
+import repro.pbft.node
+import repro.prime.node
+
+SRC = pathlib.Path(repro.prime.node.__file__).resolve().parents[2]
+
+
+def _line_count(module) -> int:
+    return len(pathlib.Path(module.__file__).read_text().splitlines())
+
+
+def test_prime_node_stays_a_composition_root():
+    # The pre-refactor monolith was ~1200 lines. The composition root
+    # wires stages together; protocol logic belongs in the stage modules
+    # (preorder/ordering/execution/leadership/recovery/checkpoint).
+    assert _line_count(repro.prime.node) < 600
+
+
+def test_both_nodes_mount_the_shared_runtime():
+    for module in (repro.prime.node, repro.pbft.node):
+        text = pathlib.Path(module.__file__).read_text()
+        assert "ReplicationRuntime(" in text
+        assert "Dispatcher(" in text
+
+
+def test_protocol_packages_do_not_import_each_others_internals():
+    # The shared substrate is repro.replication; prime must not reach
+    # into pbft (pbft reuses prime's app/client-update helpers only).
+    for path in (SRC / "repro" / "prime").glob("*.py"):
+        assert "from ..pbft" not in path.read_text(), path

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import DeliveryCollector, DeliveryRecord, DeliveryShare, SubmissionManager
-from repro.core.metrics import LatencyRecorder
+from repro.obs import LatencyTracker
 from repro.crypto import FastCrypto, ThresholdShare
 
 
@@ -137,7 +137,7 @@ def test_sequences_increment():
 def test_ack_clears_outstanding_and_measures():
     sent = []
     clock = FakeClock()
-    recorder = LatencyRecorder()
+    recorder = LatencyTracker()
     sm = manager(sent, clock, recorder=recorder)
     key = sm.submit("x")
     clock.now = 42.0

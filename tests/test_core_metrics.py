@@ -1,8 +1,25 @@
-"""Tests for latency/availability measurement utilities."""
+"""Tests for latency/availability measurement utilities.
+
+Exercised through the deprecated ``repro.core.metrics`` shims so the
+legacy surface keeps working while it warns; the behavioural tests
+silence the deprecation, and one test asserts it explicitly.
+"""
 
 import pytest
 
 from repro.core import IntervalSeries, LatencyRecorder, LatencyStats
+from repro.obs import IntervalCounter, LatencyTracker
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def test_metrics_shims_emit_deprecation_warnings():
+    with pytest.warns(DeprecationWarning, match="LatencyTracker"):
+        recorder = LatencyRecorder()
+    assert isinstance(recorder, LatencyTracker)
+    with pytest.warns(DeprecationWarning, match="IntervalCounter"):
+        series = IntervalSeries(interval_ms=1000.0)
+    assert isinstance(series, IntervalCounter)
 
 
 def test_stats_empty():

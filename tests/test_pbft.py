@@ -6,7 +6,8 @@ from repro.attacks import make_slow_proposer
 from repro.crypto import FastCrypto
 from repro.prime import LoggingApp, sign_client_update
 from repro.pbft import PbftConfig, PbftNode
-from repro.simnet import LinkSpec, Network, Simulator, Trace
+from repro.obs import EventLog
+from repro.simnet import LinkSpec, Network, Simulator
 
 
 class PbftCluster:
@@ -14,7 +15,7 @@ class PbftCluster:
         self.simulator = Simulator(seed=seed)
         self.network = Network(self.simulator, LinkSpec(latency_ms=0.3, jitter_ms=0.1))
         self.crypto = FastCrypto(seed=f"pbft/{seed}")
-        self.trace = Trace(self.simulator)
+        self.trace = EventLog(now_fn=lambda: self.simulator.now)
         names = tuple(f"replica:{i}" for i in range(n))
         self.config = PbftConfig(names, num_faults=f, request_timeout_ms=timeout_ms)
         self.nodes = [

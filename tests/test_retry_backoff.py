@@ -12,8 +12,9 @@ import pytest
 from repro.core.client import SubmissionManager
 from repro.core.recovery import ProactiveRecoveryScheduler
 from repro.crypto import FastCrypto
-from repro.prime.transport import RetryPolicy
-from repro.simnet import LinkSpec, Network, Process, Simulator, Trace
+from repro.replication import RetryPolicy
+from repro.obs import EventLog
+from repro.simnet import LinkSpec, Network, Process, Simulator
 
 
 # ----------------------------------------------------------------------
@@ -159,7 +160,7 @@ def test_state_transfer_retry_resets_after_success(cluster):
 def test_scheduler_defers_rejuvenation_below_min_live():
     sim = Simulator(seed=5)
     net = Network(sim, LinkSpec(latency_ms=1.0))
-    trace = Trace(sim)
+    trace = EventLog(now_fn=lambda: sim.now)
     replicas = [Process(f"r{i}", sim, net) for i in range(6)]
     scheduler = ProactiveRecoveryScheduler(
         sim, replicas, period_ms=100.0, recovery_duration_ms=30.0,

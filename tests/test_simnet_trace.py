@@ -1,6 +1,21 @@
-"""Tests for structured tracing."""
+"""Tests for structured tracing (via the deprecated ``Trace`` shim)."""
 
+import pytest
+
+from repro.obs import EventLog
 from repro.simnet import Simulator, Trace
+
+# The shim must keep its legacy behaviour while it warns; silence the
+# deprecation in the behavioural tests, assert it explicitly below.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def test_trace_shim_emits_deprecation_warning():
+    sim = Simulator()
+    with pytest.warns(DeprecationWarning, match="repro.obs.EventLog"):
+        trace = Trace(sim)
+    assert isinstance(trace, EventLog)
+    assert trace.simulator is sim
 
 
 def test_event_recorded_with_time():
