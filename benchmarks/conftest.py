@@ -45,6 +45,10 @@ def pytest_addoption(parser):
         "--chaos", action="store_true", default=False,
         help="run the long opt-in chaos sweep benchmarks",
     )
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="run shortened (CI-sized) benchmark workloads",
+    )
 
 
 def pytest_collection_modifyitems(config, items):

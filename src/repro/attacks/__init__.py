@@ -13,6 +13,7 @@ from .campaign import CampaignResult, SpireCampaign, TraditionalCampaign
 from .dos import LeaderChaser, dos_window
 from .overlay_attacks import (
     FloodingAttacker,
+    RouteFlapAttacker,
     compromise_daemon_delay,
     compromise_daemon_drop_all,
     compromise_daemon_drop_fraction,
@@ -31,6 +32,7 @@ __all__ = [
     "LeaderChaser",
     "dos_window",
     "FloodingAttacker",
+    "RouteFlapAttacker",
     "compromise_daemon_delay",
     "compromise_daemon_drop_all",
     "compromise_daemon_drop_fraction",

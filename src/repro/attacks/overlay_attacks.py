@@ -9,6 +9,7 @@ fairness experiment.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from typing import Callable, Optional
 
@@ -21,6 +22,7 @@ __all__ = [
     "compromise_daemon_drop_fraction",
     "compromise_daemon_delay",
     "FloodingAttacker",
+    "RouteFlapAttacker",
 ]
 
 
@@ -97,3 +99,64 @@ class FloodingAttacker(Process):
         self.stack.send(
             self.victim_endpoint, ("flood", self.sent), size_bytes=1024
         )
+
+
+class RouteFlapAttacker:
+    """A compromised daemon that attacks the *control plane* by lying in
+    its hellos: alternately suppressing them (so its neighbours declare
+    the links dead) and resuming them (so the links come back), forcing
+    the overlay to recompute routes on every toggle. With
+    ``lie_latency_ms`` set, resumed hellos also carry back-dated
+    ``sent_at`` timestamps, forging inflated latency observations.
+
+    The control plane's flap damping is the defence: after ``max_flaps``
+    transitions inside the flap window the abused links are suppressed
+    (held down) and the route churn stops. Hellos are link-authenticated,
+    so only a daemon *compromise* mounts this attack — an external
+    attacker cannot.
+    """
+
+    def __init__(
+        self,
+        daemon: SpinesDaemon,
+        period_ms: float = 400.0,
+        lie_latency_ms: float = 0.0,
+    ) -> None:
+        if daemon.monitor is None:
+            raise ValueError(
+                "RouteFlapAttacker needs a self-healing overlay "
+                "(daemon has no link monitor)"
+            )
+        self.daemon = daemon
+        self.period_ms = period_ms
+        self.lie_latency_ms = lie_latency_ms
+        self.flips = 0
+        self._suppressing = False
+        self._stop: Optional[Callable[[], None]] = None
+
+    def start(self) -> None:
+        self._stop = self.daemon.simulator.call_every(
+            self.period_ms, self._flip,
+            rng_name=f"route-flap/{self.daemon.name}",
+        )
+
+    def stop(self) -> None:
+        if self._stop is not None:
+            self._stop()
+            self._stop = None
+        self.daemon.monitor.set_hello_mutator(None)
+
+    def _flip(self) -> None:
+        self.flips += 1
+        self._suppressing = not self._suppressing
+        if self._suppressing:
+            self.daemon.monitor.set_hello_mutator(lambda neighbor, hello: None)
+        elif self.lie_latency_ms > 0:
+            lie = self.lie_latency_ms
+            self.daemon.monitor.set_hello_mutator(
+                lambda neighbor, hello: dataclasses.replace(
+                    hello, sent_at=hello.sent_at - lie
+                )
+            )
+        else:
+            self.daemon.monitor.set_hello_mutator(None)

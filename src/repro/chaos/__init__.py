@@ -15,12 +15,13 @@ Quickstart::
     assert result.ok, result.violations
 """
 
-from .engine import ChaosEngine, ChaosOptions, ChaosResult
+from .engine import OVERLAY_FAULT_KINDS, ChaosEngine, ChaosOptions, ChaosResult
 from .generator import ChaosProfile, generate_schedule
 from .monitors import (
     BoundedDelayMonitor,
     ProxyGateMonitor,
     QuorumAvailabilityMonitor,
+    RerouteBoundMonitor,
     SafetyMonitor,
     Violation,
 )
@@ -45,10 +46,12 @@ __all__ = [
     "ProxyGateMonitor",
     "QuorumAvailabilityMonitor",
     "BoundedDelayMonitor",
+    "RerouteBoundMonitor",
     "Violation",
     "FaultAction",
     "FaultSchedule",
     "FAULT_KINDS",
+    "OVERLAY_FAULT_KINDS",
     "SCENARIO_FORMAT",
     "scenario_dict",
     "dump_scenario",

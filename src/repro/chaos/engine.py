@@ -31,17 +31,23 @@ from ..obs import (
     EV_REJUVENATE_START,
 )
 from ..simnet import DosAttack, FailureInjector
+from ..spines import SpinesDaemon
 from .generator import ChaosProfile, generate_schedule
 from .monitors import (
     BoundedDelayMonitor,
     ProxyGateMonitor,
     QuorumAvailabilityMonitor,
+    RerouteBoundMonitor,
     SafetyMonitor,
     Violation,
 )
 from .schedule import FaultAction, FaultSchedule
 
-__all__ = ["ChaosOptions", "ChaosResult", "ChaosEngine"]
+__all__ = ["ChaosOptions", "ChaosResult", "ChaosEngine", "OVERLAY_FAULT_KINDS"]
+
+#: fault kinds whose targets are overlay *site* names; the engine maps
+#: them to spines daemon processes and the reroute monitor judges them
+OVERLAY_FAULT_KINDS = frozenset({"link_kill", "link_degrade", "daemon_kill"})
 
 #: deployment mutator applied before monitors attach (test-only hooks that
 #: deliberately weaken a component to prove the monitors catch it)
@@ -62,6 +68,15 @@ class ChaosOptions:
     poll_interval_ms: float = 150.0
     resubmit_timeout_ms: float = 400.0
     overlay_mode: str = "shortest"
+    #: enable the Spines self-healing control plane for this run
+    self_healing: bool = False
+    #: overload-protection knobs passed through to the overlay daemons
+    overlay_queue_limit: int = 0
+    overlay_rate_limit_per_ms: float = 0.0
+    #: with self-healing on, each overlay fault must see a verified
+    #: delivery within this bound of its start (detection + reroute +
+    #: protocol settling); checked by :class:`RerouteBoundMonitor`
+    reroute_bound_ms: float = 1500.0
     prime_preset: str = "wan"
     #: (period_ms, duration_ms); None disables proactive recovery
     proactive_recovery: Optional[Tuple[float, float]] = (4000.0, 500.0)
@@ -141,6 +156,9 @@ class ChaosEngine:
             poll_interval_ms=opts.poll_interval_ms,
             resubmit_timeout_ms=opts.resubmit_timeout_ms,
             overlay_mode=opts.overlay_mode,
+            overlay_self_healing=opts.self_healing,
+            overlay_queue_limit=opts.overlay_queue_limit,
+            overlay_rate_limit_per_ms=opts.overlay_rate_limit_per_ms,
             prime_preset=opts.prime_preset,
             seed=opts.seed,
             proactive_recovery=opts.proactive_recovery,
@@ -181,7 +199,15 @@ class ChaosEngine:
         watchdog = BoundedDelayMonitor(
             deployment.simulator, max_gap_ms=opts.max_delivery_gap_ms,
         )
-        for monitor in (safety, gate, quorum, watchdog):
+        reroute: Optional[RerouteBoundMonitor] = None
+        if opts.self_healing:
+            reroute = RerouteBoundMonitor(
+                deployment.simulator, bound_ms=opts.reroute_bound_ms,
+            )
+        monitors = [safety, gate, quorum, watchdog]
+        if reroute is not None:
+            monitors.append(reroute)
+        for monitor in monitors:
             monitor.bind_obs(deployment.obs)
 
         # --- fault schedule -------------------------------------------
@@ -200,13 +226,26 @@ class ChaosEngine:
             delivery_times,
             self._quiet_intervals(schedule, deployment),
         )
+        if reroute is not None:
+            reroute.evaluate(
+                delivery_times,
+                [action.start_ms for action in schedule
+                 if action.kind in OVERLAY_FAULT_KINDS],
+                opts.total_ms,
+            )
 
         violations: List[Violation] = []
-        for monitor in (safety, gate, quorum, watchdog):
+        for monitor in monitors:
             violations.extend(monitor.violations())
         violations.sort(key=lambda v: (v.time_ms, v.monitor, v.kind))
 
         stats = self._stats(deployment, safety, gate, quorum, watchdog)
+        if reroute is not None:
+            stats["reroute_faults_checked"] = reroute.faults_checked
+            if deployment.overlay.control_plane is not None:
+                stats["overlay_reroutes"] = (
+                    deployment.overlay.control_plane.reroutes
+                )
         fingerprint = self._fingerprint(deployment, violations)
         return ChaosResult(
             options=opts,
@@ -328,6 +367,28 @@ class ChaosEngine:
                 probability=action.param("probability", 0.5),
                 rng_name=stream,
             )
+        elif kind == "link_kill":
+            site_a, site_b = action.targets
+            injector.block_link_window(
+                SpinesDaemon.daemon_name(site_a),
+                SpinesDaemon.daemon_name(site_b),
+                action.start_ms, action.duration_ms,
+            )
+        elif kind == "link_degrade":
+            site_a, site_b = action.targets
+            injector.dos_link_window(
+                SpinesDaemon.daemon_name(site_a),
+                SpinesDaemon.daemon_name(site_b),
+                action.start_ms, action.duration_ms,
+                extra_delay_ms=action.param("extra_delay_ms", 200.0),
+                extra_loss=action.param("extra_loss", 0.1),
+            )
+        elif kind == "daemon_kill":
+            for site in action.targets:
+                injector.crash_window(
+                    SpinesDaemon.daemon_name(site),
+                    action.start_ms, action.duration_ms,
+                )
 
     # ------------------------------------------------------------------
     # Bounded-delay quiet windows

@@ -81,12 +81,18 @@ def generate_schedule(
     replicas: Sequence[str],
     endpoints: Sequence[str] = (),
     profile: Optional[ChaosProfile] = None,
+    overlay_links: Sequence[Tuple[str, str]] = (),
+    overlay_sites: Sequence[str] = (),
 ) -> FaultSchedule:
     """Draw one randomized fault schedule for the given topology.
 
     ``replicas`` are crashable consensus participants; ``endpoints``
-    (proxies, HMIs) additionally scope message-level faults. The result is
-    a deterministic function of the arguments.
+    (proxies, HMIs) additionally scope message-level faults. To draw the
+    overlay fault kinds (``link_kill``/``link_degrade``/``daemon_kill``),
+    include them in ``profile.kinds`` and pass the overlay's link pairs
+    and interior site names — both expressed as *site* names, which the
+    engine maps to daemon processes. The result is a deterministic
+    function of the arguments.
     """
     profile = profile or ChaosProfile()
     rng = random.Random(f"{seed}/chaos-schedule")
@@ -178,6 +184,30 @@ def generate_schedule(
                     ("extra_delay_ms", round(rng.uniform(50.0, 250.0), 1)),
                     ("extra_loss", round(rng.uniform(0.0, 0.2), 3)),
                 ),
+            ))
+        elif kind == "link_kill":
+            if not overlay_links:
+                continue
+            a, b = rng.choice(list(overlay_links))
+            actions.append(FaultAction("link_kill", start, duration,
+                                       targets=(a, b)))
+        elif kind == "link_degrade":
+            if not overlay_links:
+                continue
+            a, b = rng.choice(list(overlay_links))
+            actions.append(FaultAction(
+                "link_degrade", start, duration, targets=(a, b),
+                params=(
+                    ("extra_delay_ms", round(rng.uniform(50.0, 300.0), 1)),
+                    ("extra_loss", round(rng.uniform(0.0, 0.3), 3)),
+                ),
+            ))
+        elif kind == "daemon_kill":
+            if not overlay_sites:
+                continue
+            actions.append(FaultAction(
+                "daemon_kill", start, duration,
+                targets=(rng.choice(list(overlay_sites)),),
             ))
         elif kind == "jitter_storm":
             scope = tuple(sorted(rng.sample(

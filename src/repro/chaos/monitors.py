@@ -20,6 +20,10 @@ Monitored invariants:
 * **Bounded delay** — outside fault windows (plus a grace period for
   re-stabilization, budgeted at one view change), verified deliveries keep
   arriving with bounded gaps.
+* **Reroute bound** — with the self-healing overlay enabled, every
+  overlay fault (link kill/degrade, daemon kill) is routed around fast
+  enough that a verified delivery lands within the configured
+  detection + reroute budget of the fault start.
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ __all__ = [
     "ProxyGateMonitor",
     "QuorumAvailabilityMonitor",
     "BoundedDelayMonitor",
+    "RerouteBoundMonitor",
 ]
 
 
@@ -320,3 +325,46 @@ class BoundedDelayMonitor(_BaseMonitor):
                     ))
                     break  # one violation per quiet window is enough signal
                 previous = point
+
+
+class RerouteBoundMonitor(_BaseMonitor):
+    """Self-healing overlay restores delivery within the reroute bound.
+
+    For every overlay fault (link kill/degrade, daemon kill) that leaves
+    enough run time to judge it, a self-healing overlay must produce at
+    least one verified delivery within ``bound_ms`` of the fault start —
+    the configured detection + reroute budget plus protocol settling.
+    Evaluated post-run from the delivery timeline, like the bounded-delay
+    watchdog.
+    """
+
+    name = "reroute-bound"
+
+    def __init__(self, simulator: Simulator, bound_ms: float) -> None:
+        super().__init__(simulator)
+        self.bound_ms = bound_ms
+        self.faults_checked = 0
+
+    def evaluate(
+        self,
+        delivery_times: Sequence[float],
+        fault_starts: Sequence[float],
+        total_ms: float,
+    ) -> None:
+        """Check each overlay fault start against the delivery timeline."""
+        times = sorted(delivery_times)
+        for start in fault_starts:
+            if start + self.bound_ms > total_ms:
+                continue  # run ends before the bound can be judged
+            self.faults_checked += 1
+            recovered = any(start <= t <= start + self.bound_ms for t in times)
+            if not recovered:
+                if self._obs_violations is not None:
+                    self._obs_violations.inc()
+                self._violations.append(Violation(
+                    self.name, "reroute-stall", start,
+                    (
+                        ("bound_ms", self.bound_ms),
+                        ("fault_start_ms", round(start, 3)),
+                    ),
+                ))

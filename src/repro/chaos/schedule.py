@@ -35,6 +35,11 @@ FAULT_KINDS = (
     "slow_node",      # asymmetric slowdown of one node's outbound links
     "asym_link",      # one-directional link degradation
     "jitter_storm",   # random per-message extra delay (timer desync)
+    # Overlay faults (targets are SITE names, not process names — the
+    # engine maps them to spines daemon processes):
+    "link_kill",      # sever one overlay link for a window
+    "link_degrade",   # add delay/loss to one overlay link for a window
+    "daemon_kill",    # crash one interior spines daemon for a window
 )
 
 

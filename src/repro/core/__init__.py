@@ -3,8 +3,9 @@
 Public API: the deployment builder (:class:`SpireDeployment` /
 :class:`SpireOptions`), the replica (:class:`SpireReplica`), endpoints
 (:class:`RtuProxy`, :class:`HmiClient`), the replicated master app, the
-resilience-configuration framework, proactive recovery, diversity, and the
-measurement utilities.
+resilience-configuration framework, proactive recovery, and diversity.
+Measurement flows through :mod:`repro.obs`; :class:`LatencyStats` is
+re-exported here for convenience.
 """
 
 from .client import SubmissionManager
@@ -19,8 +20,8 @@ from .config import (
 from .deployment import SpireDeployment, SpireOptions
 from .diversity import DiversityManager, Exploit
 from .hmi import HmiClient
+from ..obs import LatencyStats
 from .master import Alarm, ScadaMasterApp
-from .metrics import IntervalSeries, LatencyRecorder, LatencyStats
 from .proxy import DeviceBinding, RtuProxy
 from .recovery import ProactiveRecoveryScheduler
 from .replica import THRESHOLD_GROUP, SpireReplica
@@ -48,8 +49,6 @@ __all__ = [
     "HmiClient",
     "Alarm",
     "ScadaMasterApp",
-    "IntervalSeries",
-    "LatencyRecorder",
     "LatencyStats",
     "DeviceBinding",
     "RtuProxy",

@@ -67,7 +67,14 @@ class SpireOptions:
     num_hmis: int = 1
     poll_interval_ms: float = 100.0
     resubmit_timeout_ms: float = 500.0
-    overlay_mode: str = "flooding"           # or "shortest"
+    overlay_mode: str = "flooding"           # or "shortest" / "disjoint"
+    #: enable the Spines self-healing control plane (hello-based link
+    #: monitoring + adaptive rerouting); off preserves static routing
+    overlay_self_healing: bool = False
+    #: per-source forward queue bound on each daemon (0 = unbounded)
+    overlay_queue_limit: int = 0
+    #: per-source token-bucket rate on each daemon (0 = unlimited)
+    overlay_rate_limit_per_ms: float = 0.0
     prime_preset: str = "wan"                # or "lan"
     crypto_kind: str = "fast"                # or "real"
     seed: int = 1
@@ -138,10 +145,20 @@ class SpireOptions:
                 "poll_interval_ms and resubmit_timeout_ms must be positive "
                 f"(got {self.poll_interval_ms}, {self.resubmit_timeout_ms})"
             )
-        if self.overlay_mode not in ("flooding", "shortest"):
+        if self.overlay_mode not in ("flooding", "shortest", "disjoint"):
             raise ValueError(
-                f"overlay_mode must be 'flooding' or 'shortest' "
+                f"overlay_mode must be 'flooding', 'shortest' or 'disjoint' "
                 f"(got {self.overlay_mode!r})"
+            )
+        if self.overlay_queue_limit < 0:
+            raise ValueError(
+                f"overlay_queue_limit must be >= 0 "
+                f"(got {self.overlay_queue_limit})"
+            )
+        if self.overlay_rate_limit_per_ms < 0:
+            raise ValueError(
+                f"overlay_rate_limit_per_ms must be >= 0 "
+                f"(got {self.overlay_rate_limit_per_ms})"
             )
         if self.prime_preset not in ("wan", "lan"):
             raise ValueError(
@@ -217,6 +234,9 @@ class SpireDeployment:
             mode=opts.overlay_mode,
             crypto=self.crypto,
             trace=self.trace,
+            self_healing=opts.overlay_self_healing,
+            max_queue_per_source=opts.overlay_queue_limit,
+            source_rate_per_ms=opts.overlay_rate_limit_per_ms,
             obs=self.obs,
         )
         self.diversity = DiversityManager(seed=opts.seed)

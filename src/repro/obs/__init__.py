@@ -3,10 +3,8 @@
 Every measurement in the reproduction flows through this package: typed
 **counters/gauges/histograms** in a central :class:`MetricRegistry`,
 hierarchical **spans** (wall-clock + sim-clock timing with parent/child
-nesting), a bounded structured **event log** (the engine behind
-:class:`repro.simnet.Trace`), and keyed **latency trackers** /
-**interval counters** (the engines behind the deprecated
-``repro.core.metrics`` recorders).
+nesting), a bounded structured **event log** (:class:`EventLog`), and
+keyed **latency trackers** / **interval counters**.
 
 The entry point is :class:`Observability` — one instance per deployment
 (``deployment.obs``) owns the registry, the event log and the span stack.
@@ -33,6 +31,7 @@ from .events import (
     # components
     COMP_CAMPAIGN,
     COMP_CHAOS,
+    COMP_OVERLAY,
     COMP_RECOVERY_SCHEDULER,
     # event kinds
     EV_CHECKPOINT_STABLE,
@@ -42,6 +41,12 @@ from .events import (
     EV_EVICTED,
     EV_FAULT_SCHEDULED,
     EV_NEW_VIEW,
+    EV_OVERLAY_LINK_DEGRADED,
+    EV_OVERLAY_LINK_DOWN,
+    EV_OVERLAY_LINK_SUPPRESSED,
+    EV_OVERLAY_LINK_UP,
+    EV_OVERLAY_PARTITION,
+    EV_OVERLAY_REROUTE,
     EV_PBFT_NEW_VIEW,
     EV_PBFT_TIMEOUT,
     EV_PBFT_VIEW_CHANGE,
@@ -85,6 +90,7 @@ __all__ = [
     "SpanRecorder",
     "COMP_CAMPAIGN",
     "COMP_CHAOS",
+    "COMP_OVERLAY",
     "COMP_RECOVERY_SCHEDULER",
     "EV_CHECKPOINT_STABLE",
     "EV_COMMAND_TO_FIELD",
@@ -93,6 +99,12 @@ __all__ = [
     "EV_EVICTED",
     "EV_FAULT_SCHEDULED",
     "EV_NEW_VIEW",
+    "EV_OVERLAY_LINK_DEGRADED",
+    "EV_OVERLAY_LINK_DOWN",
+    "EV_OVERLAY_LINK_SUPPRESSED",
+    "EV_OVERLAY_LINK_UP",
+    "EV_OVERLAY_PARTITION",
+    "EV_OVERLAY_REROUTE",
     "EV_PBFT_NEW_VIEW",
     "EV_PBFT_TIMEOUT",
     "EV_PBFT_VIEW_CHANGE",

@@ -3,8 +3,8 @@
 An :class:`EventLog` is a bounded, in-memory structured log keyed by a
 caller-supplied clock. Components emit events (``log.event("prime",
 EV_NEW_VIEW, view=3)``); tests and benchmarks query them to assert
-protocol behaviour without parsing text. :class:`repro.simnet.Trace` is a
-thin shim over this class that binds the clock to a simulator.
+protocol behaviour without parsing text. In simulations, bind the clock
+with ``EventLog(now_fn=lambda: simulator.now)``.
 
 The module-level constants below replace the ad-hoc string kinds that
 used to be scattered across ``simnet``, ``prime``, ``pbft``, ``core`` and
@@ -23,6 +23,7 @@ __all__ = [
     "NullEventLog",
     "COMP_CAMPAIGN",
     "COMP_CHAOS",
+    "COMP_OVERLAY",
     "COMP_RECOVERY_SCHEDULER",
     "EV_CHECKPOINT_STABLE",
     "EV_COMMAND_TO_FIELD",
@@ -31,6 +32,12 @@ __all__ = [
     "EV_EVICTED",
     "EV_FAULT_SCHEDULED",
     "EV_NEW_VIEW",
+    "EV_OVERLAY_LINK_DEGRADED",
+    "EV_OVERLAY_LINK_DOWN",
+    "EV_OVERLAY_LINK_SUPPRESSED",
+    "EV_OVERLAY_LINK_UP",
+    "EV_OVERLAY_PARTITION",
+    "EV_OVERLAY_REROUTE",
     "EV_PBFT_NEW_VIEW",
     "EV_PBFT_TIMEOUT",
     "EV_PBFT_VIEW_CHANGE",
@@ -49,6 +56,7 @@ __all__ = [
 COMP_RECOVERY_SCHEDULER = "recovery-scheduler"
 COMP_CAMPAIGN = "campaign"
 COMP_CHAOS = "chaos"
+COMP_OVERLAY = "overlay"
 
 # ----------------------------------------------------------------------
 # Prime protocol events
@@ -90,6 +98,16 @@ EV_EVICTED = "evicted"
 # Chaos engine events
 # ----------------------------------------------------------------------
 EV_FAULT_SCHEDULED = "fault-scheduled"
+
+# ----------------------------------------------------------------------
+# Overlay control-plane events (self-healing Spines)
+# ----------------------------------------------------------------------
+EV_OVERLAY_LINK_DOWN = "overlay-link-down"
+EV_OVERLAY_LINK_UP = "overlay-link-up"
+EV_OVERLAY_LINK_DEGRADED = "overlay-link-degraded"
+EV_OVERLAY_LINK_SUPPRESSED = "overlay-link-suppressed"
+EV_OVERLAY_REROUTE = "overlay-reroute"
+EV_OVERLAY_PARTITION = "overlay-partition"
 
 
 @dataclass(frozen=True)

@@ -193,8 +193,7 @@ class LatencyTracker(_Instrument):
     """Tracks per-item submit → acknowledge latency, keyed arbitrarily.
 
     This is the end-to-end latency primitive behind the paper's CDFs and
-    attack timelines (and behind the deprecated
-    :class:`repro.core.metrics.LatencyRecorder` shim).
+    attack timelines.
     """
 
     kind = "latency"
@@ -277,8 +276,7 @@ class LatencyTracker(_Instrument):
 class IntervalCounter(_Instrument):
     """Counts events per fixed interval (e.g. delivered updates/second) —
     the basis of the availability metric in the recovery and red-team
-    experiments (and of the deprecated
-    :class:`repro.core.metrics.IntervalSeries` shim)."""
+    experiments."""
 
     kind = "intervals"
 

@@ -39,8 +39,8 @@ class Observability:
 
     ``now_fn`` reads the system's (virtual) clock and stamps events and
     span sim-times. Pass ``log=`` to adopt an existing event log (this is
-    how a deployment's ``Trace`` shim and its ``obs`` handle share one
-    log); otherwise a fresh :class:`EventLog` is created.
+    how a deployment's ``trace`` attribute and its ``obs`` handle share
+    one log); otherwise a fresh :class:`EventLog` is created.
     """
 
     enabled = True

@@ -3,16 +3,15 @@
 This package substitutes for the paper's physical testbed: a virtual-time
 event loop (:class:`Simulator`), a point-to-point network model with
 latency/jitter/loss/bandwidth and attack hooks (:class:`Network`), a process
-abstraction with crash/recover semantics (:class:`Process`), scenario
-scripting (:class:`FailureInjector`), and structured tracing
-(:class:`Trace`).
+abstraction with crash/recover semantics (:class:`Process`), and scenario
+scripting (:class:`FailureInjector`). Structured event logging lives in
+:mod:`repro.obs` (:class:`~repro.obs.EventLog`).
 """
 
 from .engine import SimulationError, Simulator, Timer
 from .failures import CorruptedPayload, DosAttack, FailureInjector
 from .network import LinkSpec, Network, NetworkStats
 from .node import Process
-from .trace import Trace, TraceEvent
 
 __all__ = [
     "SimulationError",
@@ -25,6 +24,4 @@ __all__ = [
     "Network",
     "NetworkStats",
     "Process",
-    "Trace",
-    "TraceEvent",
 ]

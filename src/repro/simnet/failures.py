@@ -449,6 +449,31 @@ class FailureInjector:
             probability=probability, rng_name=rng_name,
         )
 
+    def block_link_window(
+        self,
+        a: str,
+        b: str,
+        start_ms: float,
+        duration_ms: float,
+    ) -> None:
+        """Sever one (bidirectional) link for a window — a clean link kill,
+        as opposed to :meth:`dos_link_window`'s degradation. The overlay's
+        self-healing control plane should detect this and reroute."""
+        holder: dict = {}
+
+        def start() -> None:
+            holder["unblock"] = self.network.block_link(a, b)
+            self._note(f"LINK-KILL start {a}<->{b}")
+
+        def stop() -> None:
+            fn = holder.get("unblock")
+            if fn is not None:
+                fn()
+            self._note(f"LINK-KILL stop {a}<->{b}")
+
+        self.simulator.schedule_at(start_ms, start)
+        self.simulator.schedule_at(start_ms + duration_ms, stop)
+
     def dos_link_window(
         self,
         src: str,

@@ -2,11 +2,20 @@
 
 Public API: :class:`OverlayTopology` + builders, :class:`SpinesOverlay`
 (daemon fleet + endpoint attachment), :class:`OverlayStack` (endpoint-side
-send/unwrap), routing strategies, and the daemon itself for tests.
+send/unwrap), routing strategies, the self-healing control plane
+(:class:`LinkMonitor` / :class:`OverlayControlPlane`), and the daemon
+itself for tests.
 """
 
 from .daemon import SpinesDaemon
-from .messages import OverlayData, OverlayDeliver, OverlayForward, OverlayIngress
+from .messages import (
+    OverlayData,
+    OverlayDeliver,
+    OverlayForward,
+    OverlayHello,
+    OverlayIngress,
+)
+from .monitor import LinkMonitor, LinkMonitorConfig, OverlayControlPlane
 from .overlay import OverlayStack, SpinesOverlay
 from .routing import (
     DisjointPathsRouting,
@@ -28,7 +37,11 @@ __all__ = [
     "OverlayData",
     "OverlayDeliver",
     "OverlayForward",
+    "OverlayHello",
     "OverlayIngress",
+    "LinkMonitor",
+    "LinkMonitorConfig",
+    "OverlayControlPlane",
     "OverlayStack",
     "SpinesOverlay",
     "DisjointPathsRouting",

@@ -15,21 +15,40 @@ Defences modelled from the paper:
   round-robin across origin endpoints, so a compromised client (or daemon)
   flooding the overlay cannot starve other sources. Disable it
   (``fairness=False``) to reproduce the unfair baseline.
+* **Overload protection** — each per-source forward queue is bounded
+  (``max_queue_per_source``; excess counted in ``dropped_overflow``) and a
+  per-source token bucket (``source_rate_per_ms`` tokens/ms, burst
+  ``source_burst``) gates admission to forwarding, so a flooding source
+  degrades its *own* throughput while daemon memory stays bounded. Both
+  default off.
 
 A compromised daemon is modelled via :meth:`set_behavior`; the attack
-library installs droppers/delayers there.
+library installs droppers/delayers there. When the self-healing control
+plane is enabled (:mod:`repro.spines.monitor`), the overlay assigns each
+daemon a :class:`~repro.spines.monitor.LinkMonitor` via :attr:`monitor`;
+incoming :class:`~repro.spines.messages.OverlayHello` probes are
+link-authenticated here and then handed to it.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, Optional, Set, Tuple
 
 from ..crypto.provider import CryptoProvider
 from ..obs import EventLog, Observability, resolve_obs
 from ..simnet import Network, Process, Simulator
-from .messages import OverlayData, OverlayDeliver, OverlayForward, OverlayIngress
+from .messages import (
+    OverlayData,
+    OverlayDeliver,
+    OverlayForward,
+    OverlayHello,
+    OverlayIngress,
+)
 from .routing import RoutingStrategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .monitor import LinkMonitor
 
 __all__ = ["SpinesDaemon"]
 
@@ -53,6 +72,9 @@ class SpinesDaemon(Process):
         fairness: bool = True,
         forward_capacity_per_ms: float = 0.0,
         dedup_window: int = 50_000,
+        max_queue_per_source: int = 0,
+        source_rate_per_ms: float = 0.0,
+        source_burst: float = 32.0,
         obs: Optional[Observability] = None,
     ) -> None:
         super().__init__(f"spines:{site_name}", simulator, network)
@@ -69,7 +91,7 @@ class SpinesDaemon(Process):
         if self.obs.enabled:
             self._hop_latency = self.obs.histogram("spines.hop_latency_ms")
             self._e2e_latency = self.obs.histogram("spines.transit_latency_ms")
-            for reason in ("auth", "dup", "behavior"):
+            for reason in ("auth", "dup", "behavior", "overflow", "ratelimit"):
                 self._drop_counters[reason] = self.obs.counter(
                     f"spines.dropped_{reason}"
                 )
@@ -77,17 +99,28 @@ class SpinesDaemon(Process):
         self.fairness = fairness
         self.forward_capacity_per_ms = forward_capacity_per_ms
         self.dedup_window = dedup_window
+        self.max_queue_per_source = max_queue_per_source
+        self.source_rate_per_ms = source_rate_per_ms
+        self.source_burst = source_burst
         self.neighbors: Set[str] = set()          # site names
         self.attached: Set[str] = set()            # endpoint names homed here
         self.endpoint_home: Dict[str, str] = {}    # endpoint -> site (global map)
         self._seen: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
         self._queues: Dict[str, Deque[Tuple[str, OverlayData]]] = {}
         self._queue_order: Deque[str] = deque()
+        self._queued_sources: Set[str] = set()     # mirrors _queue_order
+        self._queued_total = 0
+        self.queue_peak = 0
+        #: (tokens, last_refill_ms) per origin — lazy-refilled token bucket
+        self._buckets: Dict[str, Tuple[float, float]] = {}
         self._draining = False
         self._behavior: Optional[BehaviorHook] = None
+        #: set by SpinesOverlay when self-healing is enabled
+        self.monitor: Optional["LinkMonitor"] = None
         self.stats = {
             "ingress": 0, "forwarded": 0, "delivered": 0,
             "dropped_auth": 0, "dropped_dup": 0, "dropped_behavior": 0,
+            "dropped_overflow": 0, "dropped_ratelimit": 0,
         }
 
     # ------------------------------------------------------------------
@@ -121,6 +154,8 @@ class SpinesDaemon(Process):
             self._on_ingress(src, payload.data)
         elif isinstance(payload, OverlayForward):
             self._on_forward(src, payload)
+        elif isinstance(payload, OverlayHello):
+            self._on_hello(src, payload)
 
     def _on_ingress(self, src: str, data: OverlayData) -> None:
         if src not in self.attached or data.origin != src:
@@ -147,6 +182,20 @@ class SpinesDaemon(Process):
             return
         self._route(message.data, arrived_from=sender_site)
 
+    def _on_hello(self, src: str, hello: OverlayHello) -> None:
+        """Link-monitor keepalive: authenticate, then hand to the monitor."""
+        sender = hello.sender
+        if self.daemon_name(sender) != src or sender not in self.neighbors:
+            self._count_drop("auth")
+            return
+        if self.link_auth and not self.crypto.check_mac(
+            src, self.name, (hello.sender, hello.seq, hello.sent_at), hello.mac
+        ):
+            self._count_drop("auth")
+            return
+        if self.monitor is not None:
+            self.monitor.on_hello(sender, hello)
+
     def _record_seen(self, data: OverlayData) -> bool:
         """Record (origin, seq); returns False if already seen."""
         key = (data.origin, data.seq)
@@ -168,9 +217,13 @@ class SpinesDaemon(Process):
                 return
             if dest_site == self.site_name and self.routing.name == "shortest":
                 return  # delivered locally; nothing to forward
-            for neighbor in self.routing.forward_targets(
+            targets = self.routing.forward_targets(
                 self.site_name, dest_site, arrived_from
-            ):
+            )
+            if targets and not self._admit(data):
+                self._count_drop("ratelimit")
+                return
+            for neighbor in targets:
                 self._enqueue_forward(neighbor, data)
 
         if self._behavior is not None:
@@ -189,20 +242,50 @@ class SpinesDaemon(Process):
             self.send(data.dest, OverlayDeliver(data), size_bytes=data.size_bytes)
 
     # ------------------------------------------------------------------
-    # Forwarding with per-source fairness
+    # Forwarding with per-source fairness + overload protection
     # ------------------------------------------------------------------
+    def _admit(self, data: OverlayData) -> bool:
+        """Per-source token bucket gating admission to forwarding.
+
+        Local delivery is never rate-limited; only the forward fan-out is,
+        so a source exceeding its rate hurts its own long-haul traffic.
+        """
+        if self.source_rate_per_ms <= 0:
+            return True
+        now = self.simulator.now
+        tokens, last = self._buckets.get(data.origin, (self.source_burst, now))
+        tokens = min(
+            self.source_burst, tokens + (now - last) * self.source_rate_per_ms
+        )
+        if tokens < 1.0:
+            self._buckets[data.origin] = (tokens, now)
+            return False
+        self._buckets[data.origin] = (tokens - 1.0, now)
+        return True
+
     def _enqueue_forward(self, neighbor_site: str, data: OverlayData) -> None:
         if self.forward_capacity_per_ms <= 0:
             self._forward_now(neighbor_site, data)
             return
         source = data.origin if self.fairness else "__fifo__"
         queue = self._queues.setdefault(source, deque())
-        if source not in self._queue_order:
+        if self.max_queue_per_source > 0 and len(queue) >= self.max_queue_per_source:
+            self._count_drop("overflow")
+            return
+        if source not in self._queued_sources:
+            self._queued_sources.add(source)
             self._queue_order.append(source)
         queue.append((neighbor_site, data))
+        self._queued_total += 1
+        if self._queued_total > self.queue_peak:
+            self.queue_peak = self._queued_total
         if not self._draining:
             self._draining = True
             self.set_timer(0.0, self._drain)
+
+    def queue_depth(self) -> int:
+        """Total datagrams currently queued for forwarding (all sources)."""
+        return self._queued_total
 
     def _drain(self) -> None:
         """Serve one queued forward per 1/capacity ms, round-robin."""
@@ -211,9 +294,11 @@ class SpinesDaemon(Process):
             queue = self._queues.get(source)
             if not queue:
                 self._queue_order.popleft()
+                self._queued_sources.discard(source)
                 self._queues.pop(source, None)
                 continue
             neighbor_site, data = queue.popleft()
+            self._queued_total -= 1
             self._queue_order.rotate(-1)
             self._forward_now(neighbor_site, data)
             self.set_timer(1.0 / self.forward_capacity_per_ms, self._drain)
@@ -230,8 +315,15 @@ class SpinesDaemon(Process):
 
     # ------------------------------------------------------------------
     def on_recover(self) -> None:
-        """A rejoining daemon loses its dedup/queue state (volatile)."""
+        """A rejoining daemon loses its dedup/queue state (volatile) and —
+        when self-healing is on — restarts its link monitor, whose resumed
+        hellos are what re-announce this daemon to its neighbours."""
         self._seen.clear()
         self._queues.clear()
         self._queue_order.clear()
+        self._queued_sources.clear()
+        self._queued_total = 0
+        self._buckets.clear()
         self._draining = False
+        if self.monitor is not None:
+            self.monitor.start()

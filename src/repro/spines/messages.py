@@ -5,7 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["OverlayData", "OverlayIngress", "OverlayForward", "OverlayDeliver"]
+__all__ = [
+    "OverlayData",
+    "OverlayIngress",
+    "OverlayForward",
+    "OverlayDeliver",
+    "OverlayHello",
+]
 
 
 @dataclass(frozen=True)
@@ -52,3 +58,19 @@ class OverlayDeliver:
     """Destination daemon -> attached endpoint."""
 
     data: OverlayData
+
+
+@dataclass(frozen=True)
+class OverlayHello:
+    """Daemon -> neighbor daemon keepalive probe (link monitoring).
+
+    Sent on every advertised link when the self-healing control plane is
+    enabled. ``sent_at`` lets the receiver estimate one-way link latency;
+    the MAC covers ``(sender, seq, sent_at)`` so an external attacker can
+    neither forge liveness nor replay a stale latency claim as fresh.
+    """
+
+    sender: str
+    seq: int
+    sent_at: float
+    mac: bytes = b""

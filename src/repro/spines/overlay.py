@@ -5,6 +5,13 @@ one :class:`SpinesDaemon` per site, programs the underlying simnet links
 from the topology's latencies, and hands each endpoint an
 :class:`OverlayStack` — the endpoint-side API (``send``/``unwrap``) that
 plays the role of the Spines client library in the real system.
+
+With ``self_healing=True`` the overlay also builds the control plane from
+:mod:`repro.spines.monitor`: one :class:`LinkMonitor` per daemon probing
+its links with authenticated hellos, reporting to a shared
+:class:`OverlayControlPlane` that reroutes around dead/degraded links.
+Static overlays (the default) construct none of it and behave exactly as
+before.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from ..obs import EventLog, Observability, resolve_obs
 from ..simnet import LinkSpec, Network, Process, Simulator
 from .daemon import SpinesDaemon
 from .messages import OverlayData, OverlayDeliver, OverlayIngress
+from .monitor import LinkMonitor, LinkMonitorConfig, OverlayControlPlane
 from .routing import make_routing
 from .topology import OverlayTopology
 
@@ -77,6 +85,11 @@ class SpinesOverlay:
         fairness: bool = True,
         forward_capacity_per_ms: float = 0.0,
         last_mile_latency_ms: float = 0.1,
+        self_healing: bool = False,
+        monitor_config: Optional[LinkMonitorConfig] = None,
+        max_queue_per_source: int = 0,
+        source_rate_per_ms: float = 0.0,
+        source_burst: float = 32.0,
         obs: Optional[Observability] = None,
     ) -> None:
         self.simulator = simulator
@@ -87,6 +100,7 @@ class SpinesOverlay:
         self.last_mile_latency_ms = last_mile_latency_ms
         self.obs = resolve_obs(obs, trace)
         self.routing = make_routing(mode, topology)
+        self.monitor_config = monitor_config or LinkMonitorConfig()
         self.daemons: Dict[str, SpinesDaemon] = {}
         self._endpoint_home: Dict[str, str] = {}
         for site in topology.sites:
@@ -94,6 +108,9 @@ class SpinesOverlay:
                 site.name, simulator, network, self.routing, self.crypto,
                 trace=trace, link_auth=link_auth, fairness=fairness,
                 forward_capacity_per_ms=forward_capacity_per_ms,
+                max_queue_per_source=max_queue_per_source,
+                source_rate_per_ms=source_rate_per_ms,
+                source_burst=source_burst,
                 obs=obs,
             )
         for a, b in topology.graph.edges:
@@ -111,6 +128,22 @@ class SpinesOverlay:
         # destination (link-state routing advertises client attachment).
         for daemon in self.daemons.values():
             daemon.endpoint_home = self._endpoint_home
+        # Self-healing control plane: shared across daemons (they share the
+        # routing instance too, so one rebuild reroutes the whole overlay).
+        self.control_plane: Optional[OverlayControlPlane] = None
+        if self_healing:
+            self.control_plane = OverlayControlPlane(
+                simulator, topology, self.routing,
+                config=self.monitor_config, obs=self.obs,
+            )
+            for site_name in sorted(self.daemons):
+                daemon = self.daemons[site_name]
+                monitor = LinkMonitor(
+                    daemon, self.control_plane, self.monitor_config
+                )
+                daemon.monitor = monitor
+                self.control_plane.monitors[site_name] = monitor
+                monitor.start()
 
     def attach(self, endpoint: Process, site_name: str) -> OverlayStack:
         """Attach an endpoint process to its site's daemon."""

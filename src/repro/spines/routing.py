@@ -12,6 +12,12 @@ Two modes, matching the paper's discussion:
   Delivery is guaranteed whenever any correct path exists, at the price of
   bandwidth; per-source fairness (see :mod:`repro.spines.daemon`) keeps a
   flooding attacker from starving honest sources.
+
+All strategies additionally support :meth:`RoutingStrategy.rebuild`: the
+self-healing control plane (:mod:`repro.spines.monitor`) hands them an
+*observed* topology view with dead links removed and degraded latencies
+substituted, and they recompute forwarding state from it — shortest-path
+and disjoint-path tables re-route, flooding prunes dead links.
 """
 
 from __future__ import annotations
@@ -42,9 +48,17 @@ class RoutingStrategy:
         """Return neighbour sites the datagram should be forwarded to."""
         raise NotImplementedError
 
+    def rebuild(self, observed: OverlayTopology) -> None:
+        """Recompute forwarding state from an observed topology view."""
+        raise NotImplementedError
+
 
 class ShortestPathRouting(RoutingStrategy):
-    """Latency-weighted next-hop tables over the static advertised topology."""
+    """Latency-weighted next-hop tables.
+
+    Built from the advertised topology; a self-healing control plane may
+    :meth:`rebuild` them from its observed view when links die or degrade.
+    """
 
     name = "shortest"
 
@@ -65,6 +79,10 @@ class ShortestPathRouting(RoutingStrategy):
                 else:
                     self._next_hop[(source, dest)] = None
 
+    def rebuild(self, observed: OverlayTopology) -> None:
+        self.topology = observed
+        self._rebuild()
+
     def forward_targets(
         self, daemon_site: str, dest_site: str, arrived_from: Optional[str]
     ) -> List[str]:
@@ -79,6 +97,11 @@ class FloodingRouting(RoutingStrategy):
 
     def __init__(self, topology: OverlayTopology) -> None:
         self.topology = topology
+
+    def rebuild(self, observed: OverlayTopology) -> None:
+        # flooding has no tables; adopting the observed view prunes dead
+        # links from the per-datagram fan-out (saves doomed transmissions)
+        self.topology = observed
 
     def forward_targets(
         self, daemon_site: str, dest_site: str, arrived_from: Optional[str]
@@ -102,6 +125,11 @@ class DisjointPathsRouting(RoutingStrategy):
 
     Implementation note: forwarding state is per (source site, dest site):
     a daemon forwards to the next hop of every chosen path it lies on.
+    Because the daemon-level API does not expose the origin site, the
+    per-source plans are merged at build time into one
+    ``(daemon, dest) -> targets`` table (a superset — slightly more
+    redundancy, never less), so the per-datagram lookup is O(1) instead
+    of a scan over all O(sites²) plans.
     """
 
     name = "disjoint"
@@ -111,9 +139,12 @@ class DisjointPathsRouting(RoutingStrategy):
         self.k = k
         #: (src_site, dst_site) -> daemon_site -> [next hops]
         self._plans: Dict[Tuple[str, str], Dict[str, List[str]]] = {}
+        #: (daemon_site, dest_site) -> merged next hops across all sources
+        self._targets: Dict[Tuple[str, str], Tuple[str, ...]] = {}
         self._build()
 
     def _build(self) -> None:
+        self._plans.clear()
         sites = list(self.topology.graph.nodes)
         for src in sites:
             for dst in sites:
@@ -127,6 +158,27 @@ class DisjointPathsRouting(RoutingStrategy):
                         if nxt not in plan[hop]:
                             plan[hop].append(nxt)
                 self._plans[(src, dst)] = plan
+        self._merge_plans()
+
+    def _merge_plans(self) -> None:
+        """Precompute the per-(daemon, dest) union of all source plans.
+
+        Iterates the plans in the same source-major insertion order as the
+        former per-datagram scan, so the merged target order (and thus
+        forwarding behaviour) is identical.
+        """
+        merged: Dict[Tuple[str, str], List[str]] = {}
+        for (_, dst), plan in self._plans.items():
+            for daemon_site, next_hops in plan.items():
+                targets = merged.setdefault((daemon_site, dst), [])
+                for nxt in next_hops:
+                    if nxt not in targets:
+                        targets.append(nxt)
+        self._targets = {key: tuple(value) for key, value in merged.items()}
+
+    def rebuild(self, observed: OverlayTopology) -> None:
+        self.topology = observed
+        self._build()
 
     def _k_disjoint_paths(self, src: str, dst: str) -> List[List[str]]:
         graph = self.topology.graph.copy()
@@ -144,17 +196,8 @@ class DisjointPathsRouting(RoutingStrategy):
     def forward_targets(
         self, daemon_site: str, dest_site: str, arrived_from: Optional[str]
     ) -> List[str]:
-        # the plan is keyed by the *origin* site, which the daemon-level
-        # API does not expose; merge the plans of all sources through this
-        # daemon (a superset — slightly more redundancy, never less)
-        targets: List[str] = []
-        for (src, dst), plan in self._plans.items():
-            if dst != dest_site:
-                continue
-            for nxt in plan.get(daemon_site, []):
-                if nxt != arrived_from and nxt not in targets:
-                    targets.append(nxt)
-        return targets
+        targets = self._targets.get((daemon_site, dest_site), ())
+        return [nxt for nxt in targets if nxt != arrived_from]
 
 
 def make_routing(mode: str, topology: OverlayTopology, k: int = 2) -> RoutingStrategy:

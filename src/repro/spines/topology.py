@@ -64,6 +64,30 @@ class OverlayTopology:
         self.graph.add_edge(a, b, latency_ms=latency_ms, jitter_ms=jitter_ms,
                             loss=loss, bandwidth_mbps=bandwidth_mbps)
 
+    def copy(self) -> "OverlayTopology":
+        """Independent copy (shared :class:`Site` records, copied graph).
+
+        The self-healing control plane derives its *observed* topology
+        view from a copy of the advertised one, so link removals and
+        latency updates never mutate the deployment's source of truth.
+        """
+        clone = OverlayTopology()
+        clone.graph = self.graph.copy()
+        clone._sites = dict(self._sites)
+        return clone
+
+    def disconnect(self, a: str, b: str) -> None:
+        """Remove a link (observed-topology mutation; no-op if absent)."""
+        if self.graph.has_edge(a, b):
+            self.graph.remove_edge(a, b)
+
+    def has_link(self, a: str, b: str) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def set_link_latency(self, a: str, b: str, latency_ms: float) -> None:
+        """Override a link's latency (observed degradation)."""
+        self.graph.edges[a, b]["latency_ms"] = latency_ms
+
     # ------------------------------------------------------------------
     def site(self, name: str) -> Site:
         return self._sites[name]
@@ -90,6 +114,12 @@ class OverlayTopology:
         g = self.graph.copy()
         g.remove_nodes_from(list(removed))
         return g.number_of_nodes() > 0 and nx.is_connected(g)
+
+    def is_connected(self) -> bool:
+        return self.graph.number_of_nodes() > 0 and nx.is_connected(self.graph)
+
+    def component_count(self) -> int:
+        return nx.number_connected_components(self.graph)
 
 
 def lan_topology(num_sites: int = 1) -> OverlayTopology:

@@ -1,0 +1,141 @@
+"""Behavioural tests for the keyed measurement instruments in ``repro.obs``.
+
+Covers :class:`LatencyStats` (the percentile maths behind the paper's
+latency tables), :class:`LatencyTracker` (submit → ack latency with
+duplicate/outstanding accounting, windows, CDFs and timelines) and
+:class:`IntervalCounter` (per-interval counts and availability).
+"""
+
+import pytest
+
+from repro.obs import IntervalCounter, LatencyStats, LatencyTracker
+
+
+# ----------------------------------------------------------------------
+# LatencyStats
+# ----------------------------------------------------------------------
+def test_stats_empty():
+    stats = LatencyStats.from_samples([])
+    assert stats.count == 0 and stats.mean == 0.0
+
+
+def test_stats_basic():
+    stats = LatencyStats.from_samples([1.0, 2.0, 3.0, 4.0])
+    assert stats.count == 4
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.median == 2.0
+    assert stats.minimum == 1.0
+    assert stats.maximum == 4.0
+
+
+def test_stats_percentiles_monotone():
+    samples = list(range(1, 1001))
+    stats = LatencyStats.from_samples([float(v) for v in samples])
+    assert stats.median <= stats.p90 <= stats.p99 <= stats.p999 <= stats.maximum
+    assert stats.p99 == pytest.approx(990.0)
+
+
+def test_stats_percentiles_match_numpy():
+    import numpy
+
+    samples = [float(v) for v in (5, 1, 9, 3, 7, 2, 8, 6, 4, 10)]
+    stats = LatencyStats.from_samples(samples)
+    assert stats.median == pytest.approx(
+        numpy.percentile(samples, 50, method="inverted_cdf"), abs=1.0
+    )
+
+
+def test_stats_row_renders():
+    assert "mean=" in LatencyStats.from_samples([1.0]).row()
+
+
+# ----------------------------------------------------------------------
+# LatencyTracker
+# ----------------------------------------------------------------------
+def test_tracker_measures_latency():
+    tracker = LatencyTracker()
+    tracker.submitted(("k", 1), at=10.0)
+    assert tracker.acknowledged(("k", 1), at=35.0) == pytest.approx(25.0)
+    assert tracker.stats().count == 1
+
+
+def test_tracker_duplicate_submit_keeps_first():
+    tracker = LatencyTracker()
+    tracker.submitted(("k", 1), at=10.0)
+    tracker.submitted(("k", 1), at=20.0)  # retry must not reset the clock
+    assert tracker.acknowledged(("k", 1), at=30.0) == pytest.approx(20.0)
+
+
+def test_tracker_unknown_ack_counted_as_duplicate():
+    tracker = LatencyTracker()
+    assert tracker.acknowledged(("k", 9), at=5.0) is None
+    assert tracker.duplicates == 1
+
+
+def test_tracker_outstanding():
+    tracker = LatencyTracker()
+    tracker.submitted(("a",), 0.0)
+    tracker.submitted(("b",), 0.0)
+    tracker.acknowledged(("a",), 1.0)
+    assert tracker.outstanding == 1
+
+
+def test_tracker_window_filters():
+    tracker = LatencyTracker()
+    for index in range(10):
+        tracker.submitted(("k", index), at=index * 100.0)
+        tracker.acknowledged(("k", index), at=index * 100.0 + 10.0)
+    early = tracker.stats(until=450.0)
+    late = tracker.stats(since=450.0)
+    assert early.count + late.count == 10
+
+
+def test_tracker_cdf():
+    tracker = LatencyTracker()
+    for index in range(100):
+        tracker.submitted(("k", index), at=0.0)
+        tracker.acknowledged(("k", index), at=float(index + 1))
+    cdf = tracker.cdf(points=10)
+    assert cdf[-1][1] == 1.0
+    latencies = [latency for latency, _ in cdf]
+    assert latencies == sorted(latencies)
+
+
+def test_tracker_timeline_buckets():
+    tracker = LatencyTracker()
+    for at, latency in ((100.0, 10.0), (150.0, 20.0), (1100.0, 30.0)):
+        tracker.submitted(("k", at), at=at - latency)
+        tracker.acknowledged(("k", at), at=at)
+    timeline = tracker.timeline(bucket_ms=1000.0)
+    assert len(timeline) == 2
+    assert timeline[0][1] == pytest.approx(15.0)
+    assert timeline[0][2] == 2
+
+
+# ----------------------------------------------------------------------
+# IntervalCounter
+# ----------------------------------------------------------------------
+def test_interval_counter_counts():
+    series = IntervalCounter(interval_ms=1000.0)
+    series.record(100.0)
+    series.record(900.0)
+    series.record(1500.0)
+    values = dict((t, c) for t, c in series.series(0.0, 2000.0))
+    assert values[0.0] == 2
+    assert values[1000.0] == 1
+    assert values[2000.0] == 0
+
+
+def test_interval_counter_availability():
+    series = IntervalCounter(interval_ms=1000.0)
+    for second in (0, 1, 3):  # second 2 is an outage
+        series.record(second * 1000.0 + 10.0)
+    availability = series.availability(0.0, 3999.0)
+    assert availability == pytest.approx(3 / 4)
+
+
+def test_latency_stats_reexported_from_core():
+    # the one survivor of the old repro.core.metrics surface
+    from repro.core import LatencyStats as CoreLatencyStats
+
+    assert CoreLatencyStats is LatencyStats

@@ -16,7 +16,7 @@ from repro.obs import (
     Observability,
     resolve_obs,
 )
-from repro.simnet import Simulator, Trace  # noqa: F401  (shim exercised below)
+from repro.simnet import Simulator
 
 
 # ----------------------------------------------------------------------
@@ -182,8 +182,7 @@ def test_null_obs_is_shared_singleton():
 
 def test_resolve_obs_shares_one_registry_per_trace():
     simulator = Simulator(seed=1)
-    with pytest.deprecated_call():
-        trace = Trace(simulator)
+    trace = EventLog(now_fn=lambda: simulator.now)
     first = resolve_obs(None, trace)
     second = resolve_obs(None, trace)
     assert first is second
