@@ -1,0 +1,335 @@
+"""Hot-path microbenchmarks for the simulation core → ``BENCH_core.json``.
+
+Three measurements, matching the three hot paths the PR-5 overhaul
+targets:
+
+* **event throughput** — a pure ``repro.simnet`` engine workload (periodic
+  timers + one-shot churn with cancellations over a deep heap), reported
+  as events/sec;
+* **crypto ops/sec** — the replication-layer signing pattern (sign once,
+  verify three times, MAC + check, digest twice, all on the same frozen
+  message object) over ``repro.crypto.FastCrypto``;
+* **fig3-LAN end-to-end** — the LAN leg of the fig3 benchmark (6 replicas,
+  5 RTUs @ 10 Hz, flooding overlay), reported as wall seconds and
+  simulator events/sec, followed by the run's ``repro.obs`` wall-clock
+  hot-spot table.
+
+The first two are also run against ``seed_impl`` — a frozen copy of the
+pre-overhaul code — because raw numbers do not transfer across machines
+but the live/seed *ratio* on one host does. The CI regression gate
+(``--check``) uses that ratio to normalize the committed baseline to the
+current host before applying its tolerance.
+
+Usage::
+
+    python benchmarks/perf/perf_core.py                  # run + print
+    python benchmarks/perf/perf_core.py --record before  # write baseline
+    python benchmarks/perf/perf_core.py --record after   # write + speedups
+    python benchmarks/perf/perf_core.py --smoke --check  # CI gate vs BENCH_core.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass
+from time import perf_counter
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(os.path.dirname(_HERE))
+for path in (os.path.join(_ROOT, "src"), _HERE):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from seed_impl import SeedFastCrypto, SeedSimulator, seed_digest  # noqa: E402
+
+from repro.analysis import print_hotspots  # noqa: E402
+from repro.core import SpireDeployment, SpireOptions  # noqa: E402
+from repro.crypto import FastCrypto  # noqa: E402
+from repro.crypto.encoding import digest  # noqa: E402
+from repro.simnet import Simulator  # noqa: E402
+from repro.spines import lan_topology  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(_ROOT, "BENCH_core.json")
+
+#: workload sizes: (event-throughput events, crypto messages, fig3 run ms)
+FULL_SIZES = (400_000, 5_000, 12_000.0)
+SMOKE_SIZES = (80_000, 1_200, 2_500.0)
+
+#: repeat each measurement and keep the best (max throughput / min wall);
+#: single samples on a shared host routinely swing ±20%
+FULL_REPEATS = 3
+SMOKE_REPEATS = 2
+
+
+def _noop() -> None:
+    pass
+
+
+# ----------------------------------------------------------------------
+# Event throughput
+# ----------------------------------------------------------------------
+def _throughput_workload(sim) -> None:
+    """Identical workload for the live and seed engines.
+
+    Mirrors what a deployment does to the queue: a band of periodic
+    timers (replica/hello/RTU cadences), a steady stream of one-shot
+    timers of which half get cancelled (retransmission timers that the
+    ack beats), and a deep backlog of far-future events so every push
+    performs realistic heap comparisons.
+    """
+    for i in range(24):
+        sim.call_every(0.5 + 0.25 * (i % 8), _noop, rng_name=f"perf/p{i}")
+    for i in range(2_000):
+        sim.schedule(1e6 + i, _noop)
+    live = []
+
+    def churn() -> None:
+        if len(live) >= 40:
+            for timer in live[::2]:
+                timer.cancel()
+            del live[:]
+        live.append(sim.schedule(15.0, _noop))
+        live.append(sim.schedule(25.0, _noop))
+
+    sim.call_every(1.0, churn, rng_name="perf/churn")
+
+
+def bench_event_throughput(events: int, engine: str = "live", repeats: int = 1) -> float:
+    """Events/sec executing ``events`` events of the churn workload
+    (best of ``repeats`` fresh simulators)."""
+    best = 0.0
+    for _ in range(repeats):
+        sim = Simulator(seed=1234) if engine == "live" else SeedSimulator(seed=1234)
+        _throughput_workload(sim)
+        started = perf_counter()
+        sim.run(max_events=events)
+        elapsed = perf_counter() - started
+        best = max(best, events / elapsed)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Crypto ops
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _PerfMessage:
+    """Stand-in for a Prime protocol message (same shape/field count)."""
+
+    kind: str
+    sender: str
+    seq: int
+    view: int
+    payload: tuple
+
+
+def bench_crypto_ops(messages: int, provider_kind: str = "live", repeats: int = 1) -> float:
+    """Crypto ops/sec over the replication-layer usage pattern
+    (best of ``repeats``; fresh provider and message batch each pass)."""
+    best = 0.0
+    for _ in range(repeats):
+        if provider_kind == "live":
+            provider, digest_fn = FastCrypto(seed="perf"), digest
+        else:
+            provider, digest_fn = SeedFastCrypto(seed="perf"), seed_digest
+        batch = [
+            _PerfMessage("po-request", f"replica:{i % 6}", i, i % 3, ("op", i, float(i)))
+            for i in range(messages)
+        ]
+        ops = 0
+        started = perf_counter()
+        for message in batch:
+            signature = provider.sign("replica:1", message)
+            for _ in range(3):
+                provider.verify(signature, message)
+            tag = provider.mac("replica:1", "replica:2", message)
+            provider.check_mac("replica:1", "replica:2", message, tag)
+            digest_fn(message)
+            digest_fn(message)
+            ops += 8
+        elapsed = perf_counter() - started
+        best = max(best, ops / elapsed)
+    return best
+
+
+# ----------------------------------------------------------------------
+# fig3-LAN end to end
+# ----------------------------------------------------------------------
+def bench_fig3_lan(run_ms: float, hotspots_out=None, repeats: int = 1) -> dict:
+    """Build + run the fig3 LAN leg; wall seconds and events/sec.
+
+    The deployment (identical every pass — same seed, same virtual
+    trace) is run ``repeats`` times and the fastest pass is reported;
+    the hot-spot table comes from that pass."""
+    best = None
+    best_obs = None
+    for _ in range(repeats):
+        started = perf_counter()
+        options = SpireOptions.lan(
+            num_substations=5, poll_interval_ms=100.0,
+            placement={"lan0": 6}, overlay_mode="flooding", seed=31,
+        )
+        deployment = SpireDeployment(options, topology=lan_topology(1))
+        deployment.start()
+        build_s = perf_counter() - started
+        run_started = perf_counter()
+        deployment.run_for(run_ms)
+        run_s = perf_counter() - run_started
+        events = deployment.simulator.events_processed
+        result = {
+            "wall_s": round(build_s + run_s, 4),
+            "run_wall_s": round(run_s, 4),
+            "sim_ms": run_ms,
+            "events": events,
+            "events_per_sec": round(events / run_s, 1),
+            "status_mean_ms": round(deployment.status_recorder.stats().mean, 4),
+        }
+        if best is None or result["wall_s"] < best["wall_s"]:
+            best = result
+            best_obs = deployment.obs
+    if hotspots_out is not None:
+        print_hotspots(best_obs, out=hotspots_out)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def measure(smoke: bool, emit=print) -> dict:
+    events, messages, run_ms = SMOKE_SIZES if smoke else FULL_SIZES
+    repeats = SMOKE_REPEATS if smoke else FULL_REPEATS
+    emit(f"perf_core: {'smoke' if smoke else 'full'} sizes "
+         f"(events={events}, crypto_msgs={messages}, fig3_ms={run_ms:g}, "
+         f"best of {repeats})")
+    results = {}
+    results["event_throughput"] = round(
+        bench_event_throughput(events, "live", repeats), 1
+    )
+    emit(f"  event throughput (live) : {results['event_throughput']:>12,.0f} events/s")
+    results["seed_event_throughput"] = round(
+        bench_event_throughput(events, "seed", repeats), 1
+    )
+    emit(f"  event throughput (seed) : {results['seed_event_throughput']:>12,.0f} events/s")
+    results["crypto_ops"] = round(bench_crypto_ops(messages, "live", repeats), 1)
+    emit(f"  crypto ops (live)       : {results['crypto_ops']:>12,.0f} ops/s")
+    results["seed_crypto_ops"] = round(bench_crypto_ops(messages, "seed", repeats), 1)
+    emit(f"  crypto ops (seed)       : {results['seed_crypto_ops']:>12,.0f} ops/s")
+    results["fig3_lan"] = bench_fig3_lan(run_ms, hotspots_out=emit, repeats=repeats)
+    emit(f"  fig3-LAN e2e            : {results['fig3_lan']['wall_s']:.2f} s wall "
+         f"({results['fig3_lan']['events_per_sec']:,.0f} sim events/s)")
+    results["vs_seed"] = {
+        "event_throughput": round(
+            results["event_throughput"] / results["seed_event_throughput"], 3
+        ),
+        "crypto_ops": round(results["crypto_ops"] / results["seed_crypto_ops"], 3),
+    }
+    emit(f"  live/seed ratios        : events ×{results['vs_seed']['event_throughput']}"
+         f", crypto ×{results['vs_seed']['crypto_ops']}")
+    return results
+
+
+def _load(path: str) -> dict:
+    if os.path.exists(path):
+        with open(path) as handle:
+            return json.load(handle)
+    return {}
+
+
+def record(results: dict, phase: str, smoke: bool, path: str, emit=print) -> None:
+    data = _load(path)
+    data.setdefault("meta", {})["python"] = platform.python_version()
+    data["meta"]["machine"] = platform.machine()
+    mode = "smoke" if smoke else "full"
+    section = data.setdefault(mode, {})
+    section[phase] = results
+    before, after = section.get("before"), section.get("after")
+    if before and after:
+        section["speedup"] = {
+            "event_throughput": round(
+                after["event_throughput"] / before["event_throughput"], 3
+            ),
+            "crypto_ops": round(after["crypto_ops"] / before["crypto_ops"], 3),
+            "fig3_lan_wall": round(
+                before["fig3_lan"]["wall_s"] / after["fig3_lan"]["wall_s"], 3
+            ),
+        }
+        emit(f"  speedup ({mode})        : {section['speedup']}")
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    emit(f"recorded {mode}/{phase} -> {path}")
+
+
+def check(results: dict, smoke: bool, path: str, tolerance: float, emit=print) -> bool:
+    """Regression gate: compare against the committed baseline.
+
+    The committed numbers come from a different machine, so the baseline
+    is first rescaled by the seed-implementation ratio (same frozen code
+    then and now → any ratio shift is the host, not the repo). After
+    normalization, event throughput may not drop, nor fig3 wall time
+    rise, by more than ``tolerance``.
+    """
+    data = _load(path)
+    mode = "smoke" if smoke else "full"
+    baseline = data.get(mode, {}).get("after")
+    if baseline is None:
+        emit(f"ERROR: no committed {mode}/after baseline in {path}")
+        return False
+    host_scale = results["seed_event_throughput"] / baseline["seed_event_throughput"]
+    emit(f"  host speed vs baseline host: ×{host_scale:.3f} (seed-impl calibration)")
+    ok = True
+    expected_events = baseline["event_throughput"] * host_scale
+    floor = expected_events * (1.0 - tolerance)
+    emit(f"  event throughput: {results['event_throughput']:,.0f} vs "
+         f"normalized baseline {expected_events:,.0f} (floor {floor:,.0f})")
+    if results["event_throughput"] < floor:
+        emit("  FAIL: event throughput regressed beyond tolerance")
+        ok = False
+    expected_wall = baseline["fig3_lan"]["wall_s"] / host_scale
+    ceiling = expected_wall * (1.0 + tolerance)
+    emit(f"  fig3-LAN wall: {results['fig3_lan']['wall_s']:.2f}s vs "
+         f"normalized baseline {expected_wall:.2f}s (ceiling {ceiling:.2f}s)")
+    if results["fig3_lan"]["wall_s"] > ceiling:
+        emit("  FAIL: fig3-LAN wall time regressed beyond tolerance")
+        ok = False
+    emit("perf check: " + ("OK" if ok else "REGRESSION DETECTED"))
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized workloads (~10s total)")
+    parser.add_argument("--record", choices=("before", "after"),
+                        help="write results into the JSON under this phase")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline; "
+                             "exit 1 on regression beyond --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression for --check")
+    parser.add_argument("--json", default=DEFAULT_OUTPUT,
+                        help=f"baseline JSON path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--out",
+                        help="also write this run's raw measurements to PATH "
+                             "(CI artifact; the committed baseline is untouched)")
+    args = parser.parse_args(argv)
+
+    results = measure(smoke=args.smoke)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump({"smoke" if args.smoke else "full": results},
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.record:
+        record(results, args.record, args.smoke, args.json)
+    if args.check:
+        if not check(results, args.smoke, args.json, args.tolerance):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

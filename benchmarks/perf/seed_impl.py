@@ -1,0 +1,264 @@
+"""Frozen seed-state reference implementations of the hot paths.
+
+This module is a verbatim-behavior copy of ``repro.simnet.engine`` and the
+``repro.crypto`` fast path **as they stood before the hot-path overhaul**
+(PR 5). It exists for two reasons:
+
+1. **Executable spec.** The determinism property tests
+   (``tests/test_perf_determinism.py``) replay identical workloads through
+   the seed engine and the live engine and assert event-for-event identical
+   firing order — including same-``(time, priority)`` ties — so the
+   ``__slots__`` event, heap compaction and periodic-timer re-arming can
+   never silently reorder a simulation.
+
+2. **Host-speed calibration.** Raw events/sec numbers are meaningless
+   across machines, so the CI perf gate (``perf_core.py --check``) measures
+   the *ratio* of the live implementation to this frozen one on the same
+   host in the same process, and compares that ratio against the one
+   committed in ``BENCH_core.json``. A >25% drop in the ratio is a real
+   code regression, not a slower runner.
+
+Do not "fix" or optimize this file; it is intentionally the old code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+import random
+import struct
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["SeedSimulator", "SeedTimer", "SeedFastCrypto", "seed_encode", "seed_digest"]
+
+
+# ----------------------------------------------------------------------
+# Seed event loop (dataclass-ordered events, fresh closure per tick)
+# ----------------------------------------------------------------------
+@dataclass(order=True)
+class _SeedEvent:
+    time: float
+    priority: int
+    seq: int
+    action: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class SeedTimer:
+    def __init__(self, event: _SeedEvent, simulator: "SeedSimulator") -> None:
+        self._event = event
+        self._simulator = simulator
+
+    @property
+    def fire_at(self) -> float:
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled and self._event.time >= self._simulator.now
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+
+class SeedSimulator:
+    """The seed-state engine: ``@dataclass(order=True)`` events, no heap
+    compaction, and a fresh closure + heap entry per periodic tick."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.now: float = 0.0
+        self._queue: list[_SeedEvent] = []
+        self._seq = itertools.count()
+        self._rngs: dict[str, random.Random] = {}
+        self._events_processed = 0
+        self._stopped = False
+
+    def rng(self, name: str) -> random.Random:
+        if name not in self._rngs:
+            self._rngs[name] = random.Random(f"{self.seed}/{name}")
+        return self._rngs[name]
+
+    def schedule(self, delay: float, action: Callable[..., None], *args: Any,
+                 priority: int = 0) -> SeedTimer:
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, action, *args, priority=priority)
+
+    def schedule_at(self, when: float, action: Callable[..., None], *args: Any,
+                    priority: int = 0) -> SeedTimer:
+        if when < self.now:
+            raise ValueError(f"cannot schedule at {when} (now={self.now})")
+        event = _SeedEvent(when, priority, next(self._seq), action, args)
+        heapq.heappush(self._queue, event)
+        return SeedTimer(event, self)
+
+    def call_every(self, interval: float, action: Callable[..., None], *args: Any,
+                   first_delay: Optional[float] = None, jitter: float = 0.0,
+                   rng_name: str = "periodic") -> Callable[[], None]:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        stopped = {"value": False}
+        rng = self.rng(rng_name)
+
+        def fire() -> None:
+            if stopped["value"]:
+                return
+            action(*args)
+            if not stopped["value"]:
+                self.schedule(interval + (rng.random() * jitter), fire)
+
+        delay = first_delay if first_delay is not None else interval
+        self.schedule(delay + (rng.random() * jitter), fire)
+
+        def stop() -> None:
+            stopped["value"] = True
+
+        return stop
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def step(self) -> bool:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.action(*event.args)
+            self._events_processed += 1
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        self._stopped = False
+        count = 0
+        while not self._stopped and self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                return
+
+    def run_until(self, when: float) -> None:
+        if when < self.now:
+            raise ValueError(f"cannot run backwards to {when} (now={self.now})")
+        self._stopped = False
+        while not self._stopped and self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > when:
+                break
+            self.step()
+        if not self._stopped:
+            self.now = when
+
+    def run_for(self, duration: float) -> None:
+        self.run_until(self.now + duration)
+
+
+# ----------------------------------------------------------------------
+# Seed crypto fast path (no caches: every call re-encodes and re-derives)
+# ----------------------------------------------------------------------
+def _seed_encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif isinstance(value, int):
+        data = str(value).encode()
+        out += b"i" + len(data).to_bytes(4, "big") + data
+    elif isinstance(value, float):
+        out += b"f" + struct.pack(">d", value)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out += b"s" + len(data).to_bytes(4, "big") + data
+    elif isinstance(value, bytes):
+        out += b"b" + len(value).to_bytes(4, "big") + value
+    elif isinstance(value, (tuple, list)):
+        out += b"l" + len(value).to_bytes(4, "big")
+        for item in value:
+            _seed_encode_into(item, out)
+    elif isinstance(value, frozenset):
+        items = sorted(seed_encode(item) for item in value)
+        out += b"S" + len(items).to_bytes(4, "big")
+        for item in items:
+            out += len(item).to_bytes(4, "big") + item
+    elif isinstance(value, dict):
+        items = sorted((seed_encode(k), v) for k, v in value.items())
+        out += b"d" + len(items).to_bytes(4, "big")
+        for key_bytes, item in items:
+            out += len(key_bytes).to_bytes(4, "big") + key_bytes
+            _seed_encode_into(item, out)
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        name = cls.__name__.encode()
+        field_names = tuple(f.name for f in dataclasses.fields(value))
+        out += b"D" + len(name).to_bytes(2, "big") + name
+        out += len(field_names).to_bytes(4, "big")
+        for field_name in field_names:
+            _seed_encode_into(field_name, out)
+            _seed_encode_into(getattr(value, field_name), out)
+    else:
+        raise TypeError(f"cannot canonically encode {type(value).__name__}")
+
+
+def seed_encode(value: Any) -> bytes:
+    out = bytearray()
+    _seed_encode_into(value, out)
+    return bytes(out)
+
+
+def seed_digest(value: Any) -> str:
+    return hashlib.sha256(seed_encode(value)).hexdigest()
+
+
+@dataclass(frozen=True)
+class SeedSignature:
+    signer: str
+    value: Any
+
+
+class SeedFastCrypto:
+    """Seed-state ``FastCrypto`` subset: secrets re-derived per call,
+    messages re-encoded per call, no tag memoization."""
+
+    def __init__(self, seed: str = "fast") -> None:
+        self.seed = seed
+
+    def _secret(self, *parts: str) -> bytes:
+        return hashlib.sha256("/".join((self.seed,) + parts).encode()).digest()
+
+    def sign(self, signer: str, message: Any) -> SeedSignature:
+        tag = hashlib.sha256(
+            self._secret("sig", signer) + seed_encode(message)
+        ).hexdigest()
+        return SeedSignature(signer, tag)
+
+    def verify(self, signature: SeedSignature, message: Any) -> bool:
+        return self.sign(signature.signer, message).value == signature.value
+
+    def mac(self, src: str, dst: str, message: Any) -> bytes:
+        lo, hi = sorted((src, dst))
+        return hashlib.sha256(
+            self._secret("mac", lo, hi) + seed_encode(message)
+        ).digest()
+
+    def check_mac(self, src: str, dst: str, message: Any, tag: bytes) -> bool:
+        import hmac as hmac_module
+
+        return hmac_module.compare_digest(self.mac(src, dst, message), tag)

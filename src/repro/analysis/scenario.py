@@ -41,6 +41,7 @@ class ScenarioReport:
         events_processed: Optional[int] = None,
         cdf_marks: Sequence[float] = DEFAULT_CDF_MARKS,
         extra: Optional[Dict[str, Any]] = None,
+        wall_runtime_s: Optional[float] = None,
     ) -> None:
         self.obs = obs
         self.title = title
@@ -48,6 +49,7 @@ class ScenarioReport:
         self.events_processed = events_processed
         self.cdf_marks = tuple(cdf_marks)
         self.extra = dict(extra or {})
+        self.wall_runtime_s = wall_runtime_s
 
     @classmethod
     def from_deployment(
@@ -66,7 +68,15 @@ class ScenarioReport:
             events_processed=deployment.simulator.events_processed,
             cdf_marks=cdf_marks,
             extra=extra,
+            wall_runtime_s=getattr(deployment, "wall_runtime_s", None),
         )
+
+    @property
+    def events_per_sec(self) -> Optional[float]:
+        """Simulated events executed per host wall-clock second."""
+        if not self.wall_runtime_s or self.events_processed is None:
+            return None
+        return self.events_processed / self.wall_runtime_s
 
     # ------------------------------------------------------------------
     # Typed accessors
@@ -96,6 +106,13 @@ class ScenarioReport:
                 for tracker in self._by_kind("latency")
             },
         }
+        if not deterministic_only and self.wall_runtime_s is not None:
+            # host-dependent timing stays out of deterministic-only dumps
+            # (which are diffed/fingerprinted across hosts)
+            data["wall_runtime_s"] = round(self.wall_runtime_s, 4)
+            rate = self.events_per_sec
+            if rate is not None:
+                data["events_per_sec"] = round(rate, 1)
         data.update(self.obs.snapshot(deterministic_only))
         if self.extra:
             data["extra"] = self.extra
@@ -118,6 +135,12 @@ class ScenarioReport:
             if self.events_processed is not None:
                 summary += f" in {self.events_processed} events"
             out(summary)
+        if self.wall_runtime_s:
+            rate = self.events_per_sec
+            line = f"wall clock: {self.wall_runtime_s:.2f} s"
+            if rate is not None:
+                line += f" ({rate:,.0f} events/s)"
+            out(line)
 
         trackers = self._by_kind("latency")
         for tracker in trackers:

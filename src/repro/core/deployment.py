@@ -18,6 +18,7 @@ fully described by (options, seed) and is exactly reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..crypto.provider import CryptoProvider, FastCrypto, RealCrypto, TimedCrypto
@@ -208,6 +209,7 @@ class SpireDeployment:
     ) -> None:
         self.options = (options or SpireOptions()).validate()
         opts = self.options
+        self.wall_runtime_s = 0.0
         self.simulator = Simulator(seed=opts.seed)
         self.network = Network(self.simulator, LinkSpec(latency_ms=0.2, jitter_ms=0.05))
         self.trace = EventLog(now_fn=lambda: self.simulator.now)
@@ -411,7 +413,11 @@ class SpireDeployment:
             self.recovery_scheduler.start()
 
     def run_for(self, duration_ms: float) -> None:
+        started = perf_counter()
         self.simulator.run_for(duration_ms)
+        # cumulative host wall-clock spent simulating — scenario reports
+        # surface it (with events/sec) outside the deterministic sections
+        self.wall_runtime_s += perf_counter() - started
 
     # ------------------------------------------------------------------
     # Introspection helpers used by benchmarks

@@ -104,7 +104,9 @@ class SpireReplica(PrimeNode):
                 if cached is not None:
                     self.transport.send(update.client, cached, size_bytes=350)
             return
-        super().on_message(src, payload)
+        # already unwrapped above — hand the inner payload straight to the
+        # runtime instead of re-unwrapping via super().on_message
+        self.runtime.receive_unwrapped(inner)
 
     # ------------------------------------------------------------------
     # Outgoing deliveries

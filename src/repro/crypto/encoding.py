@@ -16,67 +16,197 @@ from __future__ import annotations
 
 import dataclasses
 import struct
-from typing import Any
+from hashlib import sha256 as _sha256
+from typing import Any, Dict, Optional, Tuple
 
-__all__ = ["encode", "encode_cached", "digest", "EncodingError"]
-
-#: per-class dataclass field tuples (dataclasses.fields is surprisingly hot)
-_FIELDS_CACHE: dict = {}
-
+__all__ = [
+    "encode",
+    "encode_cached",
+    "encode_cache_stats",
+    "digest",
+    "EncodingError",
+    "IdentityMemo",
+]
 
 class EncodingError(TypeError):
     """Raised when a value outside the supported domain is encoded."""
 
 
-def _encode_into(value: Any, out: bytearray) -> None:
-    if value is None:
-        out += b"N"
-    elif value is True:
-        out += b"T"
-    elif value is False:
-        out += b"F"
-    elif isinstance(value, int):
-        data = str(value).encode()
-        out += b"i" + len(data).to_bytes(4, "big") + data
-    elif isinstance(value, float):
-        out += b"f" + struct.pack(">d", value)
-    elif isinstance(value, str):
+_PACK_D = struct.Struct(">d").pack
+
+#: exact-type -> encoder function; the per-value isinstance ladder the
+#: encoder used to walk was the single hottest code path under profile.
+#: Populated below for the builtin value types and lazily (via
+#: :func:`_resolve_encoder`) for each dataclass the simulation encodes.
+_DISPATCH: Dict[type, Any] = {}
+
+
+def _enc_none(value: Any, out: bytearray) -> None:
+    out += b"N"
+
+
+def _enc_bool(value: Any, out: bytearray) -> None:
+    out += b"T" if value else b"F"
+
+
+def _enc_int(value: Any, out: bytearray) -> None:
+    data = str(value).encode()
+    out += b"i" + len(data).to_bytes(4, "big") + data
+
+
+def _enc_float(value: Any, out: bytearray) -> None:
+    out += b"f" + _PACK_D(value)
+
+
+#: rendered encodings of short strings; process names, message kinds and
+#: field constants recur in nearly every message (bounded, never evicted)
+_STR_BYTES: Dict[str, bytes] = {}
+
+
+def _enc_str(value: Any, out: bytearray) -> None:
+    cached = _STR_BYTES.get(value)
+    if cached is None:
         data = value.encode("utf-8")
-        out += b"s" + len(data).to_bytes(4, "big") + data
+        cached = b"s" + len(data).to_bytes(4, "big") + data
+        if len(value) <= 64 and len(_STR_BYTES) < 4096:
+            _STR_BYTES[value] = cached
+    out += cached
+
+
+def _enc_bytes(value: Any, out: bytearray) -> None:
+    out += b"b" + len(value).to_bytes(4, "big") + value
+
+
+def _enc_seq(value: Any, out: bytearray) -> None:
+    out += b"l" + len(value).to_bytes(4, "big")
+    dispatch = _DISPATCH
+    for item in value:
+        enc = dispatch.get(item.__class__)
+        if enc is None:
+            enc = _resolve_encoder(item)
+        enc(item, out)
+
+
+def _enc_frozenset(value: Any, out: bytearray) -> None:
+    items = sorted(encode(item) for item in value)
+    out += b"S" + len(items).to_bytes(4, "big")
+    for item in items:
+        out += len(item).to_bytes(4, "big") + item
+
+
+def _enc_dict(value: Any, out: bytearray) -> None:
+    items = sorted((encode(k), v) for k, v in value.items())
+    out += b"d" + len(items).to_bytes(4, "big")
+    dispatch = _DISPATCH
+    for key_bytes, item in items:
+        out += len(key_bytes).to_bytes(4, "big") + key_bytes
+        enc = dispatch.get(item.__class__)
+        if enc is None:
+            enc = _resolve_encoder(item)
+        enc(item, out)
+
+
+def _enc_unsupported(value: Any, out: bytearray) -> None:
+    raise EncodingError(f"cannot canonically encode {type(value).__name__}")
+
+
+_DISPATCH.update(
+    {
+        type(None): _enc_none,
+        bool: _enc_bool,
+        int: _enc_int,
+        float: _enc_float,
+        str: _enc_str,
+        bytes: _enc_bytes,
+        tuple: _enc_seq,
+        list: _enc_seq,
+        frozenset: _enc_frozenset,
+        dict: _enc_dict,
+    }
+)
+
+
+def _compile_dataclass_encoder(cls: type) -> Any:
+    """Build an encoder closure for one dataclass.
+
+    The class header and the encoded field *names* are constants per
+    class, so they are rendered to bytes once here; per instance only the
+    field values are walked. The byte layout is identical to encoding
+    ``(class name, field dict)`` value by value.
+    """
+    name = cls.__name__.encode()
+    field_names = tuple(f.name for f in dataclasses.fields(cls))
+    header = bytearray()
+    header += b"D" + len(name).to_bytes(2, "big") + name
+    header += len(field_names).to_bytes(4, "big")
+    header = bytes(header)
+    fields = []
+    for field_name in field_names:
+        prefix = bytearray()
+        _enc_str(field_name, prefix)
+        fields.append((bytes(prefix), field_name))
+    fields = tuple(fields)
+
+    def enc(value: Any, out: bytearray) -> None:
+        # a nested dataclass that was already encode_cached (a signed
+        # payload inside its envelope, say) appends its cached bytes
+        # instead of re-walking its fields; consult-only, so the memo's
+        # immutability contract is unchanged
+        entry = _ENCODE_MEMO.get(id(value), value)
+        if entry is not None:
+            out += entry[1]
+            return
+        out += header
+        dispatch = _DISPATCH
+        for name_bytes, field_name in fields:
+            out += name_bytes
+            item = getattr(value, field_name)
+            item_enc = dispatch.get(item.__class__)
+            if item_enc is None:
+                item_enc = _resolve_encoder(item)
+            item_enc(item, out)
+
+    return enc
+
+
+def _resolve_encoder(value: Any) -> Any:
+    """Pick (and cache) the encoder for a class missing from _DISPATCH.
+
+    Mirrors the original isinstance ladder — subclasses of the builtin
+    value types encode like their base type, dataclasses are checked
+    last, everything else is an error. The choice depends only on the
+    class, so it is cached for subsequent instances.
+    """
+    cls = value.__class__
+    if isinstance(value, bool):
+        enc = _enc_bool
+    elif isinstance(value, int):
+        enc = _enc_int
+    elif isinstance(value, float):
+        enc = _enc_float
+    elif isinstance(value, str):
+        enc = _enc_str
     elif isinstance(value, bytes):
-        out += b"b" + len(value).to_bytes(4, "big") + value
+        enc = _enc_bytes
     elif isinstance(value, (tuple, list)):
-        out += b"l" + len(value).to_bytes(4, "big")
-        for item in value:
-            _encode_into(item, out)
+        enc = _enc_seq
     elif isinstance(value, frozenset):
-        items = sorted(encode(item) for item in value)
-        out += b"S" + len(items).to_bytes(4, "big")
-        for item in items:
-            out += len(item).to_bytes(4, "big") + item
+        enc = _enc_frozenset
     elif isinstance(value, dict):
-        items = sorted((encode(k), v) for k, v in value.items())
-        out += b"d" + len(items).to_bytes(4, "big")
-        for key_bytes, item in items:
-            out += len(key_bytes).to_bytes(4, "big") + key_bytes
-            _encode_into(item, out)
+        enc = _enc_dict
     elif dataclasses.is_dataclass(value) and not isinstance(value, type):
-        cls = type(value)
-        cached = _FIELDS_CACHE.get(cls)
-        if cached is None:
-            cached = (
-                cls.__name__.encode(),
-                tuple(f.name for f in dataclasses.fields(value)),
-            )
-            _FIELDS_CACHE[cls] = cached
-        name, field_names = cached
-        out += b"D" + len(name).to_bytes(2, "big") + name
-        out += len(field_names).to_bytes(4, "big")
-        for field_name in field_names:
-            _encode_into(field_name, out)
-            _encode_into(getattr(value, field_name), out)
+        enc = _compile_dataclass_encoder(cls)
     else:
-        raise EncodingError(f"cannot canonically encode {type(value).__name__}")
+        enc = _enc_unsupported
+    _DISPATCH[cls] = enc
+    return enc
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    enc = _DISPATCH.get(value.__class__)
+    if enc is None:
+        enc = _resolve_encoder(value)
+    enc(value, out)
 
 
 def encode(value: Any) -> bytes:
@@ -86,29 +216,101 @@ def encode(value: Any) -> bytes:
     return bytes(out)
 
 
-#: identity-keyed encode memo. Protocol messages are immutable (frozen
-#: dataclasses) and the same object is signed once and verified/forwarded
-#: many times, so caching by identity is both safe (the cache holds a
-#: strong reference, preventing id reuse) and very effective.
-_ENCODE_CACHE: "dict[int, tuple[Any, bytes]]" = {}
-_ENCODE_CACHE_CAP = 60_000
+class IdentityMemo:
+    """Two-generation identity-keyed memo.
+
+    Protocol messages are immutable (frozen dataclasses) and the same
+    object is signed once and verified/forwarded many times, so caching
+    derived values by object identity is both safe (each entry holds a
+    strong reference to the keyed object, preventing ``id`` reuse while
+    cached, and every lookup re-checks ``entry[0] is obj``) and very
+    effective.
+
+    Eviction is generational instead of a wholesale ``clear()``: when the
+    hot generation reaches ``cap``, it *becomes* the cold generation (the
+    previous cold one is dropped) and a fresh hot dict starts. A cold hit
+    promotes its entry back into the hot generation, so anything touched
+    within the last generation survives a flush — the seed
+    implementation's epoch clear used to evict entries that were still
+    live and hot, forcing immediate re-encodes of the working set.
+    """
+
+    __slots__ = ("cap", "hot", "cold", "flushes")
+
+    def __init__(self, cap: int = 60_000) -> None:
+        self.cap = cap
+        self.hot: Dict[Any, list] = {}
+        self.cold: Dict[Any, list] = {}
+        self.flushes = 0
+
+    def get(self, key: Any, obj: Any) -> Optional[list]:
+        """The entry for ``key`` if it still belongs to ``obj``, else None.
+
+        Entries are ``[obj, *derived]`` lists; callers own the layout of
+        the derived slots."""
+        entry = self.hot.get(key)
+        if entry is not None and entry[0] is obj:
+            return entry
+        entry = self.cold.get(key)
+        if entry is not None and entry[0] is obj:
+            if len(self.hot) >= self.cap:
+                self.flush()
+            self.hot[key] = entry
+            return entry
+        return None
+
+    def put(self, key: Any, entry: list) -> list:
+        if len(self.hot) >= self.cap:
+            self.flush()
+        self.hot[key] = entry
+        return entry
+
+    def flush(self) -> None:
+        """Age the hot generation to cold; drop the old cold generation."""
+        self.cold = self.hot
+        self.hot = {}
+        self.flushes += 1
+
+    def clear(self) -> None:
+        self.hot = {}
+        self.cold = {}
+
+    def __len__(self) -> int:
+        return len(self.hot) + len(self.cold)
+
+
+#: entry layout: [value, encoded bytes, hex digest | None (lazy)]
+_ENCODE_MEMO = IdentityMemo()
+
+
+def _entry_for(value: Any) -> list:
+    memo = _ENCODE_MEMO
+    key = id(value)
+    entry = memo.get(key, value)
+    if entry is None:
+        entry = memo.put(key, [value, encode(value), None])
+    return entry
 
 
 def encode_cached(value: Any) -> bytes:
     """Like :func:`encode`, memoized by object identity."""
-    key = id(value)
-    hit = _ENCODE_CACHE.get(key)
-    if hit is not None and hit[0] is value:
-        return hit[1]
-    encoded = encode(value)
-    if len(_ENCODE_CACHE) >= _ENCODE_CACHE_CAP:
-        _ENCODE_CACHE.clear()  # simple epoch flush; correctness unaffected
-    _ENCODE_CACHE[key] = (value, encoded)
-    return encoded
+    return _entry_for(value)[1]
 
 
 def digest(value: Any) -> str:
-    """Hex SHA-256 digest of the canonical encoding of ``value``."""
-    import hashlib
+    """Hex SHA-256 digest of the canonical encoding of ``value``.
 
-    return hashlib.sha256(encode_cached(value)).hexdigest()
+    Memoized by object identity alongside the encoding, so the ~86
+    digest/verify call sites across Prime, PBFT, Spines and the proxies
+    hash any given message object exactly once.
+    """
+    entry = _entry_for(value)
+    hexdigest = entry[2]
+    if hexdigest is None:
+        entry[2] = hexdigest = _sha256(entry[1]).hexdigest()
+    return hexdigest
+
+
+def encode_cache_stats() -> Tuple[int, int, int]:
+    """(hot entries, cold entries, flushes) — for tests and diagnostics."""
+    return len(_ENCODE_MEMO.hot), len(_ENCODE_MEMO.cold), _ENCODE_MEMO.flushes

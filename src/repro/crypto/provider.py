@@ -29,7 +29,7 @@ from time import perf_counter as _perf_counter
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Optional, Tuple
 
-from .encoding import encode, encode_cached
+from .encoding import IdentityMemo, encode, encode_cached
 from .rsa import RsaKeyPair, generate_keypair
 from .threshold import (
     PartialSignature,
@@ -120,6 +120,7 @@ class RealCrypto(CryptoProvider):
         self.bits = bits
         self._keys: Dict[str, RsaKeyPair] = {}
         self._groups: Dict[str, Tuple[ThresholdPublicKey, Dict[int, ThresholdKeyShare]]] = {}
+        self._pair_keys: Dict[Tuple[str, str], bytes] = {}
 
     def _keypair(self, principal: str) -> RsaKeyPair:
         if principal not in self._keys:
@@ -139,7 +140,11 @@ class RealCrypto(CryptoProvider):
 
     def _pair_key(self, a: str, b: str) -> bytes:
         lo, hi = sorted((a, b))
-        return hashlib.sha256(f"{self.seed}/mac/{lo}/{hi}".encode()).digest()
+        key = self._pair_keys.get((lo, hi))
+        if key is None:
+            key = hashlib.sha256(f"{self.seed}/mac/{lo}/{hi}".encode()).digest()
+            self._pair_keys[(lo, hi)] = key
+        return key
 
     def mac(self, src: str, dst: str, message: Any) -> bytes:
         return hmac_module.new(self._pair_key(src, dst), encode_cached(message), "sha256").digest()
@@ -204,20 +209,46 @@ class FastCrypto(CryptoProvider):
     def __init__(self, seed: str = "fast") -> None:
         self.seed = seed
         self._groups: Dict[str, Tuple[int, int]] = {}
+        #: derived secrets are pure functions of (seed, parts) — derive once
+        self._secrets: Dict[Tuple[str, ...], bytes] = {}
+        #: identity-keyed tag memo: sign → mac → verify on the same message
+        #: object re-derives nothing. Entry layout [message, tag].
+        self._tags = IdentityMemo()
 
     def _secret(self, *parts: str) -> bytes:
-        return hashlib.sha256("/".join((self.seed,) + parts).encode()).digest()
+        secret = self._secrets.get(parts)
+        if secret is None:
+            secret = hashlib.sha256("/".join((self.seed,) + parts).encode()).digest()
+            self._secrets[parts] = secret
+        return secret
+
+    def _tag(self, kind_key: tuple, message: Any, secret_parts: Tuple[str, ...],
+             hexdigest: bool) -> Any:
+        """Memoized ``sha256(secret || encoding)`` over a message object."""
+        key = kind_key + (id(message),)
+        entry = self._tags.get(key, message)
+        if entry is None:
+            raw = hashlib.sha256(
+                self._secret(*secret_parts) + encode_cached(message)
+            )
+            tag = raw.hexdigest() if hexdigest else raw.digest()
+            entry = self._tags.put(key, [message, tag])
+        return entry[1]
 
     def sign(self, signer: str, message: Any) -> Signature:
-        tag = hashlib.sha256(self._secret("sig", signer) + encode_cached(message)).hexdigest()
-        return Signature(signer, tag)
+        return Signature(
+            signer, self._tag(("sig", signer), message, ("sig", signer), True)
+        )
 
     def verify(self, signature: Signature, message: Any) -> bool:
-        return self.sign(signature.signer, message).value == signature.value
+        tag = self._tag(
+            ("sig", signature.signer), message, ("sig", signature.signer), True
+        )
+        return tag == signature.value
 
     def mac(self, src: str, dst: str, message: Any) -> bytes:
         lo, hi = sorted((src, dst))
-        return hashlib.sha256(self._secret("mac", lo, hi) + encode_cached(message)).digest()
+        return self._tag(("mac", lo, hi), message, ("mac", lo, hi), False)
 
     def check_mac(self, src: str, dst: str, message: Any, tag: bytes) -> bool:
         return hmac_module.compare_digest(self.mac(src, dst, message), tag)
@@ -232,7 +263,25 @@ class FastCrypto(CryptoProvider):
         return self._groups[group]
 
     def _share_value(self, group: str, index: int, data: bytes) -> str:
-        return hashlib.sha256(self._secret("tshare", group, str(index)) + data).hexdigest()
+        # keyed on the encoding's identity: ``data`` comes from
+        # ``encode_cached``, so the same message yields the same bytes
+        # object and combine/verify hit instead of re-hashing per share
+        key = ("tshare", group, index, id(data))
+        entry = self._tags.get(key, data)
+        if entry is None:
+            value = hashlib.sha256(
+                self._secret("tshare", group, str(index)) + data
+            ).hexdigest()
+            entry = self._tags.put(key, [data, value])
+        return entry[1]
+
+    def _combined_value(self, group: str, data: bytes) -> str:
+        key = ("tsig", group, id(data))
+        entry = self._tags.get(key, data)
+        if entry is None:
+            value = hashlib.sha256(self._secret("tsig", group) + data).hexdigest()
+            entry = self._tags.put(key, [data, value])
+        return entry[1]
 
     def threshold_sign_share(self, group: str, index: int, message: Any) -> ThresholdShare:
         players, _ = self._groups[group]
@@ -254,15 +303,12 @@ class FastCrypto(CryptoProvider):
         }
         if len(valid) < threshold:
             return None
-        tag = hashlib.sha256(self._secret("tsig", group) + data).hexdigest()
-        return ThresholdSignature(group, tag)
+        return ThresholdSignature(group, self._combined_value(group, data))
 
     def threshold_verify(self, signature: ThresholdSignature, message: Any) -> bool:
         if signature.group not in self._groups:
             return False
-        tag = hashlib.sha256(
-            self._secret("tsig", signature.group) + encode_cached(message)
-        ).hexdigest()
+        tag = self._combined_value(signature.group, encode_cached(message))
         return signature.value == tag
 
 
@@ -282,35 +328,78 @@ class TimedCrypto(CryptoProvider):
         self.inner = inner
         self._obs = obs
         self._instruments: Dict[str, Tuple[Any, Any]] = {}
+        # per-op (inc, observe) pairs for the four per-message ops,
+        # attached lazily on first call (instruments must not exist
+        # before the op is first used) and inlined into each method to
+        # avoid the _timed frame and varargs packing per call
+        self._sign_pair: Optional[Tuple[Any, Any]] = None
+        self._verify_pair: Optional[Tuple[Any, Any]] = None
+        self._mac_pair: Optional[Tuple[Any, Any]] = None
+        self._check_mac_pair: Optional[Tuple[Any, Any]] = None
 
-    def _timed(self, op: str, fn, *args):
+    def _pair(self, op: str) -> Tuple[Any, Any]:
         pair = self._instruments.get(op)
         if pair is None:
             pair = (
-                self._obs.counter(f"crypto.{op}.calls"),
-                self._obs.histogram(f"crypto.{op}.wall_ms", deterministic=False),
+                self._obs.counter(f"crypto.{op}.calls").inc,
+                self._obs.histogram(f"crypto.{op}.wall_ms", deterministic=False).observe,
             )
             self._instruments[op] = pair
-        counter, hist = pair
-        counter.inc()
+        return pair
+
+    def _timed(self, op: str, fn, *args):
+        inc, observe = self._pair(op)
+        inc()
         started = _perf_counter()
         result = fn(*args)
-        hist.observe((_perf_counter() - started) * 1000.0)
+        observe((_perf_counter() - started) * 1000.0)
         return result
 
     # -- individual signatures -----------------------------------------
     def sign(self, signer: str, message: Any) -> Signature:
-        return self._timed("sign", self.inner.sign, signer, message)
+        pair = self._sign_pair
+        if pair is None:
+            pair = self._sign_pair = self._pair("sign")
+        inc, observe = pair
+        inc()
+        started = _perf_counter()
+        result = self.inner.sign(signer, message)
+        observe((_perf_counter() - started) * 1000.0)
+        return result
 
     def verify(self, signature: Signature, message: Any) -> bool:
-        return self._timed("verify", self.inner.verify, signature, message)
+        pair = self._verify_pair
+        if pair is None:
+            pair = self._verify_pair = self._pair("verify")
+        inc, observe = pair
+        inc()
+        started = _perf_counter()
+        result = self.inner.verify(signature, message)
+        observe((_perf_counter() - started) * 1000.0)
+        return result
 
     # -- link MACs ------------------------------------------------------
     def mac(self, src: str, dst: str, message: Any) -> bytes:
-        return self._timed("mac", self.inner.mac, src, dst, message)
+        pair = self._mac_pair
+        if pair is None:
+            pair = self._mac_pair = self._pair("mac")
+        inc, observe = pair
+        inc()
+        started = _perf_counter()
+        result = self.inner.mac(src, dst, message)
+        observe((_perf_counter() - started) * 1000.0)
+        return result
 
     def check_mac(self, src: str, dst: str, message: Any, tag: bytes) -> bool:
-        return self._timed("check_mac", self.inner.check_mac, src, dst, message, tag)
+        pair = self._check_mac_pair
+        if pair is None:
+            pair = self._check_mac_pair = self._pair("check_mac")
+        inc, observe = pair
+        inc()
+        started = _perf_counter()
+        result = self.inner.check_mac(src, dst, message, tag)
+        observe((_perf_counter() - started) * 1000.0)
+        return result
 
     # -- threshold signatures ------------------------------------------
     def create_threshold_group(self, group: str, players: int, threshold: int) -> None:

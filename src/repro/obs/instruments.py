@@ -169,8 +169,9 @@ class Histogram(_Instrument):
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
-        if len(self.samples) < self.max_samples:
-            self.samples.append(value)
+        samples = self.samples
+        if len(samples) < self.max_samples:
+            samples.append(value)
         else:
             self.overflowed += 1
 

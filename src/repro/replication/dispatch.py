@@ -59,9 +59,11 @@ class Dispatcher:
         self._prefix = metric_prefix
         self._handlers: Dict[type, Handler] = {}
         self._sender_checks: Dict[type, SenderCheck] = {}
-        # per-kind instruments, resolved lazily (once per kind)
-        self._counts: Dict[type, Any] = {}
-        self._timing: Dict[type, Any] = {}
+        # per-kind (check, handler, counter.inc, histogram.observe) route
+        # entries, resolved lazily (once per kind) so the dispatch hot
+        # path does a single dict lookup per message; invalidated by
+        # register() when a handler is rebound
+        self._route: Dict[type, Any] = {}
 
     def register(
         self,
@@ -76,11 +78,14 @@ class Dispatcher:
             self._sender_checks[kind] = sender_check
         else:
             self._sender_checks.pop(kind, None)
+        self._route.pop(kind, None)
 
-    def dispatch(self, signed: SignedMessage) -> None:
-        """Authenticate, route and account one verified envelope."""
-        payload = signed.payload
-        kind = type(payload)
+    def _dispatch_slow(self, signed: SignedMessage, payload: Any) -> None:
+        """First message of a kind: authenticate, route, then cache the
+        route entry. Instruments are created only once a message of the
+        kind actually reaches its handler, matching the lazy behaviour
+        the per-message lookups had."""
+        kind = payload.__class__
         check = self._sender_checks.get(kind)
         if check is not None and not check(payload, signed.signature.signer):
             return
@@ -88,16 +93,33 @@ class Dispatcher:
         if handler is None:
             return
         if not self.obs.enabled:
+            self._route[kind] = (check, handler, None, None)
             handler(signed, payload)
             return
-        counter = self._counts.get(kind)
-        if counter is None:
-            counter = self.obs.counter(f"{self._prefix}.msgs.{kind.__name__}")
-            self._counts[kind] = counter
-            self._timing[kind] = self.obs.histogram(
-                f"{self._prefix}.handler.{kind.__name__}.wall_ms", deterministic=False
-            )
+        counter = self.obs.counter(f"{self._prefix}.msgs.{kind.__name__}")
+        timing = self.obs.histogram(
+            f"{self._prefix}.handler.{kind.__name__}.wall_ms", deterministic=False
+        )
+        self._route[kind] = (check, handler, counter.inc, timing.observe)
         counter.inc()
         started = perf_counter()
         handler(signed, payload)
-        self._timing[kind].observe((perf_counter() - started) * 1000.0)
+        timing.observe((perf_counter() - started) * 1000.0)
+
+    def dispatch(self, signed: SignedMessage) -> None:
+        """Authenticate, route and account one verified envelope."""
+        payload = signed.payload
+        entry = self._route.get(payload.__class__)
+        if entry is None:
+            self._dispatch_slow(signed, payload)
+            return
+        check, handler, inc, observe = entry
+        if check is not None and not check(payload, signed.signature.signer):
+            return
+        if inc is None:
+            handler(signed, payload)
+            return
+        inc()
+        started = perf_counter()
+        handler(signed, payload)
+        observe((perf_counter() - started) * 1000.0)

@@ -145,10 +145,20 @@ class ReplicationRuntime:
         """The body of ``Process.on_message``: unwrap the transport
         envelope, drop anything whose signature does not verify, and
         dispatch the rest."""
-        unwrapped = self.transport.unwrap(payload)
+        unwrapped = self._process.transport.unwrap(payload)
         if unwrapped is not None:
-            _, payload = unwrapped
+            payload = unwrapped[1]
         if isinstance(payload, SignedMessage):
-            if not self.verify(payload):
+            if not self.crypto.verify(payload.signature, payload.payload):
+                return
+            self._process._dispatch(payload)
+
+    def receive_unwrapped(self, payload: Any) -> None:
+        """Like :meth:`receive` for a payload already stripped of its
+        transport envelope — callers that had to unwrap for their own
+        routing (e.g. the SCADA replica's submission path) avoid a second
+        unwrap per message."""
+        if isinstance(payload, SignedMessage):
+            if not self.crypto.verify(payload.signature, payload.payload):
                 return
             self._process._dispatch(payload)

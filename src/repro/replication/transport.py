@@ -47,9 +47,10 @@ class _SendCounters:
             self._sent_bytes = obs.counter(f"{prefix}.sent_bytes")
 
     def _count_send(self, size_bytes: int) -> None:
-        if self._sent is not None:
-            self._sent.inc()
-            self._sent_bytes.inc(size_bytes)
+        sent = self._sent
+        if sent is not None:
+            sent.value += 1
+            self._sent_bytes.value += size_bytes
 
 
 class DirectTransport(_SendCounters, Transport):
@@ -60,7 +61,10 @@ class DirectTransport(_SendCounters, Transport):
         self._bind_obs(obs, "prime.transport.direct")
 
     def send(self, dst: str, payload: Any, size_bytes: int = 256) -> bool:
-        self._count_send(size_bytes)
+        sent = self._sent
+        if sent is not None:
+            sent.value += 1
+            self._sent_bytes.value += size_bytes
         return self._process.send(dst, payload, size_bytes)
 
     def unwrap(self, message: Any) -> Optional[Tuple[str, Any]]:
@@ -75,7 +79,10 @@ class OverlayTransport(_SendCounters, Transport):
         self._bind_obs(obs, "prime.transport.overlay")
 
     def send(self, dst: str, payload: Any, size_bytes: int = 256) -> bool:
-        self._count_send(size_bytes)
+        sent = self._sent
+        if sent is not None:
+            sent.value += 1
+            self._sent_bytes.value += size_bytes
         return self._stack.send(dst, payload, size_bytes=size_bytes)
 
     def unwrap(self, message: Any) -> Optional[Tuple[str, Any]]:

@@ -8,12 +8,13 @@ scripting (:class:`FailureInjector`). Structured event logging lives in
 :mod:`repro.obs` (:class:`~repro.obs.EventLog`).
 """
 
-from .engine import SimulationError, Simulator, Timer
+from .engine import PeriodicTimer, SimulationError, Simulator, Timer
 from .failures import CorruptedPayload, DosAttack, FailureInjector
 from .network import LinkSpec, Network, NetworkStats
 from .node import Process
 
 __all__ = [
+    "PeriodicTimer",
     "SimulationError",
     "Simulator",
     "Timer",

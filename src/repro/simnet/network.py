@@ -12,7 +12,7 @@ the protocols themselves (Prime retransmits, Spines floods).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple, TYPE_CHECKING
 
 from .engine import Simulator
@@ -46,18 +46,44 @@ class LinkSpec:
         return LinkSpec(self.latency_ms, self.jitter_ms, self.loss, self.bandwidth_mbps)
 
 
-@dataclass
 class _LinkState:
-    """Dynamic, attack-modifiable state of a directed link."""
+    """Dynamic, attack-modifiable state of a directed link.
 
-    spec: LinkSpec
-    extra_delay_ms: float = 0.0
-    extra_loss: float = 0.0
-    blocked: bool = False
-    queue_free_at: float = 0.0  # next time the serialization "wire" is free
+    The derived fields (``base_delay_ms``, ``loss``, ``fast``) are
+    recomputed by :meth:`refresh` whenever the spec or the attack state
+    changes, so :meth:`Network.send` decides the clean-LAN fast path —
+    fixed delay, no loss/jitter/bandwidth draws — with one attribute
+    test instead of re-deriving it per message.
+    """
+
+    __slots__ = (
+        "spec", "extra_delay_ms", "extra_loss", "blocked", "queue_free_at",
+        "base_delay_ms", "loss", "fast",
+    )
+
+    def __init__(self, spec: LinkSpec) -> None:
+        self.spec = spec
+        self.extra_delay_ms = 0.0
+        self.extra_loss = 0.0
+        self.blocked = False
+        self.queue_free_at = 0.0  # next time the serialization "wire" is free
+        self.refresh()
+
+    def refresh(self) -> None:
+        spec = self.spec
+        # same expressions send() used to evaluate per message — keep the
+        # float arithmetic identical so delivery times stay bit-identical
+        self.base_delay_ms = spec.latency_ms + self.extra_delay_ms
+        self.loss = min(1.0, spec.loss + self.extra_loss)
+        self.fast = (
+            not self.blocked
+            and self.loss == 0.0
+            and spec.jitter_ms == 0.0
+            and spec.bandwidth_mbps == 0.0
+        )
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Counters kept by the network for reporting."""
 
@@ -82,11 +108,16 @@ class Network:
         self.simulator = simulator
         self.default_link = default_link or LinkSpec()
         self._processes: Dict[str, "Process"] = {}
-        self._links: Dict[Tuple[str, str], _LinkState] = {}
+        # src -> dst -> state: two cached-hash string lookups per send
+        # instead of allocating and hashing a (src, dst) key tuple
+        self._links: Dict[str, Dict[str, _LinkState]] = {}
         self._partitions: list[Tuple[frozenset, frozenset]] = []
         self._filters: list[MessageFilter] = []
         self.stats = NetworkStats()
+        # one shared stream (draw order is part of the determinism
+        # contract); the bound method skips two attribute lookups per draw
         self._rng = simulator.rng("network")
+        self._rng_random = self._rng.random
 
     # ------------------------------------------------------------------
     # Registration and topology
@@ -107,16 +138,21 @@ class Network:
         return self._processes.keys()
 
     def _link(self, src: str, dst: str) -> _LinkState:
-        key = (src, dst)
-        if key not in self._links:
-            self._links[key] = _LinkState(self.default_link.copy())
-        return self._links[key]
+        by_src = self._links.setdefault(src, {})
+        state = by_src.get(dst)
+        if state is None:
+            state = by_src[dst] = _LinkState(self.default_link.copy())
+        return state
 
     def set_link(self, src: str, dst: str, spec: LinkSpec, symmetric: bool = True) -> None:
         """Set the static link spec between two processes."""
-        self._link(src, dst).spec = spec.copy()
+        state = self._link(src, dst)
+        state.spec = spec.copy()
+        state.refresh()
         if symmetric:
-            self._link(dst, src).spec = spec.copy()
+            state = self._link(dst, src)
+            state.spec = spec.copy()
+            state.refresh()
 
     def link_spec(self, src: str, dst: str) -> LinkSpec:
         return self._link(src, dst).spec
@@ -150,11 +186,13 @@ class Network:
         for state in states:
             state.extra_delay_ms += extra_delay_ms
             state.extra_loss = min(1.0, state.extra_loss + extra_loss)
+            state.refresh()
 
         def restore() -> None:
             for state in states:
                 state.extra_delay_ms = max(0.0, state.extra_delay_ms - extra_delay_ms)
                 state.extra_loss = max(0.0, state.extra_loss - extra_loss)
+                state.refresh()
 
         return restore
 
@@ -165,10 +203,12 @@ class Network:
             states.append(self._link(dst, src))
         for state in states:
             state.blocked = True
+            state.refresh()
 
         def unblock() -> None:
             for state in states:
                 state.blocked = False
+                state.refresh()
 
         return unblock
 
@@ -198,36 +238,46 @@ class Network:
         lost); False if it was dropped immediately (partition, filter,
         blocked link, or destination unknown).
         """
-        self.stats.sent += 1
-        self.stats.bytes_sent += size_bytes
+        stats = self.stats
+        stats.sent += 1
+        stats.bytes_sent += size_bytes
         if dst not in self._processes:
-            self.stats.dropped_down += 1
+            stats.dropped_down += 1
             return False
-        if self._partitioned(src, dst):
-            self.stats.dropped_partition += 1
+        if self._partitions and self._partitioned(src, dst):
+            stats.dropped_partition += 1
             return False
-        for fn in self._filters:
-            payload = fn(src, dst, payload)
-            if payload is None:
-                self.stats.dropped_filter += 1
-                return False
-        link = self._link(src, dst)
+        if self._filters:
+            for fn in self._filters:
+                payload = fn(src, dst, payload)
+                if payload is None:
+                    stats.dropped_filter += 1
+                    return False
+        by_src = self._links.get(src)
+        link = by_src.get(dst) if by_src is not None else None
+        if link is None:
+            link = self._link(src, dst)
+        if link.fast:
+            # clean link: fixed delay, no loss/jitter/bandwidth draws
+            self.simulator.post(link.base_delay_ms, self._deliver, src, dst, payload)
+            return True
         if link.blocked:
-            self.stats.dropped_partition += 1
+            stats.dropped_partition += 1
             return False
-        loss = min(1.0, link.spec.loss + link.extra_loss)
-        if loss > 0.0 and self._rng.random() < loss:
-            self.stats.dropped_loss += 1
+        loss = link.loss
+        if loss > 0.0 and self._rng_random() < loss:
+            stats.dropped_loss += 1
             return False
-        delay = link.spec.latency_ms + link.extra_delay_ms
-        if link.spec.jitter_ms > 0.0:
-            delay += self._rng.random() * link.spec.jitter_ms
-        if link.spec.bandwidth_mbps > 0.0:
-            serialize_ms = (size_bytes * 8) / (link.spec.bandwidth_mbps * 1000.0)
+        delay = link.base_delay_ms
+        spec = link.spec
+        if spec.jitter_ms > 0.0:
+            delay += self._rng_random() * spec.jitter_ms
+        if spec.bandwidth_mbps > 0.0:
+            serialize_ms = (size_bytes * 8) / (spec.bandwidth_mbps * 1000.0)
             start = max(self.simulator.now, link.queue_free_at)
             link.queue_free_at = start + serialize_ms
             delay += (start - self.simulator.now) + serialize_ms
-        self.simulator.schedule(delay, self._deliver, src, dst, payload)
+        self.simulator.post(delay, self._deliver, src, dst, payload)
         return True
 
     def inject(self, src: str, dst: str, payload: Any, delay_ms: float = 0.0) -> None:
@@ -238,7 +288,7 @@ class Network:
         a filter and re-introduce copies of it through here, without the
         re-introduced copy being filtered again (which would recurse).
         """
-        self.simulator.schedule(delay_ms, self._deliver, src, dst, payload)
+        self.simulator.post(delay_ms, self._deliver, src, dst, payload)
 
     def _deliver(self, src: str, dst: str, payload: Any) -> None:
         process = self._processes.get(dst)
@@ -246,7 +296,9 @@ class Network:
             self.stats.dropped_down += 1
             return
         self.stats.delivered += 1
-        process.deliver(src, payload)
+        # equivalent to process.deliver(src, payload) — liveness was just
+        # checked, so skip the wrapper and its re-check per message
+        process.on_message(src, payload)
 
     def broadcast(self, src: str, dsts: Iterable[str], payload: Any, size_bytes: int = 256) -> int:
         """Send ``payload`` to every destination; returns count put on wire."""

@@ -32,7 +32,7 @@ link-authenticated here and then handed to it.
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, Optional, Set, Tuple
 
 from ..crypto.provider import CryptoProvider
@@ -105,7 +105,7 @@ class SpinesDaemon(Process):
         self.neighbors: Set[str] = set()          # site names
         self.attached: Set[str] = set()            # endpoint names homed here
         self.endpoint_home: Dict[str, str] = {}    # endpoint -> site (global map)
-        self._seen: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
+        self._seen: Dict[Tuple[str, int], None] = {}
         self._queues: Dict[str, Deque[Tuple[str, OverlayData]]] = {}
         self._queue_order: Deque[str] = deque()
         self._queued_sources: Set[str] = set()     # mirrors _queue_order
@@ -198,41 +198,53 @@ class SpinesDaemon(Process):
 
     def _record_seen(self, data: OverlayData) -> bool:
         """Record (origin, seq); returns False if already seen."""
+        seen = self._seen
         key = (data.origin, data.seq)
-        if key in self._seen:
+        if key in seen:
             return False
-        self._seen[key] = None
-        while len(self._seen) > self.dedup_window:
-            self._seen.popitem(last=False)
+        seen[key] = None
+        if len(seen) > self.dedup_window:
+            # FIFO eviction: plain dicts iterate in insertion order, so
+            # the first key is the oldest (entries are only ever appended)
+            del seen[next(iter(seen))]
         return True
 
     # ------------------------------------------------------------------
     # Routing / delivery
     # ------------------------------------------------------------------
     def _route(self, data: OverlayData, arrived_from: Optional[str]) -> None:
-        def default_action() -> None:
-            self._deliver_local(data)
-            dest_site = self.endpoint_home.get(data.dest)
-            if dest_site is None:
-                return
-            if dest_site == self.site_name and self.routing.name == "shortest":
-                return  # delivered locally; nothing to forward
-            targets = self.routing.forward_targets(
-                self.site_name, dest_site, arrived_from
-            )
-            if targets and not self._admit(data):
-                self._count_drop("ratelimit")
-                return
-            for neighbor in targets:
-                self._enqueue_forward(neighbor, data)
-
         if self._behavior is not None:
+            def default_action() -> None:
+                self._route_default(data, arrived_from)
+
             before = self.stats["forwarded"] + self.stats["delivered"]
             self._behavior(data, default_action)
             if self.stats["forwarded"] + self.stats["delivered"] == before:
                 self._count_drop("behavior")
         else:
-            default_action()
+            # no byzantine behavior installed (the common case): route
+            # directly, skipping the per-message closure allocation
+            self._route_default(data, arrived_from)
+
+    def _route_default(self, data: OverlayData, arrived_from: Optional[str]) -> None:
+        self._deliver_local(data)
+        if not self.neighbors:
+            # isolated (single-site) daemon: routing can only ever return
+            # an empty target set, so skip the strategy call per message
+            return
+        dest_site = self.endpoint_home.get(data.dest)
+        if dest_site is None:
+            return
+        if dest_site == self.site_name and self.routing.name == "shortest":
+            return  # delivered locally; nothing to forward
+        targets = self.routing.forward_targets(
+            self.site_name, dest_site, arrived_from
+        )
+        if targets and not self._admit(data):
+            self._count_drop("ratelimit")
+            return
+        for neighbor in targets:
+            self._enqueue_forward(neighbor, data)
 
     def _deliver_local(self, data: OverlayData) -> None:
         if data.dest in self.attached:

@@ -14,7 +14,18 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+# The four data-path wrappers below are created for every application
+# message crossing the overlay, which puts their constructors on the
+# simulation hot path. They are treated as immutable after construction
+# (the crypto layer memoizes MACs and encodings by object identity) but
+# are deliberately *not* ``frozen=True``: a frozen dataclass pays an
+# ``object.__setattr__`` call per field on construction, several times
+# the cost of a plain attribute store. ``slots=True`` keeps instances
+# compact and attribute access fast. OverlayHello stays frozen — it is
+# control-plane rate, not data rate.
+
+
+@dataclass(slots=True)
 class OverlayData:
     """An end-to-end overlay datagram.
 
@@ -33,14 +44,14 @@ class OverlayData:
     sent_at: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class OverlayIngress:
     """Endpoint -> home daemon: please route this datagram."""
 
     data: OverlayData
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class OverlayForward:
     """Daemon -> neighbor daemon, authenticated by a per-link MAC."""
 
@@ -53,7 +64,7 @@ class OverlayForward:
     sent_at: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class OverlayDeliver:
     """Destination daemon -> attached endpoint."""
 

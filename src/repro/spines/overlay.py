@@ -38,28 +38,28 @@ class OverlayStack:
         self._endpoint = endpoint
         self.site = site
         self._seq = 0
-
-    @property
-    def daemon_name(self) -> str:
-        return SpinesDaemon.daemon_name(self.site)
+        # send() runs once per outbound app message; resolve the loop
+        # invariants here instead of per call
+        self.daemon_name = SpinesDaemon.daemon_name(site)
+        self._origin = endpoint.name
+        self._endpoint_send = endpoint.send
+        self._obs_enabled = overlay.obs.enabled
+        self._simulator = overlay.simulator
 
     def send(self, dest_endpoint: str, payload: Any, size_bytes: int = 256,
              priority: int = 0) -> bool:
         """Send ``payload`` to another overlay endpoint by name."""
         self._seq += 1
         data = OverlayData(
-            origin=self._endpoint.name,
-            dest=dest_endpoint,
-            seq=self._seq,
-            payload=payload,
-            size_bytes=size_bytes,
-            priority=priority,
-            sent_at=(
-                self._overlay.simulator.now
-                if self._overlay.obs.enabled else 0.0
-            ),
+            self._origin,
+            dest_endpoint,
+            self._seq,
+            payload,
+            size_bytes,
+            priority,
+            self._simulator.now if self._obs_enabled else 0.0,
         )
-        return self._endpoint.send(self.daemon_name, OverlayIngress(data),
+        return self._endpoint_send(self.daemon_name, OverlayIngress(data),
                                    size_bytes=size_bytes)
 
     @staticmethod
