@@ -21,6 +21,7 @@ from .monitors import (
     BoundedDelayMonitor,
     ProxyGateMonitor,
     QuorumAvailabilityMonitor,
+    QuorumFloorMonitor,
     RerouteBoundMonitor,
     SafetyMonitor,
     Violation,
@@ -45,6 +46,7 @@ __all__ = [
     "SafetyMonitor",
     "ProxyGateMonitor",
     "QuorumAvailabilityMonitor",
+    "QuorumFloorMonitor",
     "BoundedDelayMonitor",
     "RerouteBoundMonitor",
     "Violation",

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..attacks.dos import LeaderChaser
+from ..control import ControlOptions
 from ..core.deployment import SpireDeployment, SpireOptions
 from ..crypto.encoding import digest
 from ..obs import (
@@ -37,6 +38,7 @@ from .monitors import (
     BoundedDelayMonitor,
     ProxyGateMonitor,
     QuorumAvailabilityMonitor,
+    QuorumFloorMonitor,
     RerouteBoundMonitor,
     SafetyMonitor,
     Violation,
@@ -80,6 +82,13 @@ class ChaosOptions:
     prime_preset: str = "wan"
     #: (period_ms, duration_ms); None disables proactive recovery
     proactive_recovery: Optional[Tuple[float, float]] = (4000.0, 500.0)
+    #: run proactive recovery under the ``repro.control`` feedback
+    #: controller (default-off: the periodic schedule, bit-identical)
+    feedback_control: bool = False
+    #: controller knob overrides, serialized with the scenario; None with
+    #: ``feedback_control=True`` uses :class:`~repro.control.ControlOptions`
+    #: defaults
+    control_overrides: Optional[Dict[str, Any]] = None
     #: bounded-delay watchdog: max gap between verified deliveries in a
     #: quiet interval (generous: covers resubmit backoff + one view change)
     max_delivery_gap_ms: float = 2000.0
@@ -149,6 +158,12 @@ class ChaosEngine:
     # ------------------------------------------------------------------
     def run(self) -> ChaosResult:
         opts = self.options
+        control: Optional[ControlOptions] = None
+        if opts.feedback_control:
+            control = (
+                ControlOptions.from_dict(opts.control_overrides)
+                if opts.control_overrides is not None else ControlOptions()
+            )
         deployment = SpireDeployment(SpireOptions(
             f=opts.f,
             k=opts.k,
@@ -162,6 +177,7 @@ class ChaosEngine:
             prime_preset=opts.prime_preset,
             seed=opts.seed,
             proactive_recovery=opts.proactive_recovery,
+            control=control,
         ))
         replica_names = deployment.replica_names()
         endpoints = [deployment.proxy.name] + [h.name for h in deployment.hmis]
@@ -196,6 +212,10 @@ class ChaosEngine:
             min_live=deployment.prime_config.quorum,
         )
         quorum.attach(deployment.recovery_scheduler)
+        floor = QuorumFloorMonitor(
+            deployment.simulator, deployment.replicas, f=opts.f, k=opts.k,
+        )
+        floor.attach(deployment.recovery_scheduler)
         watchdog = BoundedDelayMonitor(
             deployment.simulator, max_gap_ms=opts.max_delivery_gap_ms,
         )
@@ -204,7 +224,7 @@ class ChaosEngine:
             reroute = RerouteBoundMonitor(
                 deployment.simulator, bound_ms=opts.reroute_bound_ms,
             )
-        monitors = [safety, gate, quorum, watchdog]
+        monitors = [safety, gate, quorum, floor, watchdog]
         if reroute is not None:
             monitors.append(reroute)
         for monitor in monitors:
@@ -240,6 +260,7 @@ class ChaosEngine:
         violations.sort(key=lambda v: (v.time_ms, v.monitor, v.kind))
 
         stats = self._stats(deployment, safety, gate, quorum, watchdog)
+        stats["floor_rejuvenations_checked"] = floor.rejuvenations_checked
         if reroute is not None:
             stats["reroute_faults_checked"] = reroute.faults_checked
             if deployment.overlay.control_plane is not None:

@@ -41,6 +41,7 @@ __all__ = [
     "SafetyMonitor",
     "ProxyGateMonitor",
     "QuorumAvailabilityMonitor",
+    "QuorumFloorMonitor",
     "BoundedDelayMonitor",
     "RerouteBoundMonitor",
 ]
@@ -276,6 +277,57 @@ class QuorumAvailabilityMonitor(_BaseMonitor):
         live = self.live_count
         self.min_live_seen = min(self.min_live_seen, live)
         self.timeline.append((self.simulator.now, live))
+
+
+class QuorumFloorMonitor(_BaseMonitor):
+    """No recovery *strategy* ever rejuvenates below the ``2f+k+1`` floor.
+
+    Strategy-agnostic sibling of :class:`QuorumAvailabilityMonitor`: the
+    floor is computed independently from the resilience parameters (so a
+    misconfigured ``min_live`` is caught, not trusted), and the hook wraps
+    whatever :class:`~repro.core.recovery.RecoveryStrategy` the deployment
+    runs — periodic rotation or the ``repro.control`` feedback controller.
+    Every strategy-initiated rejuvenation start is checked: beginning one
+    with ``live - 1 < 2f+k+1`` is a violation (the strategy must defer).
+    """
+
+    name = "quorum-floor"
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        replicas: Sequence[Process],
+        f: int,
+        k: int,
+    ) -> None:
+        super().__init__(simulator)
+        self.replicas = list(replicas)
+        #: the ordering quorum — the paper's hard availability floor
+        self.floor = 2 * f + k + 1
+        self.rejuvenations_checked = 0
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for replica in self.replicas if replica.is_up)
+
+    def attach(self, strategy: Optional[Any]) -> None:
+        if strategy is None:
+            return
+        begin = strategy._begin
+
+        def floor_checked_begin(replica):
+            self.rejuvenations_checked += 1
+            if self.live_count - 1 < self.floor:
+                self._flag(
+                    "recovery-below-floor",
+                    replica=replica.name,
+                    live=self.live_count,
+                    floor=self.floor,
+                    strategy=type(strategy).__name__,
+                )
+            begin(replica)
+
+        strategy._begin = floor_checked_begin
 
 
 class BoundedDelayMonitor(_BaseMonitor):

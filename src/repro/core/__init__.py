@@ -23,7 +23,11 @@ from .hmi import HmiClient
 from ..obs import LatencyStats
 from .master import Alarm, ScadaMasterApp
 from .proxy import DeviceBinding, RtuProxy
-from .recovery import ProactiveRecoveryScheduler
+from .recovery import (
+    PeriodicStrategy,
+    ProactiveRecoveryScheduler,
+    RecoveryStrategy,
+)
 from .replica import THRESHOLD_GROUP, SpireReplica
 from .update import (
     BreakerCommand,
@@ -52,7 +56,9 @@ __all__ = [
     "LatencyStats",
     "DeviceBinding",
     "RtuProxy",
+    "PeriodicStrategy",
     "ProactiveRecoveryScheduler",
+    "RecoveryStrategy",
     "THRESHOLD_GROUP",
     "SpireReplica",
     "BreakerCommand",

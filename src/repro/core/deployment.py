@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..crypto.provider import CryptoProvider, FastCrypto, RealCrypto, TimedCrypto
 from ..obs import (
@@ -40,8 +40,11 @@ from .diversity import DiversityManager
 from .hmi import HmiClient
 from .master import ScadaMasterApp
 from .proxy import DeviceBinding, RtuProxy
-from .recovery import ProactiveRecoveryScheduler
+from .recovery import ProactiveRecoveryScheduler, RecoveryStrategy
 from .replica import THRESHOLD_GROUP, SpireReplica
+
+if TYPE_CHECKING:  # repro.control imports this module; keep the cycle lazy
+    from ..control import ControlOptions
 
 __all__ = ["SpireOptions", "SpireDeployment"]
 
@@ -81,6 +84,11 @@ class SpireOptions:
     seed: int = 1
     #: (period_ms, duration_ms) to enable proactive recovery
     proactive_recovery: Optional[Tuple[float, float]] = None
+    #: adaptive recovery: a :class:`~repro.control.ControlOptions` switches
+    #: proactive recovery from the fixed periodic rotation to the
+    #: feedback controller (``repro.control``); None (the default) keeps
+    #: the bit-identical periodic schedule
+    control: Optional[ControlOptions] = None
     checkpoint_interval_seqs: int = 50
     #: False disables the entire observability layer (metrics, spans,
     #: structured events): the deployment's ``obs`` is the shared no-op
@@ -187,6 +195,15 @@ class SpireOptions:
                     f"shorter than the period ({period_ms}ms), or replicas "
                     f"re-crash before finishing recovery"
                 )
+        if self.control is not None:
+            if self.proactive_recovery is None:
+                raise ValueError(
+                    "control (the feedback recovery controller) requires "
+                    "proactive_recovery=(period_ms, duration_ms): the "
+                    "controller needs the recovery duration and a fallback "
+                    "period"
+                )
+            self.control.validate()
         return self
 
 
@@ -256,13 +273,10 @@ class SpireDeployment:
         self._build_field()
         self._build_hmis()
         self._wire()
-        self.recovery_scheduler: Optional[ProactiveRecoveryScheduler] = None
+        self.recovery_scheduler: Optional[RecoveryStrategy] = None
         if opts.proactive_recovery is not None:
             period_ms, duration_ms = opts.proactive_recovery
-            self.recovery_scheduler = ProactiveRecoveryScheduler(
-                self.simulator,
-                list(self.replicas),
-                period_ms=period_ms,
+            common = dict(
                 recovery_duration_ms=duration_ms,
                 max_concurrent=opts.k if opts.k > 0 else 1,
                 trace=self.trace,
@@ -270,6 +284,37 @@ class SpireDeployment:
                 on_rejuvenate=lambda r: self.diversity.rejuvenate(r.name),
                 min_live=self.prime_config.quorum,
             )
+            if opts.control is not None:
+                from ..control import FeedbackStrategy, SignalHub
+
+                # the controller senses through obs; with observability
+                # disabled there is no hub and the strategy degrades to
+                # its periodic fallback rotation
+                hub = None
+                if opts.observability:
+                    hub = SignalHub(
+                        self.trace,
+                        self.replicas,
+                        self.replica_sites,
+                        self.prime_config.leader_of_view,
+                        registry=self.obs.registry,
+                        lag_threshold_seqs=opts.control.lag_threshold_seqs,
+                    )
+                self.recovery_scheduler = FeedbackStrategy(
+                    self.simulator,
+                    list(self.replicas),
+                    period_ms=period_ms,
+                    control=opts.control,
+                    hub=hub,
+                    **common,
+                )
+            else:
+                self.recovery_scheduler = ProactiveRecoveryScheduler(
+                    self.simulator,
+                    list(self.replicas),
+                    period_ms=period_ms,
+                    **common,
+                )
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -32,11 +32,14 @@ from .events import (
     COMP_CAMPAIGN,
     COMP_CHAOS,
     COMP_OVERLAY,
+    COMP_RECOVERY_CONTROLLER,
     COMP_RECOVERY_SCHEDULER,
     # event kinds
     EV_CHECKPOINT_STABLE,
     EV_COMMAND_TO_FIELD,
     EV_COMPROMISED,
+    EV_CONTROL_DECISION,
+    EV_CONTROL_FALLBACK,
     EV_EQUIVOCATION,
     EV_EVICTED,
     EV_FAULT_SCHEDULED,
@@ -91,10 +94,13 @@ __all__ = [
     "COMP_CAMPAIGN",
     "COMP_CHAOS",
     "COMP_OVERLAY",
+    "COMP_RECOVERY_CONTROLLER",
     "COMP_RECOVERY_SCHEDULER",
     "EV_CHECKPOINT_STABLE",
     "EV_COMMAND_TO_FIELD",
     "EV_COMPROMISED",
+    "EV_CONTROL_DECISION",
+    "EV_CONTROL_FALLBACK",
     "EV_EQUIVOCATION",
     "EV_EVICTED",
     "EV_FAULT_SCHEDULED",

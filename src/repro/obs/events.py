@@ -24,8 +24,11 @@ __all__ = [
     "COMP_CAMPAIGN",
     "COMP_CHAOS",
     "COMP_OVERLAY",
+    "COMP_RECOVERY_CONTROLLER",
     "COMP_RECOVERY_SCHEDULER",
     "EV_CHECKPOINT_STABLE",
+    "EV_CONTROL_DECISION",
+    "EV_CONTROL_FALLBACK",
     "EV_COMMAND_TO_FIELD",
     "EV_COMPROMISED",
     "EV_EQUIVOCATION",
@@ -54,6 +57,7 @@ __all__ = [
 # Canonical components (emitters that are not a named process)
 # ----------------------------------------------------------------------
 COMP_RECOVERY_SCHEDULER = "recovery-scheduler"
+COMP_RECOVERY_CONTROLLER = "recovery-controller"
 COMP_CAMPAIGN = "campaign"
 COMP_CHAOS = "chaos"
 COMP_OVERLAY = "overlay"
@@ -82,6 +86,12 @@ EV_PBFT_NEW_VIEW = "pbft-new-view"
 EV_REJUVENATE_DEFERRED = "rejuvenate-deferred"
 EV_REJUVENATE_START = "rejuvenate-start"
 EV_REJUVENATE_DONE = "rejuvenate-done"
+
+# ----------------------------------------------------------------------
+# Adaptive recovery controller events (repro.control, feedback strategy)
+# ----------------------------------------------------------------------
+EV_CONTROL_DECISION = "control-decision"
+EV_CONTROL_FALLBACK = "control-fallback"
 
 # ----------------------------------------------------------------------
 # Endpoint / field events

@@ -96,6 +96,22 @@ def test_stop_halts_rotation():
     assert scheduler.recoveries_started == 1
 
 
+def test_start_twice_does_not_leak_previous_timer():
+    sim, net, replicas = build()
+    scheduler = ProactiveRecoveryScheduler(
+        sim, replicas, period_ms=100.0, recovery_duration_ms=10.0
+    )
+    scheduler.start()
+    scheduler.start()  # must replace the first timer, not add a second
+    sim.run_for(650)
+    # with the leaked timer two rotations would run interleaved,
+    # doubling the count (12) within the same window
+    assert scheduler.recoveries_started == 6
+    scheduler.stop()
+    sim.run_for(1000)
+    assert scheduler.recoveries_started == 6
+
+
 def test_invalid_max_concurrent():
     sim, net, replicas = build()
     with pytest.raises(ValueError):
