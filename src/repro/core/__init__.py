@@ -8,6 +8,7 @@ Measurement flows through :mod:`repro.obs`; :class:`LatencyStats` is
 re-exported here for convenience.
 """
 
+from .batching import BatchingOptions
 from .client import SubmissionManager
 from .collector import DeliveryCollector
 from .config import (
@@ -30,15 +31,20 @@ from .recovery import (
 )
 from .replica import THRESHOLD_GROUP, SpireReplica
 from .update import (
+    BatchDeliveryRecord,
+    BatchDeliveryShare,
+    BatchEntry,
     BreakerCommand,
     DeliveryRecord,
     DeliveryShare,
     StatusReading,
     UpdateSubmission,
+    batch_record_for,
     record_for,
 )
 
 __all__ = [
+    "BatchingOptions",
     "SubmissionManager",
     "DeliveryCollector",
     "ResilienceConfig",
@@ -61,10 +67,14 @@ __all__ = [
     "RecoveryStrategy",
     "THRESHOLD_GROUP",
     "SpireReplica",
+    "BatchDeliveryRecord",
+    "BatchDeliveryShare",
+    "BatchEntry",
     "BreakerCommand",
     "DeliveryRecord",
     "DeliveryShare",
     "StatusReading",
     "UpdateSubmission",
+    "batch_record_for",
     "record_for",
 ]

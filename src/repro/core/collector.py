@@ -6,14 +6,31 @@ verify — a combined threshold signature from ``threshold`` distinct shares.
 Corrupted shares from compromised replicas are tolerated by robust
 combining; duplicate records (delivered again after retries or view
 changes) are deduplicated by record key.
+
+On the batched path the unit of threshold signing is a
+:class:`BatchDeliveryRecord` — one signature covers a whole ordered batch
+via its Merkle root — and :meth:`DeliveryCollector.add_batch` releases the
+individual records it carries after checking each entry's inclusion proof
+against the signed root. A combined batch signature is cached, so entries
+arriving later (e.g. a command-target proxy receiving only its slice)
+verify against the cache without re-combining.
+
+Share bookkeeping rides on the replication runtime's
+:class:`~repro.replication.quorum.ThresholdShareTracker`: one share per
+sender per content variant, so neither duplicates nor a Byzantine
+replica's alternate-root shares can fake reaching the threshold.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from collections import OrderedDict
+from typing import List, Optional, Set, Tuple
 
+from ..crypto.encoding import digest
+from ..crypto.merkle import verify_merkle_proof
 from ..crypto.provider import CryptoProvider, ThresholdSignature
-from .update import DeliveryRecord, DeliveryShare
+from ..replication import ThresholdShareTracker
+from .update import BatchDeliveryShare, DeliveryRecord, DeliveryShare
 
 __all__ = ["DeliveryCollector"]
 
@@ -30,11 +47,16 @@ class DeliveryCollector:
         self.crypto = crypto
         self.group = group
         self.max_pending = max_pending
-        #: record key -> record digest variants -> shares by sender
-        self._pending: Dict[Tuple, Dict[DeliveryRecord, Dict[str, DeliveryShare]]] = {}
+        #: record/batch key -> content variant -> sender -> incoming share
+        self._tracker = ThresholdShareTracker()
         self._done: Set[Tuple] = set()
+        #: batch key -> (batch record, combined signature), for entries
+        #: that arrive after the batch signature was first combined
+        self._batch_signatures: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        self._batch_signature_cap = 2000
         self.verified = 0
         self.rejected_shares = 0
+        self.rejected_entries = 0
 
     def add(self, share: DeliveryShare) -> Optional[Tuple[DeliveryRecord, ThresholdSignature]]:
         """Add one share; returns (record, signature) on first verification."""
@@ -42,32 +64,100 @@ class DeliveryCollector:
         key = record.key()
         if key in self._done:
             return None
-        variants = self._pending.setdefault(key, {})
-        by_sender = variants.setdefault(record, {})
-        by_sender[share.sender] = share
+        self._tracker.add(key, record, share.sender, share)
         _, threshold = self.crypto.threshold_parameters(self.group)
-        if len(by_sender) < threshold:
+        if not self._tracker.ready(key, record, threshold):
             return None
+        signature = self._combine(record, self._tracker.shares(key, record))
+        if signature is None:
+            return None
+        self._mark_done(key)
+        self._tracker.drop(key)
+        self.verified += 1
+        return record, signature
+
+    def add_batch(
+        self, share: BatchDeliveryShare
+    ) -> List[Tuple[DeliveryRecord, ThresholdSignature]]:
+        """Add one batch share; returns every record newly released by it.
+
+        A record is released once (a) a combined threshold signature over
+        its batch exists — freshly combined here or cached from an earlier
+        share — and (b) its Merkle inclusion proof checks out against the
+        signed root. Entries failing (b) are dropped individually
+        (``rejected_entries``); they cannot poison their batch-mates.
+        """
+        batch = share.batch
+        key = batch.key()
+        signature = None
+        cached = self._batch_signatures.get(key)
+        if cached is not None and cached[0] == batch:
+            signature = cached[1]
+        if signature is None:
+            self._tracker.add(key, batch, share.sender, share)
+            _, threshold = self.crypto.threshold_parameters(self.group)
+            if not self._tracker.ready(key, batch, threshold):
+                return []
+            tracked_shares = self._tracker.shares(key, batch)
+            signature = self._combine(batch, tracked_shares)
+            if signature is None:
+                return []
+            self._tracker.drop(key)
+            self._batch_signatures[key] = (batch, signature)
+            while len(self._batch_signatures) > self._batch_signature_cap:
+                self._batch_signatures.popitem(last=False)
+            # release every entry seen so far for this batch, from any
+            # sender whose share we tracked (proofs pin them to the root)
+            entries = {}
+            for tracked in tracked_shares:
+                for entry in tracked.entries:
+                    entries.setdefault(entry.index, entry)
+            candidates = [entries[i] for i in sorted(entries)]
+        else:
+            candidates = list(share.entries)
+        released = []
+        for entry in candidates:
+            record_key = entry.record.key()
+            if record_key in self._done:
+                continue
+            if not verify_merkle_proof(
+                digest(entry.record),
+                entry.index,
+                batch.count,
+                entry.proof,
+                batch.merkle_root,
+            ):
+                self.rejected_entries += 1
+                continue
+            self._mark_done(record_key)
+            self.verified += 1
+            released.append((entry.record, signature))
+        return released
+
+    # ------------------------------------------------------------------
+    def _combine(self, message, shares) -> Optional[ThresholdSignature]:
+        """Robust-combine tracked shares over ``message``; None keeps the
+        shares pending so more honest ones can still succeed later."""
         signature = self.crypto.threshold_combine(
-            self.group, record, [s.share for s in by_sender.values()]
+            self.group, message, [s.share for s in shares]
         )
         if signature is None:
             # some shares were corrupt; wait for more honest ones
             self.rejected_shares += 1
             return None
-        if not self.crypto.threshold_verify(signature, record):
+        if not self.crypto.threshold_verify(signature, message):
             self.rejected_shares += 1
             return None
+        return signature
+
+    def _mark_done(self, key: Tuple) -> None:
         self._done.add(key)
-        del self._pending[key]
         if len(self._done) > self.max_pending:
             # bounded memory: forget oldest half (keys are unordered; this
             # only affects very-long-lived endpoints re-seeing old records)
             for old in list(self._done)[: self.max_pending // 2]:
                 self._done.discard(old)
-        self.verified += 1
-        return record, signature
 
     @property
     def pending_records(self) -> int:
-        return len(self._pending)
+        return len(self._tracker)

@@ -36,6 +36,7 @@ from ..scada.rtu import RtuDevice
 from ..simnet import LinkSpec, Network, Simulator
 from ..spines.overlay import SpinesOverlay
 from ..spines.topology import OverlayTopology, wide_area_topology
+from .batching import BatchingOptions
 from .diversity import DiversityManager
 from .hmi import HmiClient
 from .master import ScadaMasterApp
@@ -89,6 +90,10 @@ class SpireOptions:
     #: feedback controller (``repro.control``); None (the default) keeps
     #: the bit-identical periodic schedule
     control: Optional[ControlOptions] = None
+    #: batched ordering + Merkle-amortized delivery crypto
+    #: (:class:`~repro.core.batching.BatchingOptions`); None (the default)
+    #: and ``max_batch_size=1`` both keep the bit-identical per-update path
+    batching: Optional[BatchingOptions] = None
     checkpoint_interval_seqs: int = 50
     #: False disables the entire observability layer (metrics, spans,
     #: structured events): the deployment's ``obs`` is the shared no-op
@@ -204,6 +209,8 @@ class SpireOptions:
                     "period"
                 )
             self.control.validate()
+        if self.batching is not None:
+            self.batching.validate()
         return self
 
 
@@ -351,6 +358,17 @@ class SpireDeployment:
         config = dataclasses.replace(
             config, checkpoint_interval_seqs=opts.checkpoint_interval_seqs
         )
+        if opts.batching is not None and opts.batching.active:
+            # Batch knobs map onto Prime's pre-order aggregation: the
+            # origin's size+delay flush IS the batch cutter, so batch
+            # boundaries are fixed by the agreed order, not local clocks.
+            overrides = dict(
+                delivery_batching=True,
+                batch_max_updates=opts.batching.max_batch_size,
+            )
+            if opts.batching.max_batch_delay_ms is not None:
+                overrides["batch_interval_ms"] = opts.batching.max_batch_delay_ms
+            config = dataclasses.replace(config, **overrides)
         self.prime_config = config
         self.crypto.create_threshold_group(
             THRESHOLD_GROUP, config.n, config.signing_threshold

@@ -31,7 +31,7 @@ from ..spines.overlay import OverlayStack
 from .collector import DeliveryCollector
 from .client import SubmissionManager
 from .replica import THRESHOLD_GROUP
-from .update import BreakerCommand, DeliveryShare, StatusReading
+from .update import BatchDeliveryShare, BreakerCommand, DeliveryShare, StatusReading
 
 __all__ = ["RtuProxy", "DeviceBinding"]
 
@@ -153,7 +153,7 @@ class RtuProxy(Process):
             unwrapped = OverlayStack.unwrap(payload)
             if unwrapped is not None:
                 payload = unwrapped[1]
-        if isinstance(payload, DeliveryShare):
+        if isinstance(payload, (DeliveryShare, BatchDeliveryShare)):
             self._on_delivery_share(payload)
 
     def _on_modbus(self, frame: bytes) -> None:
@@ -203,11 +203,17 @@ class RtuProxy(Process):
     # ------------------------------------------------------------------
     # Verified deliveries
     # ------------------------------------------------------------------
-    def _on_delivery_share(self, share: DeliveryShare) -> None:
+    def _on_delivery_share(self, share) -> None:
+        if isinstance(share, BatchDeliveryShare):
+            for record, _signature in self.collector.add_batch(share):
+                self._on_verified_record(record)
+            return
         combined = self.collector.add(share)
         if combined is None:
             return
-        record, _signature = combined
+        self._on_verified_record(combined[0])
+
+    def _on_verified_record(self, record) -> None:
         if record.client == self.name:
             self.submissions.acknowledged(record.client, record.client_seq)
         if record.kind == "command" and isinstance(record.payload, BreakerCommand):

@@ -29,7 +29,14 @@ from ..replication import Transport
 from ..obs import EventLog
 from ..simnet import Network, Simulator
 from .master import ScadaMasterApp
-from .update import BreakerCommand, DeliveryShare, UpdateSubmission, record_for
+from .update import (
+    BatchDeliveryShare,
+    BreakerCommand,
+    DeliveryShare,
+    UpdateSubmission,
+    batch_record_for,
+    record_for,
+)
 
 __all__ = ["SpireReplica", "THRESHOLD_GROUP"]
 
@@ -73,9 +80,15 @@ class SpireReplica(PrimeNode):
         self.share_corruptor = None
         #: bounded cache of recent shares, to re-answer client retries of
         #: updates that already executed (their first delivery may be lost)
-        self._recent_shares: "OrderedDict[tuple, DeliveryShare]" = OrderedDict()
+        self._recent_shares: "OrderedDict[tuple, Any]" = OrderedDict()
         self._recent_share_cap = 5000
-        self.execution_listeners.append(self._deliver_executed)
+        self.batches_sent = 0
+        if config.delivery_batching:
+            # Batched delivery: one threshold share per executed
+            # pre-order request, covering the Merkle root of its records.
+            self.batch_execution_listeners.append(self._deliver_batch)
+        else:
+            self.execution_listeners.append(self._deliver_executed)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -134,3 +147,54 @@ class SpireReplica(PrimeNode):
                 if self._deliveries_counter is not None:
                     self._deliveries_counter.inc()
                 self.transport.send(target, delivery, size_bytes=350)
+
+    def _deliver_batch(self, origin: str, po_seq: int, executed: List) -> None:
+        """Deliver one executed pre-order batch: a single threshold share
+        over the batch's Merkle root, with each target receiving only the
+        proof-carrying entries it subscribes to."""
+        if len(executed) == 1:
+            # Singleton batches take the exact legacy per-update path, so
+            # batch mode degrades gracefully to unbatched behaviour.
+            update, order_index, result = executed[0]
+            self._deliver_executed(update, order_index, result)
+            return
+        batch, entries = batch_record_for(origin, po_seq, executed)
+        share = self.crypto.threshold_sign_share(
+            self.threshold_group, self.share_index, batch
+        )
+        if self.share_corruptor is not None:
+            share = self.share_corruptor(share)
+        # per-endpoint entry selection: subscribers see everything, each
+        # client its own updates, and the proxy fronting a substation any
+        # breaker command addressed to it
+        wanted: Dict[str, Set[int]] = {}
+        everything = set(range(len(entries)))
+        for subscriber in self.subscribers:
+            wanted.setdefault(subscriber, set()).update(everything)
+        for i, (update, _order_index, _result) in enumerate(executed):
+            wanted.setdefault(update.client, set()).add(i)
+            if isinstance(update.payload, BreakerCommand):
+                proxy = self.proxy_of_substation.get(update.payload.substation)
+                if proxy is not None:
+                    wanted.setdefault(proxy, set()).add(i)
+            # retry cache: re-answer a client resubmission with just its
+            # own slice of the batch
+            self._recent_shares[(update.client, update.client_seq)] = (
+                BatchDeliveryShare(self.name, batch, share, (entries[i],))
+            )
+        while len(self._recent_shares) > self._recent_share_cap:
+            self._recent_shares.popitem(last=False)
+        self.batches_sent += 1
+        for target, indices in wanted.items():
+            if target == self.name or not indices:
+                continue
+            selected = tuple(entries[i] for i in sorted(indices))
+            delivery = BatchDeliveryShare(self.name, batch, share, selected)
+            self.deliveries_sent += 1
+            if self._deliveries_counter is not None:
+                self._deliveries_counter.inc()
+            # one share + root regardless of batch size, plus the proofs:
+            # ~200 B fixed + ~150 B per entry (record + log-size proof)
+            self.transport.send(
+                target, delivery, size_bytes=200 + 150 * len(selected)
+            )

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
+from ..crypto.encoding import digest
+from ..crypto.merkle import merkle_proof, merkle_root
 from ..crypto.provider import ThresholdShare, ThresholdSignature
 from ..prime.messages import ClientUpdate
 
@@ -28,8 +30,12 @@ __all__ = [
     "BreakerCommand",
     "DeliveryRecord",
     "DeliveryShare",
+    "BatchDeliveryRecord",
+    "BatchEntry",
+    "BatchDeliveryShare",
     "UpdateSubmission",
     "record_for",
+    "batch_record_for",
 ]
 
 
@@ -90,6 +96,50 @@ class DeliveryShare:
 
 
 @dataclass(frozen=True)
+class BatchDeliveryRecord:
+    """The agreed fact that one ordered *batch* of updates executed.
+
+    The batch unit is the executed-update set of one certified pre-order
+    request ``(origin, po_seq)`` — identical at every correct replica by
+    agreement — summarised by the Merkle root over the per-update
+    :class:`DeliveryRecord` digests. This is what gets threshold-signed:
+    one signature covers the whole batch, and each update is pinned to
+    the root by its inclusion proof.
+    """
+
+    origin: str               # pre-order stream ("replica#epoch")
+    po_seq: int               # pre-order sequence within the stream
+    merkle_root: str          # root over the entries' record digests
+    count: int                # leaves in the tree (executed updates)
+    first_order_index: int    # global order index of the first entry
+
+    def key(self) -> Tuple[str, str, int]:
+        return ("batch", self.origin, self.po_seq)
+
+
+@dataclass(frozen=True)
+class BatchEntry:
+    """One update of a batch: its record plus the Merkle inclusion proof
+    tying the record to the batch's signed root."""
+
+    index: int                        # leaf position in the batch
+    record: DeliveryRecord
+    proof: Tuple[str, ...]            # sibling digests, bottom-up
+
+
+@dataclass(frozen=True)
+class BatchDeliveryShare:
+    """One replica's threshold share over a batch record, carrying only
+    the entries the target endpoint cares about (never the whole batch
+    unless the endpoint subscribes to everything)."""
+
+    sender: str
+    batch: BatchDeliveryRecord
+    share: ThresholdShare
+    entries: Tuple[BatchEntry, ...]
+
+
+@dataclass(frozen=True)
 class UpdateSubmission:
     """Endpoint -> replica: please order this client update."""
 
@@ -106,3 +156,28 @@ def record_for(update: ClientUpdate, order_index: int) -> DeliveryRecord:
         order_index=order_index,
         payload=update.payload,
     )
+
+
+def batch_record_for(
+    origin: str,
+    po_seq: int,
+    executed: Any,  # sequence of (ClientUpdate, order_index, result)
+) -> Tuple[BatchDeliveryRecord, Tuple[BatchEntry, ...]]:
+    """Build the batch record + proof-carrying entries for one executed
+    pre-order request. Deterministic in the executed sequence, so every
+    correct replica derives the identical root and signs the same thing."""
+    records = [record_for(update, idx) for update, idx, _ in executed]
+    leaves = [digest(record) for record in records]
+    root = merkle_root(leaves)
+    batch = BatchDeliveryRecord(
+        origin=origin,
+        po_seq=po_seq,
+        merkle_root=root,
+        count=len(records),
+        first_order_index=records[0].order_index,
+    )
+    entries = tuple(
+        BatchEntry(index=i, record=record, proof=merkle_proof(leaves, i))
+        for i, record in enumerate(records)
+    )
+    return batch, entries

@@ -1,11 +1,15 @@
 """From-scratch cryptography for the reproduction.
 
 Public API: canonical encoding (:func:`encode`), RSA signatures, Shoup-style
-threshold RSA, and the pluggable :class:`CryptoProvider` (``RealCrypto`` /
-``FastCrypto``) that protocol code consumes.
+threshold RSA, Merkle trees for batch-amortized delivery proofs, and the
+pluggable :class:`CryptoProvider` (``RealCrypto`` / ``FastCrypto``) that
+protocol code consumes — including first-class batch operations
+(``sign_batch`` / ``verify_batch`` / ``check_mac_batch`` with fail-fast
+bisection).
 """
 
 from .encoding import EncodingError, digest, encode
+from .merkle import merkle_proof, merkle_root, verify_merkle_proof
 from .provider import (
     CryptoProvider,
     FastCrypto,
@@ -13,6 +17,8 @@ from .provider import (
     Signature,
     ThresholdShare,
     ThresholdSignature,
+    TimedCrypto,
+    bisect_mismatches,
 )
 from .rsa import RsaKeyPair, RsaPublicKey, generate_keypair
 from .threshold import (
@@ -27,12 +33,17 @@ __all__ = [
     "EncodingError",
     "digest",
     "encode",
+    "merkle_root",
+    "merkle_proof",
+    "verify_merkle_proof",
     "CryptoProvider",
     "FastCrypto",
     "RealCrypto",
     "Signature",
     "ThresholdShare",
     "ThresholdSignature",
+    "TimedCrypto",
+    "bisect_mismatches",
     "RsaKeyPair",
     "RsaPublicKey",
     "generate_keypair",

@@ -19,6 +19,21 @@ Both providers share the same threshold semantics: a combined signature
 exists iff at least ``threshold`` distinct genuine shares over the same
 data are presented, and corrupted shares never block combination when
 enough genuine shares are present.
+
+Batch operations
+----------------
+The *canonical* interface is batch-shaped: ``sign_batch`` /
+``verify_batch`` / ``mac_batch`` / ``check_mac_batch`` /
+``threshold_sign_share_batch`` each take a sequence of messages and are
+what high-throughput callers (the batched delivery path, the ordered
+pipeline benchmarks) use. The base class provides loop-based fallbacks
+over the single-message methods, so third-party providers that only
+implement the per-message interface keep working unchanged; the built-in
+providers override the batch ops to amortize per-call setup (key/secret
+lookup, instrument resolution). ``check_mac_batch`` defaults to an
+aggregate comparison with fail-fast bisection: one constant-time compare
+for an all-good batch, ``O(bad · log n)`` comparisons to isolate exactly
+the corrupted items otherwise.
 """
 
 from __future__ import annotations
@@ -27,7 +42,7 @@ import hashlib
 import hmac as hmac_module
 from time import perf_counter as _perf_counter
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .encoding import IdentityMemo, encode, encode_cached
 from .rsa import RsaKeyPair, generate_keypair
@@ -47,7 +62,53 @@ __all__ = [
     "Signature",
     "ThresholdShare",
     "ThresholdSignature",
+    "bisect_mismatches",
 ]
+
+
+def _aggregate(tags: Sequence[bytes]) -> bytes:
+    digest = hashlib.sha256()
+    for tag in tags:
+        digest.update(tag)
+    return digest.digest()
+
+
+def bisect_mismatches(
+    expected: Sequence[bytes], received: Sequence[bytes]
+) -> Tuple[List[int], int]:
+    """Indices where ``received[i] != expected[i]``, by aggregate bisection.
+
+    Compares aggregate digests of whole ranges first and recurses only
+    into mismatching halves, so an all-good batch costs one comparison
+    and ``k`` corrupted items are isolated in ``O(k log n)`` comparisons
+    instead of ``n``. Returns ``(bad_indices, comparisons_performed)``;
+    the leaf comparisons are constant-time (``hmac.compare_digest``).
+    """
+    if len(expected) != len(received):
+        raise ValueError(
+            f"batch length mismatch: {len(expected)} expected tags vs "
+            f"{len(received)} received"
+        )
+    bad: List[int] = []
+    comparisons = 0
+
+    def walk(lo: int, hi: int) -> None:
+        nonlocal comparisons
+        if hi - lo == 1:
+            comparisons += 1
+            if not hmac_module.compare_digest(expected[lo], received[lo]):
+                bad.append(lo)
+            return
+        comparisons += 1
+        if _aggregate(expected[lo:hi]) == _aggregate(received[lo:hi]):
+            return
+        mid = (lo + hi) // 2
+        walk(lo, mid)
+        walk(mid, hi)
+
+    if expected:
+        walk(0, len(expected))
+    return bad, comparisons
 
 
 @dataclass(frozen=True)
@@ -111,6 +172,53 @@ class CryptoProvider:
     def threshold_verify(self, signature: ThresholdSignature, message: Any) -> bool:
         raise NotImplementedError
 
+    # -- batch operations (canonical interface; loop-based fallbacks) ----
+    #
+    # Subclasses override these to amortize per-call setup; providers
+    # that only implement the per-message methods inherit semantics
+    # identical to calling the single-op methods in a loop.
+    def sign_batch(self, signer: str, messages: Sequence[Any]) -> List[Signature]:
+        return [self.sign(signer, message) for message in messages]
+
+    def verify_batch(
+        self, signatures: Sequence[Signature], messages: Sequence[Any]
+    ) -> List[bool]:
+        if len(signatures) != len(messages):
+            raise ValueError(
+                f"batch length mismatch: {len(signatures)} signatures vs "
+                f"{len(messages)} messages"
+            )
+        return [
+            self.verify(signature, message)
+            for signature, message in zip(signatures, messages)
+        ]
+
+    def mac_batch(self, src: str, dst: str, messages: Sequence[Any]) -> List[bytes]:
+        return [self.mac(src, dst, message) for message in messages]
+
+    def check_mac_batch(
+        self, src: str, dst: str, messages: Sequence[Any], tags: Sequence[bytes]
+    ) -> List[bool]:
+        """Verify a batch of MACs; fail-fast bisection isolates corruption.
+
+        Recomputes the expected tags (one MAC each — unavoidable), then
+        compares aggregates with :func:`bisect_mismatches` so the
+        constant-time comparisons stay ``O(bad · log n)``.
+        """
+        expected = self.mac_batch(src, dst, messages)
+        bad, _ = bisect_mismatches(expected, list(tags))
+        flags = [True] * len(expected)
+        for index in bad:
+            flags[index] = False
+        return flags
+
+    def threshold_sign_share_batch(
+        self, group: str, index: int, messages: Sequence[Any]
+    ) -> List[ThresholdShare]:
+        return [
+            self.threshold_sign_share(group, index, message) for message in messages
+        ]
+
 
 class RealCrypto(CryptoProvider):
     """RSA-backed provider (keys generated lazily and deterministically)."""
@@ -137,6 +245,13 @@ class RealCrypto(CryptoProvider):
         if not isinstance(signature.value, int):
             return False
         return key.verify(encode_cached(message), signature.value)
+
+    def sign_batch(self, signer: str, messages: Sequence[Any]) -> List[Signature]:
+        keypair = self._keypair(signer)  # key lookup/generation once per batch
+        return [
+            Signature(signer, keypair.sign(encode_cached(message)))
+            for message in messages
+        ]
 
     def _pair_key(self, a: str, b: str) -> bytes:
         lo, hi = sorted((a, b))
@@ -171,6 +286,16 @@ class RealCrypto(CryptoProvider):
         partial = shares[index].sign(encode_cached(message))
         return ThresholdShare(group, index, partial.value)
 
+    def threshold_sign_share_batch(
+        self, group: str, index: int, messages: Sequence[Any]
+    ) -> List[ThresholdShare]:
+        _, shares = self._groups[group]
+        key_share = shares[index]  # share lookup once per batch
+        return [
+            ThresholdShare(group, index, key_share.sign(encode_cached(message)).value)
+            for message in messages
+        ]
+
     def threshold_combine(
         self, group: str, message: Any, shares: Iterable[ThresholdShare]
     ) -> Optional[ThresholdSignature]:
@@ -181,7 +306,7 @@ class RealCrypto(CryptoProvider):
             for s in shares
             if s.group == group and isinstance(s.value, int)
         ]
-        combined = combiner.combine_robust(encode_cached(message), partials)
+        combined = combiner.combine_shares_robust(encode_cached(message), partials)
         if combined is None:
             return None
         return ThresholdSignature(group, combined)
@@ -253,6 +378,20 @@ class FastCrypto(CryptoProvider):
     def check_mac(self, src: str, dst: str, message: Any, tag: bytes) -> bool:
         return hmac_module.compare_digest(self.mac(src, dst, message), tag)
 
+    def sign_batch(self, signer: str, messages: Sequence[Any]) -> List[Signature]:
+        kind_key = ("sig", signer)
+        return [
+            Signature(signer, self._tag(kind_key, message, kind_key, True))
+            for message in messages
+        ]
+
+    def mac_batch(self, src: str, dst: str, messages: Sequence[Any]) -> List[bytes]:
+        lo, hi = sorted((src, dst))
+        kind_key = ("mac", lo, hi)
+        return [
+            self._tag(kind_key, message, kind_key, False) for message in messages
+        ]
+
     def create_threshold_group(self, group: str, players: int, threshold: int) -> None:
         existing = self._groups.get(group)
         if existing is not None and existing != (players, threshold):
@@ -288,6 +427,24 @@ class FastCrypto(CryptoProvider):
         if not 1 <= index <= players:
             raise ValueError(f"share index {index} out of range for group {group!r}")
         return ThresholdShare(group, index, self._share_value(group, index, encode_cached(message)))
+
+    def threshold_sign_share_batch(
+        self, group: str, index: int, messages: Sequence[Any]
+    ) -> List[ThresholdShare]:
+        players, _ = self._groups[group]
+        if not 1 <= index <= players:
+            raise ValueError(f"share index {index} out of range for group {group!r}")
+        secret = self._secret("tshare", group, str(index))
+        shares: List[ThresholdShare] = []
+        for message in messages:
+            data = encode_cached(message)
+            key = ("tshare", group, index, id(data))
+            entry = self._tags.get(key, data)
+            if entry is None:
+                value = hashlib.sha256(secret + data).hexdigest()
+                entry = self._tags.put(key, [data, value])
+            shares.append(ThresholdShare(group, index, entry[1]))
+        return shares
 
     def threshold_combine(
         self, group: str, message: Any, shares: Iterable[ThresholdShare]
@@ -427,4 +584,52 @@ class TimedCrypto(CryptoProvider):
     def threshold_verify(self, signature: ThresholdSignature, message: Any) -> bool:
         return self._timed(
             "threshold_verify", self.inner.threshold_verify, signature, message
+        )
+
+    # -- batch operations ----------------------------------------------
+    # Batch ops count one *call* per batch plus an ``.items`` counter so
+    # dashboards can see both the amortization factor and the per-item
+    # volume. Timing covers the whole batch.
+
+    def _timed_batch(self, op: str, items: int, fn, *args):
+        inc, observe = self._pair(op)
+        inc()
+        self._obs.counter(f"crypto.{op}.items").inc(items)
+        started = _perf_counter()
+        result = fn(*args)
+        observe((_perf_counter() - started) * 1000.0)
+        return result
+
+    def sign_batch(self, signer: str, messages: Sequence[Any]) -> List[Signature]:
+        return self._timed_batch(
+            "sign_batch", len(messages), self.inner.sign_batch, signer, messages
+        )
+
+    def verify_batch(
+        self, signatures: Sequence[Signature], messages: Sequence[Any]
+    ) -> List[bool]:
+        return self._timed_batch(
+            "verify_batch", len(messages),
+            self.inner.verify_batch, signatures, messages,
+        )
+
+    def mac_batch(self, src: str, dst: str, messages: Sequence[Any]) -> List[bytes]:
+        return self._timed_batch(
+            "mac_batch", len(messages), self.inner.mac_batch, src, dst, messages
+        )
+
+    def check_mac_batch(
+        self, src: str, dst: str, messages: Sequence[Any], tags: Sequence[bytes]
+    ) -> List[bool]:
+        return self._timed_batch(
+            "check_mac_batch", len(messages),
+            self.inner.check_mac_batch, src, dst, messages, tags,
+        )
+
+    def threshold_sign_share_batch(
+        self, group: str, index: int, messages: Sequence[Any]
+    ) -> List[ThresholdShare]:
+        return self._timed_batch(
+            "threshold_sign_share_batch", len(messages),
+            self.inner.threshold_sign_share_batch, group, index, messages,
         )

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
 from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Dict, Iterable, Optional, Tuple
@@ -111,7 +112,7 @@ class ThresholdGroup:
             coefficients[i] = value
         return coefficients
 
-    def combine(self, data: bytes, shares: Iterable[PartialSignature]) -> int:
+    def combine_shares(self, data: bytes, shares: Iterable[PartialSignature]) -> int:
         """Combine exactly ``threshold`` shares into a full signature.
 
         Raises ValueError if too few shares are given or the result does
@@ -128,7 +129,9 @@ class ThresholdGroup:
             raise ValueError("combined signature failed to verify")
         return signature
 
-    def combine_robust(self, data: bytes, shares: Iterable[PartialSignature]) -> Optional[int]:
+    def combine_shares_robust(
+        self, data: bytes, shares: Iterable[PartialSignature]
+    ) -> Optional[int]:
         """Combine in the presence of corrupted shares.
 
         Tries subsets of size ``threshold`` until one verifies. Returns
@@ -144,6 +147,38 @@ class ThresholdGroup:
             if signature is not None:
                 return signature
         return None
+
+    # -- deprecated aliases -------------------------------------------------
+    # Callers used to reach into the group with per-update ``combine``/
+    # ``combine_robust`` calls from the ordering path; the canonical API is
+    # now ``combine_shares``/``combine_shares_robust`` (one combine per
+    # *batch*, via ``CryptoProvider.threshold_combine``). Shims warn once
+    # per call site, matching how the Trace/LatencyRecorder shims were
+    # retired.
+
+    def combine(self, data: bytes, shares: Iterable[PartialSignature]) -> int:
+        """Deprecated alias for :meth:`combine_shares`."""
+        warnings.warn(
+            "ThresholdGroup.combine is deprecated; use combine_shares "
+            "(or CryptoProvider.threshold_combine for provider-managed "
+            "batching)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.combine_shares(data, shares)
+
+    def combine_robust(
+        self, data: bytes, shares: Iterable[PartialSignature]
+    ) -> Optional[int]:
+        """Deprecated alias for :meth:`combine_shares_robust`."""
+        warnings.warn(
+            "ThresholdGroup.combine_robust is deprecated; use "
+            "combine_shares_robust (or CryptoProvider.threshold_combine "
+            "for provider-managed batching)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.combine_shares_robust(data, shares)
 
     def _combine_subset(
         self, data: bytes, subset: Tuple[int, ...], share_map: Dict[int, int]

@@ -43,6 +43,12 @@ class PrimeConfig:
     # --- batching / flow control ----------------------------------------
     batch_max_updates: int = 64           # max client updates per PO-Request
     recon_window: int = 32                # max updates resent per peer per round
+    # --- batched delivery ------------------------------------------------
+    # When True, ordered updates are delivered in per-PO-Request batches
+    # carrying one threshold signature over a Merkle root (see
+    # repro.core.batching); slot digests switch to the v2 encoding so the
+    # two formats can never collide. Default off: the per-update path.
+    delivery_batching: bool = False
     # --- checkpointing ---------------------------------------------------
     checkpoint_interval_seqs: int = 50    # global seqs between checkpoints
 

@@ -41,6 +41,7 @@ __all__ = [
     "client_update_body",
     "sign_client_update",
     "verify_client_update",
+    "verify_client_updates_batch",
 ]
 
 
@@ -273,3 +274,30 @@ def verify_client_update(crypto: CryptoProvider, update: ClientUpdate) -> bool:
         return False
     body = client_update_body(update.client, update.client_seq, update.payload)
     return crypto.verify(update.signature, body)
+
+
+def verify_client_updates_batch(
+    crypto: CryptoProvider, updates: Tuple[ClientUpdate, ...]
+) -> Tuple[bool, ...]:
+    """Batch-verify client-update signatures via ``crypto.verify_batch``.
+
+    Updates with a missing or mis-attributed signature are rejected
+    up-front without entering the batch; the rest verify in one provider
+    call. Semantics match :func:`verify_client_update` element-wise.
+    """
+    verdicts = [False] * len(updates)
+    positions = []
+    signatures = []
+    bodies = []
+    for i, update in enumerate(updates):
+        if update.signature is None or update.signature.signer != update.client:
+            continue
+        positions.append(i)
+        signatures.append(update.signature)
+        bodies.append(
+            client_update_body(update.client, update.client_seq, update.payload)
+        )
+    if positions:
+        for i, ok in zip(positions, crypto.verify_batch(signatures, bodies)):
+            verdicts[i] = ok
+    return tuple(verdicts)

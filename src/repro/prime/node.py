@@ -151,6 +151,13 @@ class PrimeNode(Process):
         self._genesis = app.snapshot()
         self._recoveries = 0
         self.execution_listeners: List[Callable[[ClientUpdate, int, Any], None]] = []
+        # Batch listeners receive the executed updates of one certified
+        # PoRequest at once: (origin, po_seq, [(update, order_index,
+        # result), ...]). When any are registered the per-update
+        # execution_listeners still fire — delivery chooses one surface.
+        self.batch_execution_listeners: List[
+            Callable[[str, int, List[Tuple[ClientUpdate, int, Any]]], None]
+        ] = []
         self._init_protocol_state()
         self._started = False
 
@@ -307,11 +314,17 @@ class PrimeNode(Process):
     def is_leader(self) -> bool:
         return self.config.leader_of_view(self.view) == self.name
 
+    @property
+    def digest_version(self) -> int:
+        """Slot-digest encoding version: 2 on the batched-delivery path,
+        1 (legacy) otherwise — the formats can never collide."""
+        return 2 if self.config.delivery_batching else 1
+
     # Stable public/compat surface kept from the monolithic node.
     coverage_cutoffs = staticmethod(coverage_cutoffs)
 
     def slot_digest(self, seq: int, matrix: Tuple[SignedMessage, ...]) -> str:
-        return slot_digest(seq, matrix)
+        return slot_digest(seq, matrix, self.digest_version)
 
     # ------------------------------------------------------------------
     # Stage entry points

@@ -296,7 +296,7 @@ class RecoveryStage:
             return
         if not node.ordering.validate_matrix(pp.matrix):
             return
-        proposal_digest = slot_digest(msg.seq, pp.matrix)
+        proposal_digest = slot_digest(msg.seq, pp.matrix, node.digest_version)
         senders = collect_valid_voters(
             msg.commits,
             membership=node.config.replicas,

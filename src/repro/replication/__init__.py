@@ -19,7 +19,9 @@ PBFT baseline) are built on, layered bottom-up:
   sign/verify, membership fan-out, loopback rules, per-kind send
   counters;
 * :mod:`~repro.replication.quorum` — vote collection
-  (:class:`QuorumTracker`) and signed-certificate assembly/verification;
+  (:class:`QuorumTracker`), threshold-share tracking toward combined
+  signatures (:class:`ThresholdShareTracker`), and signed-certificate
+  assembly/verification;
 * :mod:`~repro.replication.ordering` — the shared three-phase
   (pre-prepare/prepare/commit) per-slot agreement state;
 * :mod:`~repro.replication.epoch` — view-change scaffolding: per-epoch
@@ -35,6 +37,7 @@ from .messages import SignedMessage
 from .ordering import ThreePhaseSlot
 from .quorum import (
     QuorumTracker,
+    ThresholdShareTracker,
     assemble_certificate,
     collect_valid_voters,
     verify_certificate,
@@ -54,6 +57,7 @@ __all__ = [
     "RetrySchedule",
     "SignedMessage",
     "ThreePhaseSlot",
+    "ThresholdShareTracker",
     "Transport",
     "assemble_certificate",
     "collect_valid_voters",

@@ -35,6 +35,7 @@ from .messages import SignedMessage
 
 __all__ = [
     "QuorumTracker",
+    "ThresholdShareTracker",
     "assemble_certificate",
     "collect_valid_voters",
     "verify_certificate",
@@ -135,6 +136,73 @@ class QuorumTracker:
 
     def __len__(self) -> int:
         return len(self._votes)
+
+
+class ThresholdShareTracker:
+    """Share table ``key -> value digest -> sender -> share``.
+
+    The threshold-crypto sibling of :class:`QuorumTracker`: where the
+    quorum tracker counts *signed votes* toward a transferable
+    certificate, this tracks *threshold-signature shares* toward one
+    combined signature. ``key`` identifies the thing being signed (a
+    delivery-record key, a batch ``(origin, po_seq)`` pair), ``digest``
+    distinguishes content variants (a Byzantine sender may sign a
+    different record or Merkle root for the same key — variants must
+    never pool their shares), and one sender contributes at most one
+    share per ``(key, digest)`` (re-sends overwrite), so duplicates
+    cannot fake reaching the combining threshold.
+
+    The tracker is crypto-agnostic: shares are opaque values; callers
+    hand :meth:`shares` to their provider's ``threshold_combine`` once
+    :meth:`ready` says a combining attempt is worthwhile.
+    """
+
+    def __init__(self, threshold: Optional[int] = None) -> None:
+        self.threshold = threshold
+        self._shares: Dict[Any, Dict[Any, Dict[str, Any]]] = {}
+
+    # -- recording -----------------------------------------------------
+    def add(self, key: Any, digest: Any, sender: str, share: Any) -> int:
+        """Record one share; returns the count for ``(key, digest)``."""
+        senders = self._shares.setdefault(key, {}).setdefault(digest, {})
+        senders[sender] = share
+        return len(senders)
+
+    # -- queries -------------------------------------------------------
+    def shares(self, key: Any, digest: Any) -> List[Any]:
+        """All distinct-sender shares for ``(key, digest)``."""
+        return list(self._shares.get(key, {}).get(digest, {}).values())
+
+    def count(self, key: Any, digest: Any) -> int:
+        return len(self._shares.get(key, {}).get(digest, {}))
+
+    def digests(self, key: Any) -> List[Any]:
+        """Every content variant that received at least one share."""
+        return list(self._shares.get(key, ()))
+
+    def _bound(self, threshold: Optional[int]) -> int:
+        if threshold is None:
+            threshold = self.threshold
+        if threshold is None:
+            raise ValueError("no threshold configured or supplied")
+        return threshold
+
+    def ready(self, key: Any, digest: Any, threshold: Optional[int] = None) -> bool:
+        """True once a combining attempt can possibly succeed."""
+        return self.count(key, digest) >= self._bound(threshold)
+
+    # -- garbage collection --------------------------------------------
+    def drop(self, key: Any) -> None:
+        self._shares.pop(key, None)
+
+    def clear(self) -> None:
+        self._shares.clear()
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._shares
+
+    def __len__(self) -> int:
+        return len(self._shares)
 
 
 def collect_valid_voters(

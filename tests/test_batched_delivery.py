@@ -1,0 +1,316 @@
+"""Batched ordering + Merkle-amortized delivery: options plumbing,
+bit-identity of the inactive path, end-to-end convergence, and the
+collector's handling of corrupt shares and tampered entries."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import (
+    BatchDeliveryShare,
+    BatchingOptions,
+    DeliveryCollector,
+    SpireDeployment,
+    SpireOptions,
+    batch_record_for,
+)
+from repro.core.update import BatchEntry
+from repro.crypto import FastCrypto
+from repro.prime.messages import (
+    ClientUpdate,
+    sign_client_update,
+    verify_client_updates_batch,
+)
+from repro.prime.ordering import slot_digest
+
+
+# ----------------------------------------------------------------------
+# BatchingOptions
+# ----------------------------------------------------------------------
+
+
+def test_batching_defaults_are_inactive():
+    options = BatchingOptions()
+    options.validate()
+    assert not options.enabled
+    assert not options.active
+
+
+def test_batching_active_requires_enabled_and_size():
+    assert BatchingOptions(enabled=True, max_batch_size=16).active
+    assert not BatchingOptions(enabled=True, max_batch_size=1).active
+    assert not BatchingOptions(enabled=False).active
+
+
+@pytest.mark.parametrize("bad", [
+    dict(enabled=True, max_batch_size=0),
+    dict(enabled=True, max_batch_size=-3),
+    dict(enabled=False, max_batch_delay_ms=50.0),
+    dict(enabled=True, max_batch_delay_ms=0.0),
+    dict(enabled=True, max_batch_delay_ms=-1.0),
+    dict(enabled=False, max_batch_size=16),  # forgotten enabled=True
+])
+def test_batching_validate_rejects(bad):
+    with pytest.raises(ValueError):
+        BatchingOptions(**bad).validate()
+
+
+def test_batching_roundtrip():
+    options = BatchingOptions(enabled=True, max_batch_size=32,
+                              max_batch_delay_ms=15.0)
+    assert BatchingOptions.from_dict(options.to_dict()) == options
+
+
+def test_deployment_validates_batching():
+    with pytest.raises(ValueError):
+        SpireOptions(
+            batching=BatchingOptions(enabled=True, max_batch_size=0)
+        ).validate()
+
+
+# ----------------------------------------------------------------------
+# slot digest versioning
+# ----------------------------------------------------------------------
+
+
+def summary_entry(sender, summary_seq, vector):
+    # shape of a matrix entry: a signed envelope around a PO summary
+    payload = SimpleNamespace(
+        sender=sender, summary_seq=summary_seq, vector=vector
+    )
+    return SimpleNamespace(payload=payload)
+
+
+def test_slot_digest_v2_is_prefixed_and_distinct():
+    matrix = (
+        summary_entry("origin#0", 1, ("d0",)),
+        summary_entry("origin#1", 2, ("d1",)),
+    )
+    v1 = slot_digest(7, matrix)
+    v2 = slot_digest(7, matrix, 2)
+    assert not v1.startswith("v2:")
+    assert v2.startswith("v2:")
+    assert v1 != v2
+    # v2 is seq- and content-sensitive like v1
+    assert v2 != slot_digest(8, matrix, 2)
+    assert v2 != slot_digest(7, matrix[:1], 2)
+    assert v2 == slot_digest(7, matrix, 2)
+
+
+def test_slot_digest_unknown_version_rejected():
+    with pytest.raises(ValueError):
+        slot_digest(1, (), 3)
+
+
+# ----------------------------------------------------------------------
+# batch signature verification helper
+# ----------------------------------------------------------------------
+
+
+def test_verify_client_updates_batch_semantics():
+    crypto = FastCrypto(seed="vb")
+    good = sign_client_update(crypto, "client:a", 1, ("op", 1))
+    unsigned = ClientUpdate("client:b", 1, ("op", 2), None)
+    misattributed = ClientUpdate("client:c", 1, ("op", 3), good.signature)
+    good2 = sign_client_update(crypto, "client:d", 4, ("op", 4))
+    verdicts = verify_client_updates_batch(
+        crypto, (good, unsigned, misattributed, good2)
+    )
+    assert verdicts == (True, False, False, True)
+    assert verify_client_updates_batch(crypto, ()) == ()
+
+
+# ----------------------------------------------------------------------
+# Collector: tampered entries and share caching (unit level)
+# ----------------------------------------------------------------------
+
+
+GROUP = "masters"
+
+
+def make_batch(crypto, updates=4, po_seq=1):
+    executed = [
+        (ClientUpdate(f"client:{i}", i + 1, ("reading", i)), i + 1, None)
+        for i in range(updates)
+    ]
+    return batch_record_for("origin#0", po_seq, executed)
+
+
+def test_tampered_entry_rejected_batchmates_released():
+    crypto = FastCrypto(seed="tamper")
+    crypto.create_threshold_group(GROUP, 4, 2)
+    collector = DeliveryCollector(crypto, GROUP)
+    batch, entries = make_batch(crypto)
+    # replace entry 2's record with a forged one; its proof no longer
+    # matches the signed root
+    forged = entries[2].record.__class__(
+        **{**entries[2].record.__dict__, "order_index": 999}
+    )
+    tampered = entries[:2] + (
+        BatchEntry(entries[2].index, forged, entries[2].proof),
+    ) + entries[3:]
+    released = []
+    for index in (1, 2):
+        share = crypto.threshold_sign_share(GROUP, index, batch)
+        released += collector.add_batch(
+            BatchDeliveryShare(f"replica:{index}", batch, share, tampered)
+        )
+    assert [record.order_index for record, _ in released] == [1, 2, 4]
+    assert collector.rejected_entries >= 1
+    assert all(
+        crypto.threshold_verify(signature, batch) for _, signature in released
+    )
+
+
+def test_late_slice_verifies_against_cached_signature():
+    crypto = FastCrypto(seed="late")
+    crypto.create_threshold_group(GROUP, 4, 2)
+    collector = DeliveryCollector(crypto, GROUP)
+    batch, entries = make_batch(crypto)
+    shares = {
+        i: crypto.threshold_sign_share(GROUP, i, batch) for i in (1, 2, 3)
+    }
+    # first two senders carry only a partial slice; threshold reached on
+    # the second share releases the union
+    first = collector.add_batch(
+        BatchDeliveryShare("replica:1", batch, shares[1], entries[:2])
+    )
+    assert first == []
+    second = collector.add_batch(
+        BatchDeliveryShare("replica:2", batch, shares[2], entries[1:3])
+    )
+    assert sorted(r.order_index for r, _ in second) == [1, 2, 3]
+    # a later sender's remaining slice verifies against the cached batch
+    # signature — no further combining, no duplicates for seen entries
+    third = collector.add_batch(
+        BatchDeliveryShare("replica:3", batch, shares[3], entries)
+    )
+    assert [r.order_index for r, _ in third] == [4]
+    assert collector.verified == 4
+
+
+def test_duplicate_sender_shares_do_not_reach_threshold():
+    crypto = FastCrypto(seed="dup")
+    crypto.create_threshold_group(GROUP, 4, 3)
+    collector = DeliveryCollector(crypto, GROUP)
+    batch, entries = make_batch(crypto)
+    share = crypto.threshold_sign_share(GROUP, 1, batch)
+    for _ in range(5):
+        assert collector.add_batch(
+            BatchDeliveryShare("replica:1", batch, share, entries)
+        ) == []
+    assert collector.verified == 0
+
+
+# ----------------------------------------------------------------------
+# End-to-end: batched deployments
+# ----------------------------------------------------------------------
+
+
+BASE = dict(num_substations=3, poll_interval_ms=250.0, seed=9)
+RUN_MS = 3000.0
+
+
+def run_deployment(**overrides):
+    deployment = SpireDeployment(SpireOptions(**{**BASE, **overrides}))
+    deployment.start()
+    deployment.run_for(RUN_MS)
+    return deployment
+
+
+def trace_image(deployment):
+    return tuple(
+        (e.time, e.component, e.kind, tuple(sorted(e.details.items())))
+        for e in deployment.trace
+    )
+
+
+@pytest.fixture(scope="module")
+def unbatched():
+    return run_deployment()
+
+
+@pytest.fixture(scope="module")
+def batched():
+    return run_deployment(
+        batching=BatchingOptions(enabled=True, max_batch_size=64)
+    )
+
+
+def test_inactive_batch_size_one_is_bit_identical(unbatched):
+    shimmed = run_deployment(
+        batching=BatchingOptions(enabled=True, max_batch_size=1)
+    )
+    assert shimmed.simulator.events_processed == \
+        unbatched.simulator.events_processed
+    assert trace_image(shimmed) == trace_image(unbatched)
+    assert [r.last_executed_seq for r in shimmed.replicas] == \
+        [r.last_executed_seq for r in unbatched.replicas]
+
+
+def test_disabled_batching_is_bit_identical(unbatched):
+    disabled = run_deployment(batching=BatchingOptions(enabled=False))
+    assert disabled.simulator.events_processed == \
+        unbatched.simulator.events_processed
+    assert trace_image(disabled) == trace_image(unbatched)
+
+
+def test_batched_deployment_converges(batched):
+    hmi = batched.hmis[0]
+    assert sorted(hmi.view) == sorted(batched.grid.substations)
+    for substation in batched.grid.substations:
+        reading = hmi.substation_status(substation)
+        assert reading is not None
+        assert (reading.measurement("energized") or 0.0) == 1.0
+    assert sum(r.batches_sent for r in batched.replicas) > 0
+    assert hmi.collector.rejected_entries == 0
+    assert hmi.collector.verified > 0
+
+
+def test_batched_state_matches_unbatched(unbatched, batched):
+    # batching changes message shape, not the replicated state machine:
+    # both modes execute the same updates in the same order
+    batched_state = {
+        repr(sorted(replica.app.latest_status))
+        for replica in batched.replicas
+    }
+    unbatched_state = {
+        repr(sorted(replica.app.latest_status))
+        for replica in unbatched.replicas
+    }
+    assert len(batched_state) == 1
+    assert batched_state == unbatched_state
+
+
+def test_batching_cuts_delivery_messages(unbatched, batched):
+    batched_sent = sum(r.deliveries_sent for r in batched.replicas)
+    unbatched_sent = sum(r.deliveries_sent for r in unbatched.replicas)
+    assert batched_sent < unbatched_sent / 2
+
+
+def test_retry_cache_holds_single_entry_slices(batched):
+    slices = [
+        cached
+        for replica in batched.replicas
+        for cached in replica._recent_shares.values()
+        if isinstance(cached, BatchDeliveryShare)
+    ]
+    assert slices
+    assert all(len(cached.entries) == 1 for cached in slices)
+
+
+def test_corrupt_share_tolerated_in_batched_mode():
+    deployment = SpireDeployment(SpireOptions(
+        **BASE, batching=BatchingOptions(enabled=True, max_batch_size=64),
+    ))
+
+    def corrupt(share):
+        return share.__class__(share.group, share.index, "garbage")
+
+    deployment.replicas[0].share_corruptor = corrupt
+    deployment.start()
+    deployment.run_for(RUN_MS)
+    hmi = deployment.hmis[0]
+    # robust combining routes around the corrupted replica's shares
+    assert sorted(hmi.view) == sorted(deployment.grid.substations)
+    assert hmi.collector.verified > 0

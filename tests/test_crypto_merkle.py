@@ -1,0 +1,148 @@
+"""Merkle tree construction and inclusion-proof verification."""
+
+import pytest
+
+from repro.crypto import merkle_proof, merkle_root, verify_merkle_proof
+from repro.crypto.merkle import _leaf_hash, _node_hash
+
+
+def leaves_of(count):
+    return [f"leaf-{i}" for i in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+
+
+def test_singleton_root_is_tagged_leaf_hash():
+    assert merkle_root(["only"]) == _leaf_hash("only")
+
+
+def test_two_leaf_root_is_node_of_leaf_hashes():
+    root = merkle_root(["a", "b"])
+    assert root == _node_hash(_leaf_hash("a"), _leaf_hash("b"))
+
+
+def test_empty_tree_rejected():
+    with pytest.raises(ValueError):
+        merkle_root([])
+
+
+def test_root_deterministic_and_content_sensitive():
+    leaves = leaves_of(7)
+    assert merkle_root(leaves) == merkle_root(list(leaves))
+    changed = leaves[:3] + ["tampered"] + leaves[4:]
+    assert merkle_root(changed) != merkle_root(leaves)
+
+
+def test_leaf_and_node_domains_separated():
+    # A one-leaf tree whose leaf equals an internal node's input must not
+    # produce that node's hash: leaf and node hashing use distinct tags.
+    left, right = _leaf_hash("a"), _leaf_hash("b")
+    assert merkle_root([left + right]) != _node_hash(left, right)
+
+
+# ----------------------------------------------------------------------
+# Proof round-trips across shapes
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 6, 7, 8, 9, 16, 33])
+def test_every_index_verifies(count):
+    leaves = leaves_of(count)
+    root = merkle_root(leaves)
+    for index in range(count):
+        proof = merkle_proof(leaves, index)
+        assert verify_merkle_proof(leaves[index], index, count, proof, root), (
+            f"index {index} of {count}"
+        )
+
+
+@pytest.mark.parametrize("count", [2, 4, 8, 16])
+def test_power_of_two_proof_length(count):
+    leaves = leaves_of(count)
+    expected = count.bit_length() - 1
+    for index in range(count):
+        assert len(merkle_proof(leaves, index)) == expected
+
+
+def test_ragged_shapes_have_carried_levels():
+    # leaf 4 of a 5-leaf tree is carried up unpaired twice: its proof has
+    # a single sibling (the root of the 4-leaf subtree)
+    leaves = leaves_of(5)
+    assert len(merkle_proof(leaves, 4)) == 1
+    assert len(merkle_proof(leaves, 0)) == 3
+
+
+def test_singleton_proof_is_empty():
+    leaves = ["solo"]
+    proof = merkle_proof(leaves, 0)
+    assert proof == ()
+    assert verify_merkle_proof("solo", 0, 1, (), merkle_root(leaves))
+
+
+# ----------------------------------------------------------------------
+# Rejection
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("count", [3, 6, 8])
+def test_tampered_leaf_rejected(count):
+    leaves = leaves_of(count)
+    root = merkle_root(leaves)
+    for index in range(count):
+        proof = merkle_proof(leaves, index)
+        assert not verify_merkle_proof("tampered", index, count, proof, root)
+
+
+def test_wrong_index_rejected():
+    leaves = leaves_of(6)
+    root = merkle_root(leaves)
+    proof = merkle_proof(leaves, 2)
+    for wrong in (0, 1, 3, 4, 5):
+        assert not verify_merkle_proof(leaves[2], wrong, 6, proof, root)
+
+
+def test_wrong_count_rejected():
+    leaves = leaves_of(6)
+    root = merkle_root(leaves)
+    proof = merkle_proof(leaves, 2)
+    # Counts that change the fold shape along index 2's path are rejected
+    # (shape-equivalent counts like 5 fold identically — the batch record
+    # binds the true count under the threshold signature, so the verifier
+    # is never handed an attacker-chosen count).
+    for wrong_count in (1, 2, 3, 12):
+        assert not verify_merkle_proof(leaves[2], 2, wrong_count, proof, root)
+
+
+def test_out_of_range_index_rejected():
+    leaves = leaves_of(4)
+    root = merkle_root(leaves)
+    proof = merkle_proof(leaves, 0)
+    assert not verify_merkle_proof(leaves[0], -1, 4, proof, root)
+    assert not verify_merkle_proof(leaves[0], 4, 4, proof, root)
+    assert not verify_merkle_proof(leaves[0], 0, 0, proof, root)
+
+
+def test_truncated_and_padded_proofs_rejected():
+    leaves = leaves_of(8)
+    root = merkle_root(leaves)
+    proof = merkle_proof(leaves, 3)
+    assert not verify_merkle_proof(leaves[3], 3, 8, proof[:-1], root)
+    assert not verify_merkle_proof(leaves[3], 3, 8, proof + (proof[0],), root)
+
+
+def test_proof_for_wrong_root_rejected():
+    leaves = leaves_of(8)
+    other_root = merkle_root(leaves_of(9)[:8:][::-1])
+    proof = merkle_proof(leaves, 3)
+    assert not verify_merkle_proof(leaves[3], 3, 8, proof, other_root)
+
+
+def test_proof_index_out_of_range_raises():
+    leaves = leaves_of(4)
+    with pytest.raises(IndexError):
+        merkle_proof(leaves, 4)
+    with pytest.raises(IndexError):
+        merkle_proof(leaves, -1)

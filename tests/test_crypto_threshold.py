@@ -20,7 +20,7 @@ def group_3_of_7():
 def test_exact_threshold_combines(group_2_of_6):
     public, shares, combiner = group_2_of_6
     data = b"update"
-    sig = combiner.combine(data, [shares[1].sign(data), shares[4].sign(data)])
+    sig = combiner.combine_shares(data, [shares[1].sign(data), shares[4].sign(data)])
     assert public.verify(data, sig)
 
 
@@ -28,7 +28,7 @@ def test_any_share_subset_works(group_3_of_7):
     public, shares, combiner = group_3_of_7
     data = b"payload"
     for subset in ((1, 2, 3), (2, 5, 7), (1, 4, 6)):
-        sig = combiner.combine(data, [shares[i].sign(data) for i in subset])
+        sig = combiner.combine_shares(data, [shares[i].sign(data) for i in subset])
         assert public.verify(data, sig)
 
 
@@ -36,14 +36,14 @@ def test_too_few_shares_raises(group_3_of_7):
     _, shares, combiner = group_3_of_7
     data = b"x"
     with pytest.raises(ValueError):
-        combiner.combine(data, [shares[1].sign(data), shares[2].sign(data)])
+        combiner.combine_shares(data, [shares[1].sign(data), shares[2].sign(data)])
 
 
 def test_combined_signature_is_standard_rsa(group_2_of_6):
     # the combined value equals h(m)^d and verifies with plain RSA check
     public, shares, combiner = group_2_of_6
     data = b"m"
-    sig = combiner.combine(data, [shares[2].sign(data), shares[3].sign(data)])
+    sig = combiner.combine_shares(data, [shares[2].sign(data), shares[3].sign(data)])
     from repro.crypto.rsa import _fdh
     assert pow(sig, public.e, public.n) == _fdh(data, public.n)
 
@@ -51,7 +51,7 @@ def test_combined_signature_is_standard_rsa(group_2_of_6):
 def test_wrong_message_rejected(group_2_of_6):
     public, shares, combiner = group_2_of_6
     data = b"m"
-    sig = combiner.combine(data, [shares[1].sign(data), shares[2].sign(data)])
+    sig = combiner.combine_shares(data, [shares[1].sign(data), shares[2].sign(data)])
     assert not public.verify(b"other", sig)
 
 
@@ -63,7 +63,7 @@ def test_robust_combine_survives_corrupt_share(group_2_of_6):
         PartialSignature(3, 123456789),  # corrupt
         shares[5].sign(data),
     ]
-    sig = combiner.combine_robust(data, parts)
+    sig = combiner.combine_shares_robust(data, parts)
     assert sig is not None and public.verify(data, sig)
 
 
@@ -75,13 +75,13 @@ def test_robust_combine_fails_below_honest_threshold(group_3_of_7):
         shares[2].sign(data),
         PartialSignature(3, 1), PartialSignature(4, 2),
     ]
-    assert combiner.combine_robust(data, parts) is None
+    assert combiner.combine_shares_robust(data, parts) is None
 
 
 def test_shares_from_wrong_message_do_not_combine(group_2_of_6):
     _, shares, combiner = group_2_of_6
     parts = [shares[1].sign(b"a"), shares[2].sign(b"b")]
-    assert combiner.combine_robust(b"a", parts) is None
+    assert combiner.combine_shares_robust(b"a", parts) is None
 
 
 def test_duplicate_share_indices_do_not_count_twice(group_2_of_6):
@@ -89,7 +89,7 @@ def test_duplicate_share_indices_do_not_count_twice(group_2_of_6):
     data = b"m"
     same = shares[1].sign(data)
     with pytest.raises(ValueError):
-        combiner.combine(data, [same, same])
+        combiner.combine_shares(data, [same, same])
 
 
 def test_keygen_deterministic():
@@ -112,7 +112,7 @@ def test_threshold_one_behaves_like_plain(group_2_of_6):
     one_pub, one_shares = generate_threshold_group(3, 1, bits=512, seed="one")
     combiner = ThresholdGroup(one_pub)
     data = b"solo"
-    sig = combiner.combine(data, [one_shares[2].sign(data)])
+    sig = combiner.combine_shares(data, [one_shares[2].sign(data)])
     assert one_pub.verify(data, sig)
 
 
@@ -120,5 +120,5 @@ def test_full_group_signing(group_3_of_7):
     public, shares, combiner = group_3_of_7
     data = b"all"
     parts = [shares[i].sign(data) for i in range(1, 8)]
-    sig = combiner.combine_robust(data, parts)
+    sig = combiner.combine_shares_robust(data, parts)
     assert sig is not None and public.verify(data, sig)
