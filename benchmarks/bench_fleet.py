@@ -1,0 +1,380 @@
+"""Fleet-scale saturation benchmark → ``BENCH_core.json`` ``fleet`` section.
+
+Sweeps the hierarchical fleet generator (``repro.fleet``) over device
+counts and records, per count:
+
+* **saturation** — status updates/sim-second sustained through the full
+  ordered pipeline, plus simulator events/wall-second;
+* **memory ceiling** — peak RSS and live-object count, measured in an
+  isolated subprocess per device count so the high-water marks don't
+  contaminate each other.
+
+Each sweep point runs ``--one N`` in a fresh interpreter (deterministic:
+``PYTHONHASHSEED=0``, fixed seed).  The CI smoke gate (``--smoke
+--check``) runs the 1k-device point and compares it against the committed
+baseline: the throughput floor is host-calibrated by re-running the
+frozen seed-implementation engine workload (same discipline as
+``perf_core.py``), while the memory ceiling is a hard byte limit — RSS
+does not scale with host speed.
+
+Usage::
+
+    python benchmarks/bench_fleet.py                   # sweep + print
+    python benchmarks/bench_fleet.py --record          # sweep + fig9 + write baseline
+    python benchmarks/bench_fleet.py --smoke --check   # CI gate vs BENCH_core.json
+    python benchmarks/bench_fleet.py --fig9            # n=31 replicas, 10k devices
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform
+import subprocess
+import sys
+from time import perf_counter
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+for _path in (os.path.join(_ROOT, "src"), os.path.join(_HERE, "perf")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.analysis import current_peak_rss  # noqa: E402
+from repro.core import BatchingOptions, SpireDeployment, SpireOptions  # noqa: E402
+from repro.fleet import FleetSpec  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(_ROOT, "BENCH_core.json")
+REPORT_PATH = os.path.join(_HERE, "results", "fleet_sweep.txt")
+SCENARIO_BASE = os.path.join(_HERE, "results", "fleet_1k_scenario_report")
+
+#: (device_count, simulated ms) sweep points — windows shrink as counts
+#: grow so the committed sweep stays a few minutes of wall clock
+SWEEP = ((100, 3000.0), (1000, 3000.0), (5000, 2000.0), (10000, 2000.0))
+SMOKE_DEVICES, SMOKE_SIM_MS = 1000, 1500.0
+#: hard memory ceiling for the CI smoke point (1k devices); RSS is a
+#: property of the code, not the host, so this is NOT host-calibrated
+SMOKE_RSS_CEILING_BYTES = 512 * 1024 * 1024
+FIG9_DEVICES, FIG9_SIM_MS = 10000, 500.0
+SEED = 7
+#: calibration workload size for the frozen seed-impl engine (host scale)
+CALIB_EVENTS = 80_000
+
+
+def fleet_options(devices: int, f: int = 1, k: int = 1,
+                  observability: bool = False) -> SpireOptions:
+    """The benchmark configuration: WAN preset, delivery batching on
+    (the realistic fleet posture after PR 7), observability off for the
+    measured runs so the numbers are the system's, not the telemetry's."""
+    return SpireOptions.wan(
+        seed=SEED,
+        f=f,
+        k=k,
+        fleet=FleetSpec.sized(devices),
+        observability=observability,
+        batching=BatchingOptions(
+            enabled=True, max_batch_size=64, max_batch_delay_ms=20.0
+        ),
+        # n=31 on flooding multiplies every frame by every site pair;
+        # the scalability question is ordering cost, so route shortest
+        overlay_mode="shortest" if f > 2 else "flooding",
+    )
+
+
+def run_one(devices: int, sim_ms: float, f: int = 1, k: int = 1) -> dict:
+    """Build + run one fleet scenario; returns the metrics row."""
+    build_started = perf_counter()
+    deployment = SpireDeployment(fleet_options(devices, f=f, k=k))
+    deployment.start()
+    build_s = perf_counter() - build_started
+    run_started = perf_counter()
+    deployment.run_for(sim_ms)
+    run_s = perf_counter() - run_started
+    readings = sum(p.readings_submitted for p in deployment.region_proxies)
+    commands = sum(p.commands_executed for p in deployment.region_proxies)
+    materialized = sum(
+        shard.materialized for shard in deployment.fleet_topology.regions
+    )
+    verified = (
+        deployment.hmis[0].status_updates_seen if deployment.hmis else 0
+    )
+    gc.collect()
+    events = deployment.simulator.events_processed
+    return {
+        "devices": devices,
+        "regions": len(deployment.region_proxies),
+        "replicas": len(deployment.replicas),
+        "sim_ms": sim_ms,
+        "build_wall_s": round(build_s, 4),
+        "run_wall_s": round(run_s, 4),
+        "events": events,
+        "events_per_wall_s": round(events / run_s, 1),
+        "readings_submitted": readings,
+        "updates_per_sim_s": round(readings / (sim_ms / 1000.0), 1),
+        "hmi_verified_updates": verified,
+        "commands_executed": commands,
+        "devices_materialized": materialized,
+        "peak_rss_bytes": current_peak_rss(),
+        "live_objects": len(gc.get_objects()),
+    }
+
+
+def run_isolated(devices: int, sim_ms: float, f: int = 1, k: int = 1,
+                 emit=print) -> dict:
+    """Run one sweep point in a fresh interpreter so peak-RSS high-water
+    marks are per-point, not cumulative."""
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "0"
+    command = [
+        sys.executable, os.path.abspath(__file__),
+        "--one", str(devices), "--sim-ms", str(sim_ms),
+        "--f", str(f), "--k", str(k),
+    ]
+    emit(f"  [{devices} devices] running isolated "
+         f"({sim_ms:g} sim-ms, f={f}, k={k})...")
+    proc = subprocess.run(
+        command, env=env, capture_output=True, text=True, cwd=_ROOT
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"sweep point {devices} failed:\n{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def calibrate_host() -> float:
+    """Events/sec of the frozen seed-impl engine on this host — the
+    same normalization anchor ``perf_core.py`` uses, so committed floors
+    transfer across machines."""
+    from perf_core import bench_event_throughput
+
+    return round(bench_event_throughput(CALIB_EVENTS, "seed", repeats=2), 1)
+
+
+# ----------------------------------------------------------------------
+# Sweep + report
+# ----------------------------------------------------------------------
+def run_sweep(emit=print) -> dict:
+    rows = {}
+    for devices, sim_ms in SWEEP:
+        row = run_isolated(devices, sim_ms, emit=emit)
+        rows[str(devices)] = row
+        emit(f"    {devices:>6} devices: "
+             f"{row['updates_per_sim_s']:>8,.0f} updates/sim-s, "
+             f"{row['events_per_wall_s']:>8,.0f} events/wall-s, "
+             f"peak {row['peak_rss_bytes'] / 2**20:>6.1f} MiB, "
+             f"{row['live_objects']:,} objects")
+    return rows
+
+
+def write_report(sweep: dict, fig9: dict | None, path: str = REPORT_PATH,
+                 emit=print) -> None:
+    lines = [
+        "Fleet-scale saturation sweep (benchmarks/bench_fleet.py)",
+        f"(hierarchical generator, WAN preset, delivery batching B=64, "
+        f"seed={SEED}, PYTHONHASHSEED=0; each point in a fresh process)",
+        "",
+        f"{'devices':>8} {'regions':>8} {'upd/sim-s':>10} {'ev/wall-s':>10} "
+        f"{'wall s':>7} {'peak MiB':>9} {'objects':>10} {'materialized':>13}",
+    ]
+    for devices, _ in SWEEP:
+        row = sweep.get(str(devices))
+        if row is None:
+            continue
+        lines.append(
+            f"{row['devices']:>8} {row['regions']:>8} "
+            f"{row['updates_per_sim_s']:>10,.0f} "
+            f"{row['events_per_wall_s']:>10,.0f} "
+            f"{row['run_wall_s']:>7.1f} "
+            f"{row['peak_rss_bytes'] / 2**20:>9.1f} "
+            f"{row['live_objects']:>10,} "
+            f"{row['devices_materialized']:>13}"
+        )
+    lines += [
+        "",
+        "updates/sim-s is the sustained rate of threshold-signed status",
+        "readings through the full ordered pipeline (poll -> submit ->",
+        "Prime ordering -> batched threshold signature -> HMI verify).",
+        "The curve saturates as the ordering layer, not the field layer,",
+        "becomes the bottleneck; memory stays region-sharded and lazy",
+        "(devices materialize on first poll: see the materialized column).",
+    ]
+    if fig9 is not None:
+        lines += [
+            "",
+            f"fig9-style scale-out: n={fig9['replicas']} replicas, "
+            f"{fig9['devices']} devices, {fig9['sim_ms']:g} sim-ms -> "
+            f"{fig9['readings_submitted']} readings ordered, "
+            f"peak {fig9['peak_rss_bytes'] / 2**20:.1f} MiB.",
+        ]
+    lines.append("")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines))
+    emit(f"report -> {path}")
+
+
+def write_scenario_report(emit=print) -> None:
+    """A full observability scenario report for the smoke-sized point
+    (run inline: this one is about the report fields, not the numbers)."""
+    deployment = SpireDeployment(
+        fleet_options(SMOKE_DEVICES, observability=True)
+    )
+    deployment.start()
+    deployment.run_for(SMOKE_SIM_MS)
+    from repro.analysis import ScenarioReport
+
+    report = ScenarioReport.from_deployment(
+        deployment,
+        title=f"fleet {SMOKE_DEVICES} devices",
+        extra={
+            "regions": len(deployment.region_proxies),
+            "readings_submitted": sum(
+                p.readings_submitted for p in deployment.region_proxies
+            ),
+        },
+    )
+    json_path, txt_path = report.write(SCENARIO_BASE)
+    emit(f"scenario report -> {json_path}, {txt_path}")
+
+
+# ----------------------------------------------------------------------
+# Baseline record / CI gate
+# ----------------------------------------------------------------------
+def _load(path: str) -> dict:
+    if os.path.exists(path):
+        with open(path) as handle:
+            return json.load(handle)
+    return {}
+
+
+def record(sweep: dict, smoke: dict, fig9: dict | None,
+           calib: float, path: str, emit=print) -> None:
+    data = _load(path)
+    section = data.setdefault("fleet", {})
+    section["sweep"] = sweep
+    section["smoke_baseline"] = smoke
+    section["seed_event_throughput"] = calib
+    section["smoke_rss_ceiling_bytes"] = SMOKE_RSS_CEILING_BYTES
+    if fig9 is not None:
+        section["fig9"] = fig9
+    data.setdefault("meta", {})["python"] = platform.python_version()
+    data["meta"]["machine"] = platform.machine()
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    emit(f"recorded fleet baseline -> {path}")
+
+
+def check(smoke: dict, calib: float, path: str, tolerance: float,
+          emit=print) -> bool:
+    data = _load(path)
+    baseline = data.get("fleet", {}).get("smoke_baseline")
+    base_calib = data.get("fleet", {}).get("seed_event_throughput")
+    ceiling = data.get("fleet", {}).get(
+        "smoke_rss_ceiling_bytes", SMOKE_RSS_CEILING_BYTES
+    )
+    if baseline is None or not base_calib:
+        emit(f"ERROR: no committed fleet smoke baseline in {path}")
+        return False
+    ok = True
+    host_scale = calib / base_calib
+    emit(f"  host speed vs baseline host: ×{host_scale:.3f} "
+         f"(seed-impl calibration)")
+    expected = baseline["events_per_wall_s"] * host_scale
+    floor = expected * (1.0 - tolerance)
+    emit(f"  event throughput: {smoke['events_per_wall_s']:,.0f}/s vs "
+         f"normalized baseline {expected:,.0f}/s (floor {floor:,.0f}/s)")
+    if smoke["events_per_wall_s"] < floor:
+        emit("  FAIL: fleet event throughput regressed beyond tolerance")
+        ok = False
+    emit(f"  peak RSS: {smoke['peak_rss_bytes'] / 2**20:.1f} MiB vs hard "
+         f"ceiling {ceiling / 2**20:.0f} MiB")
+    if smoke["peak_rss_bytes"] > ceiling:
+        emit("  FAIL: fleet memory ceiling exceeded")
+        ok = False
+    # the simulation itself is deterministic: the smoke point must order
+    # exactly as many readings as the committed baseline did
+    if smoke["readings_submitted"] != baseline["readings_submitted"]:
+        emit(f"  FAIL: readings_submitted {smoke['readings_submitted']} != "
+             f"baseline {baseline['readings_submitted']} (determinism or "
+             f"behavior change — re-record the fleet baseline if intended)")
+        ok = False
+    else:
+        emit(f"  determinism: {smoke['readings_submitted']} readings "
+             f"submitted, exactly as baseline")
+    emit("fleet check: " + ("OK" if ok else "REGRESSION DETECTED"))
+    return ok
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--one", type=int, metavar="DEVICES",
+                        help="run a single point and print JSON (internal)")
+    parser.add_argument("--sim-ms", type=float, default=SMOKE_SIM_MS)
+    parser.add_argument("--f", type=int, default=1)
+    parser.add_argument("--k", type=int, default=1)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run only the 1k-device CI point")
+    parser.add_argument("--fig9", action="store_true",
+                        help="also run the n=31-replica, 10k-device point")
+    parser.add_argument("--record", action="store_true",
+                        help="write baseline + committed reports")
+    parser.add_argument("--check", action="store_true",
+                        help="gate against the committed baseline")
+    parser.add_argument("--tolerance", type=float, default=0.35)
+    parser.add_argument("--json", default=DEFAULT_OUTPUT)
+    parser.add_argument("--out", help="write this run's raw JSON to PATH "
+                                      "(CI artifact)")
+    args = parser.parse_args(argv)
+
+    if args.one is not None:
+        print(json.dumps(run_one(args.one, args.sim_ms, f=args.f, k=args.k)))
+        return 0
+
+    emit = print
+    results: dict = {}
+    calib = calibrate_host()
+    emit(f"bench_fleet: host calibration {calib:,.0f} seed events/s")
+
+    if args.smoke:
+        smoke = run_isolated(SMOKE_DEVICES, SMOKE_SIM_MS, emit=emit)
+        results["smoke"] = smoke
+        emit(f"  1k smoke: {smoke['updates_per_sim_s']:,.0f} updates/sim-s, "
+             f"{smoke['events_per_wall_s']:,.0f} events/wall-s, "
+             f"peak {smoke['peak_rss_bytes'] / 2**20:.1f} MiB")
+    else:
+        results["sweep"] = run_sweep(emit=emit)
+        results["smoke"] = run_isolated(SMOKE_DEVICES, SMOKE_SIM_MS, emit=emit)
+
+    fig9 = None
+    if args.fig9:
+        fig9 = run_isolated(FIG9_DEVICES, FIG9_SIM_MS, f=8, k=3, emit=emit)
+        results["fig9"] = fig9
+        emit(f"  fig9-style n={fig9['replicas']}: {fig9['readings_submitted']}"
+             f" readings in {fig9['sim_ms']:g} sim-ms, "
+             f"peak {fig9['peak_rss_bytes'] / 2**20:.1f} MiB")
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.record:
+        if "sweep" not in results:
+            results["sweep"] = run_sweep(emit=emit)
+        record(results["sweep"], results["smoke"], fig9, calib,
+               args.json, emit=emit)
+        write_report(results["sweep"], fig9, emit=emit)
+        write_scenario_report(emit=emit)
+    if args.check:
+        if not check(results["smoke"], calib, args.json, args.tolerance,
+                     emit=emit):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,12 +17,27 @@ hand-rolling their own aggregation::
 from __future__ import annotations
 
 import json
+import sys
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import LatencyTracker, Observability
 from .report import print_table
 
-__all__ = ["ScenarioReport", "DEFAULT_CDF_MARKS"]
+__all__ = ["ScenarioReport", "DEFAULT_CDF_MARKS", "current_peak_rss"]
+
+
+def current_peak_rss() -> Optional[int]:
+    """This process's peak resident set size in bytes, or None where the
+    platform doesn't report it (``ru_maxrss`` is KB on Linux, bytes on
+    macOS)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if peak <= 0:  # pragma: no cover - platform quirk
+        return None
+    return peak if sys.platform == "darwin" else peak * 1024
 
 #: the CDF fractions the paper's latency figures tabulate
 DEFAULT_CDF_MARKS: Tuple[float, ...] = (
@@ -42,6 +57,8 @@ class ScenarioReport:
         cdf_marks: Sequence[float] = DEFAULT_CDF_MARKS,
         extra: Optional[Dict[str, Any]] = None,
         wall_runtime_s: Optional[float] = None,
+        peak_rss_bytes: Optional[int] = None,
+        device_count: Optional[int] = None,
     ) -> None:
         self.obs = obs
         self.title = title
@@ -50,6 +67,8 @@ class ScenarioReport:
         self.cdf_marks = tuple(cdf_marks)
         self.extra = dict(extra or {})
         self.wall_runtime_s = wall_runtime_s
+        self.peak_rss_bytes = peak_rss_bytes
+        self.device_count = device_count
 
     @classmethod
     def from_deployment(
@@ -69,6 +88,8 @@ class ScenarioReport:
             cdf_marks=cdf_marks,
             extra=extra,
             wall_runtime_s=getattr(deployment, "wall_runtime_s", None),
+            peak_rss_bytes=current_peak_rss(),
+            device_count=getattr(deployment, "device_count", None),
         )
 
     @property
@@ -106,13 +127,19 @@ class ScenarioReport:
                 for tracker in self._by_kind("latency")
             },
         }
-        if not deterministic_only and self.wall_runtime_s is not None:
-            # host-dependent timing stays out of deterministic-only dumps
-            # (which are diffed/fingerprinted across hosts)
-            data["wall_runtime_s"] = round(self.wall_runtime_s, 4)
-            rate = self.events_per_sec
-            if rate is not None:
-                data["events_per_sec"] = round(rate, 1)
+        if not deterministic_only:
+            # host-dependent sizing stays out of deterministic-only dumps
+            # (which are diffed/fingerprinted across hosts); device_count
+            # rides with it so fleet sizing never perturbs pinned dumps
+            if self.wall_runtime_s is not None:
+                data["wall_runtime_s"] = round(self.wall_runtime_s, 4)
+                rate = self.events_per_sec
+                if rate is not None:
+                    data["events_per_sec"] = round(rate, 1)
+            if self.peak_rss_bytes is not None:
+                data["peak_rss_bytes"] = self.peak_rss_bytes
+            if self.device_count is not None:
+                data["device_count"] = self.device_count
         data.update(self.obs.snapshot(deterministic_only))
         if self.extra:
             data["extra"] = self.extra
@@ -141,6 +168,10 @@ class ScenarioReport:
             if rate is not None:
                 line += f" ({rate:,.0f} events/s)"
             out(line)
+        if self.device_count is not None:
+            out(f"field devices: {self.device_count}")
+        if self.peak_rss_bytes is not None:
+            out(f"peak RSS: {self.peak_rss_bytes / (1024 * 1024):.1f} MiB")
 
         trackers = self._by_kind("latency")
         for tracker in trackers:

@@ -9,6 +9,7 @@ re-exported here for convenience.
 """
 
 from .batching import BatchingOptions
+from .builder import DeploymentWiring, TopologyBuilder
 from .client import SubmissionManager
 from .collector import DeliveryCollector
 from .config import (
@@ -45,6 +46,8 @@ from .update import (
 
 __all__ = [
     "BatchingOptions",
+    "DeploymentWiring",
+    "TopologyBuilder",
     "SubmissionManager",
     "DeliveryCollector",
     "ResilienceConfig",

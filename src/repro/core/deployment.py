@@ -1,4 +1,4 @@
-"""Deployment builder: assembles a complete Spire system in one call.
+"""Deployment facade: assembles a complete Spire system in one call.
 
 This is the reproduction of the paper's deployed architecture:
 
@@ -13,13 +13,20 @@ This is the reproduction of the paper's deployed architecture:
 
 Everything rides on one :class:`~repro.simnet.Simulator`, so a scenario is
 fully described by (options, seed) and is exactly reproducible.
+
+Construction is layered (see :mod:`repro.core.builder`): a
+:class:`~repro.core.builder.TopologyBuilder` plans placement and
+configuration, a :class:`~repro.core.builder.DeploymentWiring` assembles
+the components.  Small-n figure runs and fleet-scale scenarios
+(``options.fleet`` — see :mod:`repro.fleet`) both construct through the
+same two stages; only the field layer differs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from time import perf_counter
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..crypto.provider import CryptoProvider, FastCrypto, RealCrypto, TimedCrypto
 from ..obs import (
@@ -29,23 +36,19 @@ from ..obs import (
     LatencyTracker,
     Observability,
 )
-from ..prime.config import PrimeConfig, lan_prime_config, wan_prime_config
-from ..replication import OverlayTransport
-from ..scada.grid import PowerGrid, build_radial_grid
-from ..scada.rtu import RtuDevice
 from ..simnet import LinkSpec, Network, Simulator
 from ..spines.overlay import SpinesOverlay
 from ..spines.topology import OverlayTopology, wide_area_topology
 from .batching import BatchingOptions
+from .builder import DeploymentWiring, TopologyBuilder
 from .diversity import DiversityManager
-from .hmi import HmiClient
 from .master import ScadaMasterApp
-from .proxy import DeviceBinding, RtuProxy
+from .proxy import RtuProxy
 from .recovery import ProactiveRecoveryScheduler, RecoveryStrategy
-from .replica import THRESHOLD_GROUP, SpireReplica
 
-if TYPE_CHECKING:  # repro.control imports this module; keep the cycle lazy
+if TYPE_CHECKING:  # lazy imports: both packages import this module
     from ..control import ControlOptions
+    from ..fleet.spec import FleetSpec
 
 __all__ = ["SpireOptions", "SpireDeployment"]
 
@@ -94,6 +97,12 @@ class SpireOptions:
     #: (:class:`~repro.core.batching.BatchingOptions`); None (the default)
     #: and ``max_batch_size=1`` both keep the bit-identical per-update path
     batching: Optional[BatchingOptions] = None
+    #: fleet-scale field layer (:class:`~repro.fleet.FleetSpec`): a
+    #: hierarchical region → substation → device topology with
+    #: heterogeneous poll classes and open-loop operator traffic replaces
+    #: the small-n single-proxy field layer; None (the default) keeps the
+    #: classic ``num_substations`` layout bit-identically
+    fleet: Optional[FleetSpec] = None
     checkpoint_interval_seqs: int = 50
     #: False disables the entire observability layer (metrics, spans,
     #: structured events): the deployment's ``obs`` is the shared no-op
@@ -211,6 +220,8 @@ class SpireOptions:
             self.control.validate()
         if self.batching is not None:
             self.batching.validate()
+        if self.fleet is not None:
+            self.fleet.validate()
         return self
 
 
@@ -276,10 +287,25 @@ class SpireDeployment:
             self.status_recorder = LatencyTracker()
             self.command_recorder = LatencyTracker()
             self.delivery_series = IntervalCounter(interval_ms=1000.0)
-        self._build_replicas()
-        self._build_field()
-        self._build_hmis()
-        self._wire()
+
+        # fleet attributes (populated by the fleet field stage)
+        self.fleet_topology = None
+        self.region_proxies: List[RtuProxy] = []
+        self.traffic_driver = None
+
+        builder = TopologyBuilder(opts, self.topology)
+        wiring = DeploymentWiring(self, builder)
+        wiring.build_replicas()
+        if opts.fleet is not None:
+            from ..fleet.deploy import build_fleet_field, wire_fleet
+
+            build_fleet_field(self, builder)
+            wiring.build_hmis()
+            wire_fleet(self, wiring)
+        else:
+            wiring.build_field()
+            wiring.build_hmis()
+            wiring.wire()
         self.recovery_scheduler: Optional[RecoveryStrategy] = None
         if opts.proactive_recovery is not None:
             period_ms, duration_ms = opts.proactive_recovery
@@ -324,154 +350,21 @@ class SpireDeployment:
                 )
 
     # ------------------------------------------------------------------
-    # Construction helpers
-    # ------------------------------------------------------------------
-    def _default_placement(self) -> Dict[str, int]:
-        needed = 3 * self.options.f + 2 * self.options.k + 1
-        site_names = [site.name for site in self.topology.sites
-                      if site.kind in ("control", "data")]
-        control_first = sorted(
-            site_names,
-            key=lambda name: (self.topology.site(name).kind != "control", name),
-        )
-        placement = {name: 0 for name in control_first}
-        index = 0
-        for _ in range(needed):
-            placement[control_first[index % len(control_first)]] += 1
-            index += 1
-        return {name: count for name, count in placement.items() if count > 0}
-
-    def _build_replicas(self) -> None:
-        opts = self.options
-        placement = opts.placement or self._default_placement()
-        self.placement = placement
-        names: List[str] = []
-        sites: List[str] = []
-        for site_name in sorted(placement):
-            for _ in range(placement[site_name]):
-                names.append(f"replica:{len(names)}")
-                sites.append(site_name)
-        import dataclasses
-
-        preset = lan_prime_config if opts.prime_preset == "lan" else wan_prime_config
-        config = preset(tuple(names), f=opts.f, k=opts.k)
-        config = dataclasses.replace(
-            config, checkpoint_interval_seqs=opts.checkpoint_interval_seqs
-        )
-        if opts.batching is not None and opts.batching.active:
-            # Batch knobs map onto Prime's pre-order aggregation: the
-            # origin's size+delay flush IS the batch cutter, so batch
-            # boundaries are fixed by the agreed order, not local clocks.
-            overrides = dict(
-                delivery_batching=True,
-                batch_max_updates=opts.batching.max_batch_size,
-            )
-            if opts.batching.max_batch_delay_ms is not None:
-                overrides["batch_interval_ms"] = opts.batching.max_batch_delay_ms
-            config = dataclasses.replace(config, **overrides)
-        self.prime_config = config
-        self.crypto.create_threshold_group(
-            THRESHOLD_GROUP, config.n, config.signing_threshold
-        )
-        self.replicas: List[SpireReplica] = []
-        self.replica_sites: Dict[str, str] = {}
-        for name, site_name in zip(names, sites):
-            app = ScadaMasterApp()
-            app.bind_obs(self.obs)
-            replica = SpireReplica(
-                name, self.simulator, self.network, config, self.crypto,
-                app=app, trace=self.trace, obs=self.obs,
-            )
-            stack = self.overlay.attach(replica, site_name)
-            replica.transport = OverlayTransport(stack, obs=self.obs)
-            self.diversity.assign(name)
-            self.replicas.append(replica)
-            self.replica_sites[name] = site_name
-
-    def _build_field(self) -> None:
-        opts = self.options
-        self.grid = build_radial_grid(
-            num_substations=opts.num_substations, seed=opts.seed
-        )
-        field_sites = [s.name for s in self.topology.sites_of_kind("field")]
-        self.field_site = field_sites[0] if field_sites else self.topology.sites[0].name
-        self.rtus: Dict[str, RtuDevice] = {}
-        bindings: List[DeviceBinding] = []
-        for unit_id, substation in enumerate(sorted(self.grid.substations), start=1):
-            rtu = RtuDevice(
-                f"rtu:{substation}", self.simulator, self.network,
-                self.grid, substation, unit_id,
-            )
-            self.rtus[substation] = rtu
-            bindings.append(
-                DeviceBinding(
-                    substation=substation,
-                    device_name=rtu.name,
-                    unit_id=unit_id,
-                    coil_ids=tuple(rtu.coil_ids()),
-                )
-            )
-        self.proxy = RtuProxy(
-            "proxy:field", self.simulator, self.network, self.crypto,
-            replicas=[r.name for r in self.replicas],
-            devices=bindings,
-            recorder=self.status_recorder,
-            trace=self.trace,
-            poll_interval_ms=opts.poll_interval_ms,
-            resubmit_timeout_ms=opts.resubmit_timeout_ms,
-            obs=self.obs,
-        )
-        self.proxy.stack = self.overlay.attach(self.proxy, self.field_site)
-        for binding in bindings:
-            self.network.set_link(
-                self.proxy.name, binding.device_name,
-                LinkSpec(latency_ms=0.3, jitter_ms=0.05),
-            )
-
-    def _build_hmis(self) -> None:
-        control_sites = [s.name for s in self.topology.sites_of_kind("control")]
-        home = control_sites[0] if control_sites else self.topology.sites[0].name
-        self.hmis: List[HmiClient] = []
-        for index in range(self.options.num_hmis):
-            hmi = HmiClient(
-                f"hmi:{index}", self.simulator, self.network, self.crypto,
-                replicas=[r.name for r in self.replicas],
-                recorder=self.command_recorder,
-                trace=self.trace,
-                resubmit_timeout_ms=self.options.resubmit_timeout_ms,
-                obs=self.obs,
-            )
-            hmi.stack = self.overlay.attach(hmi, home)
-            self.hmis.append(hmi)
-
-    def _wire(self) -> None:
-        for replica in self.replicas:
-            for hmi in self.hmis:
-                replica.add_subscriber(hmi.name)
-            for substation in self.grid.substations:
-                replica.register_proxy(substation, self.proxy.name)
-        # availability accounting: every verified status delivery at HMI 0
-        if self.hmis:
-            original = self.hmis[0]._on_delivery_share
-
-            def counted(share, _original=original):
-                before = self.hmis[0].collector.verified
-                _original(share)
-                if self.hmis[0].collector.verified > before:
-                    self.delivery_series.record(self.simulator.now)
-
-            self.hmis[0]._on_delivery_share = counted
-
-    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Start every component (call once, then run the simulator)."""
         for replica in self.replicas:
             replica.start()
-        self.proxy.start()
+        if self.options.fleet is not None:
+            for proxy in self.region_proxies:
+                proxy.start()
+        else:
+            self.proxy.start()
         for hmi in self.hmis:
             hmi.start()
+        if self.traffic_driver is not None:
+            self.traffic_driver.start()
         if self.recovery_scheduler is not None:
             self.recovery_scheduler.start()
 
@@ -485,6 +378,14 @@ class SpireDeployment:
     # ------------------------------------------------------------------
     # Introspection helpers used by benchmarks
     # ------------------------------------------------------------------
+    @property
+    def device_count(self) -> int:
+        """Field devices in the scenario (fleet total, or one RTU per
+        substation in the classic small-n layout)."""
+        if self.fleet_topology is not None:
+            return self.fleet_topology.device_count
+        return len(self.rtus)
+
     def current_leader(self) -> str:
         views = [r.view for r in self.replicas if r.is_up]
         view = max(set(views), key=views.count) if views else 0

@@ -74,6 +74,10 @@ class SpireReplica(PrimeNode):
         self.subscribers: List[str] = []
         #: substation -> proxy endpoint fronting it (for command delivery)
         self.proxy_of_substation: Dict[str, str] = {}
+        #: fallback resolver consulted when the dict misses — fleet
+        #: deployments register one function (substation name -> region
+        #: proxy) instead of 10k per-substation entries on every replica
+        self.proxy_resolver = None
         self.deliveries_sent = 0
         #: attack hook: transform our threshold share before sending
         #: (models a compromised replica emitting garbage shares)
@@ -99,6 +103,16 @@ class SpireReplica(PrimeNode):
 
     def register_proxy(self, substation: str, proxy_endpoint: str) -> None:
         self.proxy_of_substation[substation] = proxy_endpoint
+
+    def register_proxy_resolver(self, resolver) -> None:
+        """Register a substation -> proxy-endpoint fallback function."""
+        self.proxy_resolver = resolver
+
+    def _proxy_for(self, substation: str):
+        proxy = self.proxy_of_substation.get(substation)
+        if proxy is None and self.proxy_resolver is not None:
+            proxy = self.proxy_resolver(substation)
+        return proxy
 
     # ------------------------------------------------------------------
     # Incoming submissions
@@ -138,7 +152,7 @@ class SpireReplica(PrimeNode):
         targets: Set[str] = set(self.subscribers)
         targets.add(update.client)
         if isinstance(update.payload, BreakerCommand):
-            proxy = self.proxy_of_substation.get(update.payload.substation)
+            proxy = self._proxy_for(update.payload.substation)
             if proxy is not None:
                 targets.add(proxy)
         for target in targets:
@@ -174,7 +188,7 @@ class SpireReplica(PrimeNode):
         for i, (update, _order_index, _result) in enumerate(executed):
             wanted.setdefault(update.client, set()).add(i)
             if isinstance(update.payload, BreakerCommand):
-                proxy = self.proxy_of_substation.get(update.payload.substation)
+                proxy = self._proxy_for(update.payload.substation)
                 if proxy is not None:
                     wanted.setdefault(proxy, set()).add(i)
             # retry cache: re-answer a client resubmission with just its

@@ -1,0 +1,45 @@
+"""Fleet-scale scenarios: hierarchical topologies, sharded field state,
+open-loop operator traffic.
+
+Set :attr:`repro.core.SpireOptions.fleet` to a :class:`FleetSpec` and the
+deployment swaps its small-n field layer (one radial grid, one proxy) for
+region shards with lazily-materialized devices::
+
+    from repro.core import SpireDeployment, SpireOptions
+    from repro.fleet import FleetSpec
+
+    opts = SpireOptions.wan(seed=7, fleet=FleetSpec.sized(1000, num_regions=4))
+    d = SpireDeployment(opts)
+    d.start()
+    d.run_for(10_000.0)
+
+Everything stays on the one deterministic simulator: a fleet scenario is
+reproducible from ``(options, seed)`` exactly like the paper figures.
+"""
+
+from .deploy import RegionProxy, build_fleet_field, region_resolver, wire_fleet
+from .generator import FleetTopology, generate_fleet
+from .spec import (
+    DEFAULT_POLL_CLASSES,
+    FleetSpec,
+    PollClass,
+    RegionSpec,
+    TrafficSpec,
+)
+from .traffic import FleetTrafficDriver, OperatorTrafficModel
+
+__all__ = [
+    "RegionProxy",
+    "build_fleet_field",
+    "region_resolver",
+    "wire_fleet",
+    "FleetTopology",
+    "generate_fleet",
+    "DEFAULT_POLL_CLASSES",
+    "FleetSpec",
+    "PollClass",
+    "RegionSpec",
+    "TrafficSpec",
+    "FleetTrafficDriver",
+    "OperatorTrafficModel",
+]

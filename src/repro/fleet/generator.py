@@ -1,0 +1,107 @@
+"""Hierarchical fleet topology generator.
+
+Expands a :class:`~repro.fleet.spec.FleetSpec` into region shards with
+populated device rosters: regions → substations → RTUs/PLCs, each device
+assigned a poll-rate class by weighted draw.  The expansion is a pure
+function of ``(spec, seed)``:
+
+* every draw comes from one ``random.Random`` seeded with a string key
+  derived from the seed — no ambient entropy, no hash-order iteration;
+* regions are expanded in spec order, devices in index order, so the
+  resulting rosters (and :meth:`FleetTopology.manifest`, the canonical
+  image tests digest) are byte-identical across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..scada.region import RegionShard
+from .spec import FleetSpec
+
+__all__ = ["FleetTopology", "generate_fleet"]
+
+
+@dataclass
+class FleetTopology:
+    """The expanded fleet: one :class:`RegionShard` per region."""
+
+    spec: FleetSpec
+    seed: int
+    regions: List[RegionShard] = field(default_factory=list)
+
+    @property
+    def device_count(self) -> int:
+        return sum(shard.device_count for shard in self.regions)
+
+    def region(self, name: str) -> RegionShard:
+        for shard in self.regions:
+            if shard.name == name:
+                return shard
+        raise KeyError(f"no region {name!r} in fleet topology")
+
+    def manifest(self) -> Tuple:
+        """Canonical image of the generated topology.
+
+        Pure tuples of primitives, in generation order — digest it to pin
+        determinism (same seed ⇒ identical manifest, byte for byte).
+        """
+        return tuple(
+            (
+                shard.name,
+                shard.base_tick_ms,
+                shard.poll_intervals_ms,
+                tuple(
+                    (
+                        slot.substation,
+                        slot.unit_id,
+                        slot.kind,
+                        slot.poll_class,
+                        round(slot.load_mw, 9),
+                    )
+                    for slot in shard.slots
+                ),
+            )
+            for shard in self.regions
+        )
+
+
+def generate_fleet(spec: FleetSpec, seed: int) -> FleetTopology:
+    """Expand ``spec`` into populated region shards, deterministically."""
+    spec.validate()
+    rng = random.Random(f"fleet-topology/{seed}")
+    intervals = tuple(pc.interval_ms for pc in spec.poll_classes)
+    weights = [pc.weight for pc in spec.poll_classes]
+    total_weight = sum(weights)
+    cumulative: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total_weight
+        cumulative.append(acc)
+    topology = FleetTopology(spec=spec, seed=seed)
+    for region_index, region in enumerate(spec.regions):
+        shard = RegionShard(
+            name=region.name,
+            # distinct per-region grid noise streams, derived (not drawn)
+            # so adding a region never shifts earlier regions' telemetry
+            seed=seed * 1009 + region_index,
+            poll_intervals_ms=intervals,
+            base_tick_ms=spec.base_tick_ms,
+        )
+        for device_index in range(region.device_count):
+            draw = rng.random()
+            poll_class = next(
+                index for index, edge in enumerate(cumulative) if draw <= edge
+            )
+            kind = "plc" if rng.random() < spec.plc_fraction else "rtu"
+            load_mw = 5.0 + rng.random() * 20.0
+            shard.add_slot(
+                substation=f"{region.name}/s{device_index}",
+                kind=kind,
+                poll_class=poll_class,
+                load_mw=load_mw,
+            )
+        topology.regions.append(shard)
+    return topology

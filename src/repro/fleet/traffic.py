@@ -1,0 +1,117 @@
+"""Open-loop operator traffic for fleet scenarios.
+
+Real control rooms generate command traffic independent of the system's
+response rate — operators keep clicking whether or not the last command
+confirmed.  :class:`OperatorTrafficModel` is the pure arrival/selection
+stream (seed-deterministic, pre-drawable by tests);
+:class:`FleetTrafficDriver` replays it onto the deployment's HMIs at
+simulation time, issuing breaker commands against randomly selected fleet
+devices.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from .generator import FleetTopology
+from .spec import TrafficSpec
+
+__all__ = ["OperatorTrafficModel", "FleetTrafficDriver"]
+
+
+class OperatorTrafficModel:
+    """Pure stream of operator actions.
+
+    Each :meth:`next_action` returns ``(gap_ms, region_index,
+    device_index, close)`` drawn from one seeded RNG: when the next
+    command arrives, which device it targets, and the commanded breaker
+    position.  Two models with the same ``(spec, region_sizes, seed)``
+    produce byte-identical streams — the determinism tests pin this.
+    """
+
+    def __init__(
+        self, spec: TrafficSpec, region_sizes: List[int], seed: int
+    ) -> None:
+        if not region_sizes or all(size == 0 for size in region_sizes):
+            raise ValueError("traffic needs at least one device to target")
+        self.spec = spec
+        self.region_sizes = list(region_sizes)
+        self._rng = random.Random(f"fleet-traffic/{seed}")
+        self._period_ms = 1000.0 / spec.rate_per_s
+        self._rate_per_ms = spec.rate_per_s / 1000.0
+        #: device selection is uniform over the whole fleet, so large
+        #: regions see proportionally more operator attention
+        self._total = sum(self.region_sizes)
+
+    def next_action(self) -> Tuple[float, int, int, bool]:
+        if self.spec.process == "poisson":
+            gap_ms = self._rng.expovariate(self._rate_per_ms)
+        else:
+            gap_ms = self._period_ms
+        flat = self._rng.randrange(self._total)
+        region_index = 0
+        while flat >= self.region_sizes[region_index]:
+            flat -= self.region_sizes[region_index]
+            region_index += 1
+        close = self._rng.random() < 0.5
+        return gap_ms, region_index, flat, close
+
+    def preview(self, count: int) -> List[Tuple[float, int, int, bool]]:
+        """The first ``count`` actions (consumes the stream) — for tests."""
+        return [self.next_action() for _ in range(count)]
+
+
+class FleetTrafficDriver:
+    """Replays an :class:`OperatorTrafficModel` onto the HMIs.
+
+    Open loop: the next arrival is scheduled as soon as the current one
+    fires, regardless of whether the command ever confirms.  Commands
+    round-robin across the deployment's HMIs.
+    """
+
+    def __init__(
+        self,
+        simulator,
+        hmis: List,
+        topology: FleetTopology,
+        spec: TrafficSpec,
+        seed: int,
+    ) -> None:
+        if not hmis:
+            raise ValueError("fleet traffic needs at least one HMI")
+        self.simulator = simulator
+        self.hmis = hmis
+        self.topology = topology
+        self.model = OperatorTrafficModel(
+            spec, [shard.device_count for shard in topology.regions], seed
+        )
+        self.commands_issued = 0
+        self._stopped = False
+
+    def start(self) -> None:
+        self._arm()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _arm(self) -> None:
+        gap_ms, region_index, device_index, close = self.model.next_action()
+        self.simulator.schedule(
+            gap_ms, self._fire, region_index, device_index, close
+        )
+
+    def _fire(self, region_index: int, device_index: int, close: bool) -> None:
+        if self._stopped:
+            return
+        shard = self.topology.regions[region_index]
+        slot = shard.slots[device_index]
+        # a fleet leaf has exactly one breaker: its feeder from the
+        # region source (see RegionShard.materialize)
+        breaker_id = f"{slot.substation}->{shard.source}"
+        hmi = self.hmis[self.commands_issued % len(self.hmis)]
+        hmi.operate_breaker(
+            slot.substation, breaker_id, close, reason="fleet-traffic"
+        )
+        self.commands_issued += 1
+        self._arm()

@@ -17,6 +17,7 @@ from .modbus import (
     unscale_measurement,
 )
 from .plc import PlcDevice, ProtectionRule, undervoltage_rule
+from .region import DeviceSlot, RegionShard, ShardedPollDriver
 from .rtu import MEASUREMENT_ORDER, RtuDevice
 
 __all__ = [
@@ -40,6 +41,9 @@ __all__ = [
     "PlcDevice",
     "ProtectionRule",
     "undervoltage_rule",
+    "DeviceSlot",
+    "RegionShard",
+    "ShardedPollDriver",
     "MEASUREMENT_ORDER",
     "RtuDevice",
 ]

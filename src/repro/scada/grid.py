@@ -57,6 +57,10 @@ class PowerGrid:
         self.substations: Dict[str, Substation] = {}
         self._rng = random.Random(f"grid/{seed}")
         self.time_hours: float = 0.0
+        # energization is a pure function of topology + breaker state, so
+        # it is cached between breaker operations: polling n substations
+        # costs one connectivity sweep, not n (the fleet-scale hot path)
+        self._energized_cache: Optional[set] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -66,6 +70,7 @@ class PowerGrid:
             raise ValueError(f"duplicate substation {substation.name}")
         self.substations[substation.name] = substation
         self.graph.add_node(substation.name)
+        self._energized_cache = None
         return substation
 
     def add_line(self, a: str, b: str, capacity_mw: float = 100.0) -> Tuple[str, str]:
@@ -77,6 +82,7 @@ class PowerGrid:
         for end, other in ((a, b), (b, a)):
             breaker_id = f"{end}->{other}"
             self.substations[end].breakers[breaker_id] = Breaker(breaker_id, (end, other))
+        self._energized_cache = None
         return (a, b)
 
     # ------------------------------------------------------------------
@@ -91,6 +97,7 @@ class PowerGrid:
         if breaker.closed == closed:
             return False
         breaker.closed = closed
+        self._energized_cache = None
         return True
 
     def breaker_closed(self, substation: str, breaker_id: str) -> bool:
@@ -115,12 +122,20 @@ class PowerGrid:
         return g
 
     def energized_substations(self) -> set:
-        """Substations connected to at least one generation source."""
+        """Substations connected to at least one generation source.
+
+        The result is cached until the next breaker/topology change;
+        treat the returned set as read-only.
+        """
+        cached = self._energized_cache
+        if cached is not None:
+            return cached
         g = self._energized_graph()
         energized = set()
         for component in nx.connected_components(g):
             if any(self.substations[n].is_source for n in component):
                 energized |= component
+        self._energized_cache = energized
         return energized
 
     def load_factor(self) -> float:

@@ -1,0 +1,64 @@
+"""Endpoint identity interning.
+
+At fleet scale (10k field devices) every per-message dictionary keyed by
+endpoint *name* pays string hashing and keeps one key reference per entry
+per table. The :class:`EndpointTable` is the network's symbol table: each
+endpoint name is interned once into a dense integer id, and the hot data
+structures (link table, process registry, delivery scheduling) are keyed
+by those ids. Names remain the public addressing API — the table is an
+implementation detail behind :class:`~repro.simnet.Network`; interning an
+unknown name is always legal (links can be described before both ends are
+registered) and ids are stable for the lifetime of the network.
+
+Determinism: ids are allocated in first-intern order, which is itself a
+deterministic function of the deployment build order, so nothing observable
+depends on hash seeds or allocation addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["EndpointTable"]
+
+
+class EndpointTable:
+    """Bidirectional name ⇄ dense-integer-id symbol table."""
+
+    __slots__ = ("_ids", "_names")
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._names: List[str] = []
+
+    def intern(self, name: str) -> int:
+        """Return the id for ``name``, allocating the next dense id on
+        first sight."""
+        eid = self._ids.get(name)
+        if eid is None:
+            eid = len(self._names)
+            self._ids[name] = eid
+            self._names.append(name)
+        return eid
+
+    def get(self, name: str) -> Optional[int]:
+        """The id for ``name`` if already interned, else None."""
+        return self._ids.get(name)
+
+    def id_of(self, name: str) -> int:
+        """The id for ``name``; raises KeyError if never interned."""
+        return self._ids[name]
+
+    def name_of(self, eid: int) -> str:
+        """The name for an id; raises IndexError for unallocated ids."""
+        return self._names[eid]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def names(self) -> Iterator[str]:
+        """All interned names in id (first-intern) order."""
+        return iter(self._names)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple, TYPE_CHECKING
 
 from .engine import Simulator
+from .interning import EndpointTable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .node import Process
@@ -107,10 +108,17 @@ class Network:
     def __init__(self, simulator: Simulator, default_link: Optional[LinkSpec] = None) -> None:
         self.simulator = simulator
         self.default_link = default_link or LinkSpec()
+        #: symbol table interning endpoint names to dense integer ids;
+        #: all hot per-message structures below are keyed by these ids
+        self.endpoints = EndpointTable()
+        # registration-ordered name view (failure injectors sample from
+        # it, so iteration order is part of the determinism contract)
         self._processes: Dict[str, "Process"] = {}
-        # src -> dst -> state: two cached-hash string lookups per send
-        # instead of allocating and hashing a (src, dst) key tuple
-        self._links: Dict[str, Dict[str, _LinkState]] = {}
+        # dense id -> process (None for interned-but-unregistered names)
+        self._procs_by_id: list[Optional["Process"]] = []
+        # src id -> dst id -> state: integer keys, no per-message string
+        # hashing and no (src, dst) tuple allocation
+        self._links: Dict[int, Dict[int, _LinkState]] = {}
         self._partitions: list[Tuple[frozenset, frozenset]] = []
         self._filters: list[MessageFilter] = []
         self.stats = NetworkStats()
@@ -122,13 +130,26 @@ class Network:
     # ------------------------------------------------------------------
     # Registration and topology
     # ------------------------------------------------------------------
-    def register(self, process: "Process") -> None:
+    def register(self, process: "Process") -> int:
+        """Register a process; returns its interned endpoint id."""
         if process.name in self._processes:
             raise ValueError(f"duplicate process name: {process.name}")
+        eid = self.endpoints.intern(process.name)
+        while len(self._procs_by_id) <= eid:
+            self._procs_by_id.append(None)
+        self._procs_by_id[eid] = process
         self._processes[process.name] = process
+        return eid
 
     def process(self, name: str) -> "Process":
         return self._processes[name]
+
+    def process_by_id(self, eid: int) -> Optional["Process"]:
+        """The registered process for an endpoint id (None if the name
+        was interned but never registered)."""
+        if 0 <= eid < len(self._procs_by_id):
+            return self._procs_by_id[eid]
+        return None
 
     def has_process(self, name: str) -> bool:
         return name in self._processes
@@ -137,12 +158,15 @@ class Network:
     def process_names(self) -> Iterable[str]:
         return self._processes.keys()
 
-    def _link(self, src: str, dst: str) -> _LinkState:
-        by_src = self._links.setdefault(src, {})
-        state = by_src.get(dst)
+    def _link_ids(self, src_id: int, dst_id: int) -> _LinkState:
+        by_src = self._links.setdefault(src_id, {})
+        state = by_src.get(dst_id)
         if state is None:
-            state = by_src[dst] = _LinkState(self.default_link.copy())
+            state = by_src[dst_id] = _LinkState(self.default_link.copy())
         return state
+
+    def _link(self, src: str, dst: str) -> _LinkState:
+        return self._link_ids(self.endpoints.intern(src), self.endpoints.intern(dst))
 
     def set_link(self, src: str, dst: str, spec: LinkSpec, symmetric: bool = True) -> None:
         """Set the static link spec between two processes."""
@@ -241,7 +265,14 @@ class Network:
         stats = self.stats
         stats.sent += 1
         stats.bytes_sent += size_bytes
-        if dst not in self._processes:
+        endpoints = self.endpoints
+        dst_id = endpoints.get(dst)
+        process = (
+            self._procs_by_id[dst_id]
+            if dst_id is not None and dst_id < len(self._procs_by_id)
+            else None
+        )
+        if process is None:
             stats.dropped_down += 1
             return False
         if self._partitions and self._partitioned(src, dst):
@@ -253,13 +284,14 @@ class Network:
                 if payload is None:
                     stats.dropped_filter += 1
                     return False
-        by_src = self._links.get(src)
-        link = by_src.get(dst) if by_src is not None else None
+        src_id = endpoints.intern(src)
+        by_src = self._links.get(src_id)
+        link = by_src.get(dst_id) if by_src is not None else None
         if link is None:
-            link = self._link(src, dst)
+            link = self._link_ids(src_id, dst_id)
         if link.fast:
             # clean link: fixed delay, no loss/jitter/bandwidth draws
-            self.simulator.post(link.base_delay_ms, self._deliver, src, dst, payload)
+            self.simulator.post(link.base_delay_ms, self._deliver, src, process, payload)
             return True
         if link.blocked:
             stats.dropped_partition += 1
@@ -277,7 +309,7 @@ class Network:
             start = max(self.simulator.now, link.queue_free_at)
             link.queue_free_at = start + serialize_ms
             delay += (start - self.simulator.now) + serialize_ms
-        self.simulator.post(delay, self._deliver, src, dst, payload)
+        self.simulator.post(delay, self._deliver, src, process, payload)
         return True
 
     def inject(self, src: str, dst: str, payload: Any, delay_ms: float = 0.0) -> None:
@@ -288,11 +320,24 @@ class Network:
         a filter and re-introduce copies of it through here, without the
         re-introduced copy being filtered again (which would recurse).
         """
-        self.simulator.post(delay_ms, self._deliver, src, dst, payload)
+        self.simulator.post(delay_ms, self._deliver_named, src, dst, payload)
 
-    def _deliver(self, src: str, dst: str, payload: Any) -> None:
+    def _deliver_named(self, src: str, dst: str, payload: Any) -> None:
+        """Name-resolving delivery used by :meth:`inject` only: the
+        destination may not be registered when the injection is scheduled,
+        so resolution is deferred to delivery time (the pre-interning
+        behavior)."""
         process = self._processes.get(dst)
-        if process is None or not process.is_up:
+        if process is None:
+            self.stats.dropped_down += 1
+            return
+        self._deliver(src, process, payload)
+
+    def _deliver(self, src: str, process: "Process", payload: Any) -> None:
+        # processes are never deregistered, so send() resolves the
+        # destination once and the scheduled delivery holds the process
+        # itself — no per-message name lookup on the delivery side
+        if not process.is_up:
             self.stats.dropped_down += 1
             return
         self.stats.delivered += 1

@@ -1,0 +1,168 @@
+"""Tests for endpoint interning (repro.simnet.interning).
+
+The network's per-message hot path now keys link state and delivery on
+dense integer endpoint ids instead of name strings.  These tests pin the
+three properties the refactor must keep: the symbol table round-trips
+names and ids exactly, ids stay dense and collision-free at fleet scale
+(10k endpoints), and a full small-n deployment produces a bit-identical
+trace image to the pre-interning implementation (pinned digests).
+"""
+
+import os
+
+import pytest
+
+from repro.core import SpireDeployment, SpireOptions
+from repro.crypto.encoding import digest
+from repro.simnet import (
+    EndpointTable,
+    LinkSpec,
+    Network,
+    Process,
+    Simulator,
+)
+
+DETERMINISTIC_HASHING = os.environ.get("PYTHONHASHSEED") == "0"
+
+
+# ----------------------------------------------------------------------
+# EndpointTable
+# ----------------------------------------------------------------------
+
+def test_intern_allocates_dense_ids_in_first_sight_order():
+    table = EndpointTable()
+    assert table.intern("c") == 0
+    assert table.intern("a") == 1
+    assert table.intern("b") == 2
+    # re-interning returns the existing id, never a new one
+    assert table.intern("a") == 1
+    assert len(table) == 3
+
+
+def test_round_trip_name_to_id_and_back():
+    table = EndpointTable()
+    names = [f"proc:{i}" for i in range(50)]
+    ids = [table.intern(name) for name in names]
+    assert [table.name_of(eid) for eid in ids] == names
+    assert [table.id_of(name) for name in names] == ids
+    assert list(table.names()) == names
+
+
+def test_get_returns_none_for_unknown_without_interning():
+    table = EndpointTable()
+    assert table.get("ghost") is None
+    assert "ghost" not in table
+    assert len(table) == 0
+    table.intern("real")
+    assert table.get("real") == 0
+    assert "real" in table
+
+
+def test_id_of_raises_for_unknown():
+    table = EndpointTable()
+    with pytest.raises(KeyError):
+        table.id_of("missing")
+    with pytest.raises(IndexError):
+        table.name_of(0)
+
+
+def test_collision_free_at_fleet_scale():
+    """10k endpoints: ids stay dense, unique, and stable."""
+    table = EndpointTable()
+    names = [f"region{i % 40}/rtu:s{i}" for i in range(10_000)]
+    ids = [table.intern(name) for name in names]
+    assert ids == list(range(10_000))
+    assert len(set(ids)) == 10_000
+    # every name still resolves to its original id after full load
+    for offset in (0, 1, 4_999, 9_999):
+        assert table.id_of(names[offset]) == offset
+        assert table.name_of(offset) == names[offset]
+
+
+# ----------------------------------------------------------------------
+# Network integration
+# ----------------------------------------------------------------------
+
+def _make_net():
+    simulator = Simulator(seed=5)
+    network = Network(simulator, LinkSpec(latency_ms=1.0, jitter_ms=0.0))
+    return simulator, network
+
+
+def test_network_registers_processes_into_symbol_table():
+    simulator, network = _make_net()
+    a = Process("a", simulator, network)
+    b = Process("b", simulator, network)
+    assert a.endpoint_id == 0
+    assert b.endpoint_id == 1
+    assert network.endpoints.id_of("a") == 0
+    assert network.process_by_id(1) is b
+    # registration-ordered name iteration is part of the determinism
+    # contract (failure injection samples from it)
+    assert list(network.process_names) == ["a", "b"]
+
+
+def test_send_delivers_through_interned_path():
+    simulator, network = _make_net()
+    inbox = []
+
+    class Sink(Process):
+        def on_message(self, src, payload):
+            inbox.append((src, payload))
+
+    a = Process("a", simulator, network)
+    Sink("b", simulator, network)
+    assert a.send("b", "hello") is True
+    simulator.run_until(10.0)
+    assert inbox == [("a", "hello")]
+    assert network.stats.delivered == 1
+
+
+def test_send_to_unknown_destination_is_dropped():
+    simulator, network = _make_net()
+    a = Process("a", simulator, network)
+    assert a.send("ghost", "x") is False
+    simulator.run_until(10.0)
+    assert network.stats.dropped_down == 1
+
+
+# ----------------------------------------------------------------------
+# Pinned small-n trace image
+# ----------------------------------------------------------------------
+
+def _trace_fingerprint(options, run_ms):
+    deployment = SpireDeployment(options)
+    deployment.start()
+    deployment.simulator.run_until(run_ms)
+    image = tuple(
+        (e.time, e.component, e.kind, tuple(sorted(e.details.items())))
+        for e in deployment.trace.events()
+    )
+    return digest((image, deployment.simulator.events_processed))
+
+
+#: digests captured on the pre-interning implementation — the interned
+#: hot path must keep every delivery bit-identical
+PINNED_TRACES = {
+    "wan7": (
+        dict(seed=7, num_substations=3),
+        6000.0,
+        "17afe859c70e52c1bb3678aca02ac59f8770441a42ede0a82ef8ff7e93867e67",
+    ),
+    "lan21": (
+        dict(seed=21, num_substations=2, poll_interval_ms=200.0),
+        4000.0,
+        "2eca385b6efaab3445349853259fff7ef6144645592ef4daf0910ac35b75ade8",
+    ),
+}
+
+
+@pytest.mark.skipif(
+    not DETERMINISTIC_HASHING,
+    reason="pinned digests need PYTHONHASHSEED=0",
+)
+@pytest.mark.parametrize("case", sorted(PINNED_TRACES))
+def test_trace_image_pinned_across_interning(case):
+    overrides, run_ms, expected = PINNED_TRACES[case]
+    preset = SpireOptions.wan if case.startswith("wan") else SpireOptions.lan
+    assert _trace_fingerprint(preset(**overrides), run_ms) == expected
