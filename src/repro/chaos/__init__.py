@@ -15,7 +15,13 @@ Quickstart::
     assert result.ok, result.violations
 """
 
-from .engine import OVERLAY_FAULT_KINDS, ChaosEngine, ChaosOptions, ChaosResult
+from .engine import (
+    LEADER_FAULT_KINDS,
+    OVERLAY_FAULT_KINDS,
+    ChaosEngine,
+    ChaosOptions,
+    ChaosResult,
+)
 from .generator import ChaosProfile, generate_schedule
 from .monitors import (
     BoundedDelayMonitor,
@@ -24,8 +30,10 @@ from .monitors import (
     QuorumFloorMonitor,
     RerouteBoundMonitor,
     SafetyMonitor,
+    ViewRecoveryMonitor,
     Violation,
 )
+from .pbft import PbftChaosOptions, PbftChaosResult, run_pbft_chaos
 from .scenario import (
     SCENARIO_FORMAT,
     ReplayMismatch,
@@ -49,11 +57,16 @@ __all__ = [
     "QuorumFloorMonitor",
     "BoundedDelayMonitor",
     "RerouteBoundMonitor",
+    "ViewRecoveryMonitor",
     "Violation",
     "FaultAction",
     "FaultSchedule",
     "FAULT_KINDS",
     "OVERLAY_FAULT_KINDS",
+    "LEADER_FAULT_KINDS",
+    "PbftChaosOptions",
+    "PbftChaosResult",
+    "run_pbft_chaos",
     "SCENARIO_FORMAT",
     "scenario_dict",
     "dump_scenario",

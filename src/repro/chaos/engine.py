@@ -22,12 +22,14 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..attacks.dos import LeaderChaser
 from ..control import ControlOptions
+from ..core.batching import BatchingOptions
 from ..core.deployment import SpireDeployment, SpireOptions
 from ..crypto.encoding import digest
 from ..obs import (
     COMP_CHAOS,
     COMP_RECOVERY_SCHEDULER,
     EV_FAULT_SCHEDULED,
+    EV_NEW_VIEW,
     EV_REJUVENATE_DONE,
     EV_REJUVENATE_START,
 )
@@ -41,15 +43,23 @@ from .monitors import (
     QuorumFloorMonitor,
     RerouteBoundMonitor,
     SafetyMonitor,
+    ViewRecoveryMonitor,
     Violation,
 )
 from .schedule import FaultAction, FaultSchedule
 
-__all__ = ["ChaosOptions", "ChaosResult", "ChaosEngine", "OVERLAY_FAULT_KINDS"]
+__all__ = [
+    "ChaosOptions", "ChaosResult", "ChaosEngine",
+    "OVERLAY_FAULT_KINDS", "LEADER_FAULT_KINDS",
+]
 
 #: fault kinds whose targets are overlay *site* names; the engine maps
 #: them to spines daemon processes and the reroute monitor judges them
 OVERLAY_FAULT_KINDS = frozenset({"link_kill", "link_degrade", "daemon_kill"})
+
+#: fault kinds resolved against the *current* leader at fire time; the
+#: view-recovery monitor judges each one
+LEADER_FAULT_KINDS = frozenset({"leader_kill", "leader_partition"})
 
 #: deployment mutator applied before monitors attach (test-only hooks that
 #: deliberately weaken a component to prove the monitors catch it)
@@ -95,6 +105,21 @@ class ChaosOptions:
     #: how long after a fault window ends before the system must be
     #: re-bounded (budget: one view-change timeout plus settling)
     quiet_grace_ms: float = 2500.0
+    #: every leader-affecting fault must see a quorum adopt a higher view
+    #: *and* a verified delivery within this bound of the fault firing
+    #: (TAT suspicion + view-change round + settling); checked by
+    #: :class:`ViewRecoveryMonitor`
+    view_recovery_bound_ms: float = 3000.0
+    #: draw ``leader_kill``/``leader_partition`` faults into generated
+    #: schedules (default-off: existing seeds stay byte-identical) and
+    #: turn on the view-change hardening they require
+    leader_faults: bool = False
+    #: harden the Prime view-change path (VC/new-view retransmission,
+    #: strict state-transfer view adoption) independently of whether the
+    #: schedule targets leaders; implied by ``leader_faults``
+    view_change_hardening: bool = False
+    #: run with delivery batching enabled (PR 7's ``BatchingOptions``)
+    batching: bool = False
     min_actions: int = 3
     max_actions: int = 8
 
@@ -178,12 +203,19 @@ class ChaosEngine:
             seed=opts.seed,
             proactive_recovery=opts.proactive_recovery,
             control=control,
+            batching=BatchingOptions(enabled=True) if opts.batching else None,
+            view_change_hardening=(
+                opts.view_change_hardening or opts.leader_faults
+            ),
         ))
         replica_names = deployment.replica_names()
         endpoints = [deployment.proxy.name] + [h.name for h in deployment.hmis]
 
         schedule = self.schedule
         if schedule is None:
+            kinds = ChaosProfile().kinds
+            if opts.leader_faults:
+                kinds = kinds + ("leader_kill", "leader_kill", "leader_partition")
             profile = ChaosProfile(
                 window_start_ms=opts.warmup_ms,
                 window_end_ms=opts.warmup_ms + opts.chaos_ms,
@@ -191,6 +223,7 @@ class ChaosEngine:
                 max_actions=opts.max_actions,
                 max_concurrent_crashes=max(1, opts.f),
                 max_partition_minority=max(1, opts.f),
+                kinds=kinds,
             )
             schedule = generate_schedule(
                 opts.seed, replica_names, endpoints=endpoints, profile=profile,
@@ -224,7 +257,12 @@ class ChaosEngine:
             reroute = RerouteBoundMonitor(
                 deployment.simulator, bound_ms=opts.reroute_bound_ms,
             )
-        monitors = [safety, gate, quorum, floor, watchdog]
+        view_recovery = ViewRecoveryMonitor(
+            deployment.simulator,
+            bound_ms=opts.view_recovery_bound_ms,
+            quorum=deployment.prime_config.quorum,
+        )
+        monitors = [safety, gate, quorum, floor, watchdog, view_recovery]
         if reroute is not None:
             monitors.append(reroute)
         for monitor in monitors:
@@ -234,7 +272,8 @@ class ChaosEngine:
         injector = FailureInjector(deployment.simulator, deployment.network)
         chasers: List[LeaderChaser] = []
         for index, action in enumerate(schedule):
-            self._apply(action, index, deployment, injector, chasers)
+            self._apply(action, index, deployment, injector, chasers,
+                        view_recovery)
 
         # --- run ------------------------------------------------------
         deployment.start()
@@ -253,6 +292,11 @@ class ChaosEngine:
                  if action.kind in OVERLAY_FAULT_KINDS],
                 opts.total_ms,
             )
+        adoptions = [
+            (event.time, event.component, int(event.details.get("view", -1)))
+            for event in deployment.trace.events(None, EV_NEW_VIEW)
+        ]
+        view_recovery.evaluate(adoptions, delivery_times, opts.total_ms)
 
         violations: List[Violation] = []
         for monitor in monitors:
@@ -261,6 +305,10 @@ class ChaosEngine:
 
         stats = self._stats(deployment, safety, gate, quorum, watchdog)
         stats["floor_rejuvenations_checked"] = floor.rejuvenations_checked
+        stats["view_faults_checked"] = view_recovery.faults_checked
+        stats["view_recovery_latencies_ms"] = [
+            round(latency, 3) for latency in view_recovery.recovery_latencies_ms
+        ]
         if reroute is not None:
             stats["reroute_faults_checked"] = reroute.faults_checked
             if deployment.overlay.control_plane is not None:
@@ -287,6 +335,7 @@ class ChaosEngine:
         deployment: SpireDeployment,
         injector: FailureInjector,
         chasers: List[LeaderChaser],
+        view_recovery: Optional[ViewRecoveryMonitor] = None,
     ) -> None:
         stream = f"chaos/{action.kind}/{index}"
         kind = action.kind
@@ -410,6 +459,30 @@ class ChaosEngine:
                     SpinesDaemon.daemon_name(site),
                     action.start_ms, action.duration_ms,
                 )
+        elif kind == "leader_kill":
+            def resolve_leader() -> str:
+                target = deployment.current_leader()
+                if view_recovery is not None:
+                    view_recovery.note_fault(target, deployment.current_view())
+                return target
+
+            injector.crash_resolved_window(
+                resolve_leader, action.start_ms, action.duration_ms,
+                label="LEADER-KILL",
+            )
+        elif kind == "leader_partition":
+            def resolve_groups() -> Tuple[List[str], List[str]]:
+                target = deployment.current_leader()
+                if view_recovery is not None:
+                    view_recovery.note_fault(target, deployment.current_view())
+                # In an overlay deployment the access link to the local
+                # daemon IS the leader's connectivity surface.
+                return [target], list(deployment.dos_peers_of(target))
+
+            injector.partition_resolved_window(
+                resolve_groups, action.start_ms, action.duration_ms,
+                label="LEADER-PARTITION",
+            )
 
     # ------------------------------------------------------------------
     # Bounded-delay quiet windows

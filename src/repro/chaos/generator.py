@@ -209,6 +209,20 @@ def generate_schedule(
                 "daemon_kill", start, duration,
                 targets=(rng.choice(list(overlay_sites)),),
             ))
+        elif kind in ("leader_kill", "leader_partition"):
+            # Targets stay empty: the engine resolves the current leader
+            # when the fault fires. Windows are stretched past the TAT
+            # suspicion + view-change horizon so every draw actually
+            # forces a view change rather than a blip the old leader
+            # survives. Kills count against the crash budget — a leader
+            # kill is a crash, whoever it lands on.
+            duration = round(rng.uniform(1200.0, profile.max_fault_ms + 1200.0), 3)
+            if kind == "leader_kill":
+                if not _crash_fits(start, duration, crash_windows,
+                                   profile.max_concurrent_crashes):
+                    continue
+                crash_windows.append((start, duration))
+            actions.append(FaultAction(kind, start, duration))
         elif kind == "jitter_storm":
             scope = tuple(sorted(rng.sample(
                 message_scopes, rng.randint(1, min(4, len(message_scopes)))

@@ -24,6 +24,10 @@ Monitored invariants:
   overlay fault (link kill/degrade, daemon kill) is routed around fast
   enough that a verified delivery lands within the configured
   detection + reroute budget of the fault start.
+* **View recovery** — after every leader-affecting fault (leader kill /
+  leader partition), a quorum of replicas adopts a strictly higher view
+  and ordering resumes (a verified delivery lands) within the configured
+  ``view_recovery_bound_ms`` budget.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ __all__ = [
     "QuorumFloorMonitor",
     "BoundedDelayMonitor",
     "RerouteBoundMonitor",
+    "ViewRecoveryMonitor",
 ]
 
 
@@ -99,12 +104,16 @@ class _BaseMonitor:
 
 
 class SafetyMonitor(_BaseMonitor):
-    """No two replicas execute different updates at one global index.
+    """Agreement and exactly-once over the global execution order.
 
     Hooks every replica's execution listener and cross-checks the identity
-    digest of the update executed at each order index. ``exclude`` names
-    replicas under Byzantine control in the scenario (their divergence is
-    expected, the invariant covers correct replicas only).
+    digest of the update executed at each order index (agreement), and
+    that no update identity is ever assigned two *different* order
+    indices (exactly-once: a view change re-proposing an in-flight batch
+    must not order its updates a second time; replaying the same slot
+    after a crash recovery is fine). ``exclude`` names replicas under
+    Byzantine control in the scenario (their divergence is expected, the
+    invariant covers correct replicas only).
     """
 
     name = "safety"
@@ -114,6 +123,9 @@ class SafetyMonitor(_BaseMonitor):
         self.exclude = frozenset(exclude)
         #: order index -> (identity digest, first replica that reported it)
         self._executed: Dict[int, Tuple[str, str]] = {}
+        #: identity digest -> first order index it was executed at
+        self._index_of: Dict[str, int] = {}
+        self._dup_flagged: set = set()
         self.checked = 0
 
     def attach(self, replicas: Sequence[Any]) -> None:
@@ -137,6 +149,20 @@ class SafetyMonitor(_BaseMonitor):
                     order_index=order_index,
                     first_replica=first[1],
                     second_replica=replica_name,
+                    client=update.client,
+                    client_seq=update.client_seq,
+                )
+            seen_at = self._index_of.get(identity)
+            if seen_at is None:
+                self._index_of[identity] = order_index
+            elif seen_at != order_index and \
+                    (identity, order_index) not in self._dup_flagged:
+                self._dup_flagged.add((identity, order_index))
+                self._flag(
+                    "duplicate-execution",
+                    first_index=seen_at,
+                    second_index=order_index,
+                    replica=replica_name,
                     client=update.client,
                     client_seq=update.client_seq,
                 )
@@ -420,3 +446,98 @@ class RerouteBoundMonitor(_BaseMonitor):
                         ("fault_start_ms", round(start, 3)),
                     ),
                 ))
+
+
+class ViewRecoveryMonitor(_BaseMonitor):
+    """Every leader-affecting fault yields a higher view within the bound.
+
+    The view-change sibling of :class:`RerouteBoundMonitor`: for every
+    ``leader_kill``/``leader_partition`` fault (noted by the engine at
+    *fire* time, together with the resolved target and the cluster's view
+    at that instant), the protocol must — within ``bound_ms`` —
+
+    1. have a **quorum** of replicas adopt a view strictly higher than the
+       fire-time baseline (``no-quorum-adoption`` otherwise), and
+    2. **resume ordering**: produce at least one verified delivery no
+       earlier than the quorum adoption point (``ordering-stalled``
+       otherwise).
+
+    Adoption times come from the ``EV_NEW_VIEW``/``EV_PBFT_NEW_VIEW``
+    event stream post-run; like the other timeline monitors, faults whose
+    budget extends past the end of the run are skipped, not judged.
+    """
+
+    name = "view-recovery"
+
+    def __init__(self, simulator: Simulator, bound_ms: float, quorum: int) -> None:
+        super().__init__(simulator)
+        self.bound_ms = bound_ms
+        self.quorum = quorum
+        #: (fire_time_ms, resolved_target, baseline_view) per leader fault
+        self._faults: List[Tuple[float, str, int]] = []
+        self.faults_checked = 0
+        #: kill -> quorum-adoption latency for each judged fault that
+        #: reached quorum (feeds benchmarks/bench_viewchange.py)
+        self.recovery_latencies_ms: List[float] = []
+
+    def note_fault(self, target: str, baseline_view: int) -> None:
+        """Record one leader-affecting fault at the instant it fires."""
+        self._faults.append((self.simulator.now, target, baseline_view))
+
+    @property
+    def faults_noted(self) -> List[Tuple[float, str, int]]:
+        return list(self._faults)
+
+    def evaluate(
+        self,
+        adoptions: Sequence[Tuple[float, str, int]],
+        delivery_times: Sequence[float],
+        total_ms: float,
+    ) -> None:
+        """Judge each noted fault against the adoption/delivery timelines.
+
+        ``adoptions`` is the new-view event timeline as ``(time_ms,
+        replica, adopted_view)`` tuples; ``delivery_times`` is the verified
+        delivery timeline.
+        """
+        times = sorted(delivery_times)
+        for start, target, baseline in self._faults:
+            deadline = start + self.bound_ms
+            if deadline > total_ms:
+                continue  # run ends before the bound can be judged
+            self.faults_checked += 1
+            # Earliest in-window adoption of a higher view, per replica.
+            earliest: Dict[str, float] = {}
+            for when, replica, view in adoptions:
+                if view <= baseline or when < start or when > deadline:
+                    continue
+                if replica not in earliest or when < earliest[replica]:
+                    earliest[replica] = when
+            if len(earliest) < self.quorum:
+                self._violations.append(Violation(
+                    self.name, "no-quorum-adoption", start,
+                    (
+                        ("adopted", len(earliest)),
+                        ("baseline_view", baseline),
+                        ("bound_ms", self.bound_ms),
+                        ("quorum", self.quorum),
+                        ("target", target),
+                    ),
+                ))
+                if self._obs_violations is not None:
+                    self._obs_violations.inc()
+                continue
+            quorum_at = sorted(earliest.values())[self.quorum - 1]
+            self.recovery_latencies_ms.append(quorum_at - start)
+            resumed = any(quorum_at <= t <= deadline for t in times)
+            if not resumed:
+                self._violations.append(Violation(
+                    self.name, "ordering-stalled", start,
+                    (
+                        ("bound_ms", self.bound_ms),
+                        ("quorum_adopted_at_ms", round(quorum_at, 3)),
+                        ("target", target),
+                    ),
+                ))
+                if self._obs_violations is not None:
+                    self._obs_violations.inc()

@@ -40,6 +40,12 @@ FAULT_KINDS = (
     "link_kill",      # sever one overlay link for a window
     "link_degrade",   # add delay/loss to one overlay link for a window
     "daemon_kill",    # crash one interior spines daemon for a window
+    # Leader-targeted faults (targets are EMPTY at schedule time — the
+    # engine resolves the *current* leader when the fault fires, so a
+    # schedule replayed against a different protocol or seed still hits
+    # whoever holds the leader role at that instant):
+    "leader_kill",       # crash the current leader for a window
+    "leader_partition",  # isolate the current leader from all peers
 )
 
 

@@ -104,6 +104,16 @@ class TopologyBuilder:
             if opts.batching.max_batch_delay_ms is not None:
                 overrides["batch_interval_ms"] = opts.batching.max_batch_delay_ms
             config = dataclasses.replace(config, **overrides)
+        if opts.view_change_hardening:
+            # Retransmit pending view-change/new-view messages at half the
+            # view-change timeout — fast enough to beat the cascade timer,
+            # slow enough not to flood — and require an f+1 view quorum
+            # before a state-transfer adopts a higher view.
+            config = dataclasses.replace(
+                config,
+                vc_retransmit_ms=config.view_change_timeout_ms / 2,
+                strict_view_adoption=True,
+            )
         return config
 
     # ------------------------------------------------------------------

@@ -103,6 +103,11 @@ class SpireOptions:
     #: the small-n single-proxy field layer; None (the default) keeps the
     #: classic ``num_substations`` layout bit-identically
     fleet: Optional[FleetSpec] = None
+    #: harden the view-change path for leader-failure chaos: view-change /
+    #: new-view retransmission while a view change is pending, and strict
+    #: quorum-based view adoption during state transfer. Off (the default)
+    #: keeps every non-view-change trace bit-identical.
+    view_change_hardening: bool = False
     checkpoint_interval_seqs: int = 50
     #: False disables the entire observability layer (metrics, spans,
     #: structured events): the deployment's ``obs`` is the shared no-op
@@ -386,10 +391,13 @@ class SpireDeployment:
             return self.fleet_topology.device_count
         return len(self.rtus)
 
-    def current_leader(self) -> str:
+    def current_view(self) -> int:
+        """The majority view among live replicas (0 when none are up)."""
         views = [r.view for r in self.replicas if r.is_up]
-        view = max(set(views), key=views.count) if views else 0
-        return self.prime_config.leader_of_view(view)
+        return max(set(views), key=views.count) if views else 0
+
+    def current_leader(self) -> str:
+        return self.prime_config.leader_of_view(self.current_view())
 
     def replica_names(self) -> List[str]:
         return [r.name for r in self.replicas]

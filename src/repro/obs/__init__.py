@@ -50,6 +50,7 @@ from .events import (
     EV_OVERLAY_LINK_UP,
     EV_OVERLAY_PARTITION,
     EV_OVERLAY_REROUTE,
+    EV_PBFT_CHECKPOINT,
     EV_PBFT_NEW_VIEW,
     EV_PBFT_TIMEOUT,
     EV_PBFT_VIEW_CHANGE,
@@ -111,6 +112,7 @@ __all__ = [
     "EV_OVERLAY_LINK_UP",
     "EV_OVERLAY_PARTITION",
     "EV_OVERLAY_REROUTE",
+    "EV_PBFT_CHECKPOINT",
     "EV_PBFT_NEW_VIEW",
     "EV_PBFT_TIMEOUT",
     "EV_PBFT_VIEW_CHANGE",

@@ -41,6 +41,7 @@ __all__ = [
     "EV_OVERLAY_LINK_UP",
     "EV_OVERLAY_PARTITION",
     "EV_OVERLAY_REROUTE",
+    "EV_PBFT_CHECKPOINT",
     "EV_PBFT_NEW_VIEW",
     "EV_PBFT_TIMEOUT",
     "EV_PBFT_VIEW_CHANGE",
@@ -79,6 +80,7 @@ EV_NEW_VIEW = "new-view"
 EV_PBFT_TIMEOUT = "pbft-timeout"
 EV_PBFT_VIEW_CHANGE = "pbft-view-change"
 EV_PBFT_NEW_VIEW = "pbft-new-view"
+EV_PBFT_CHECKPOINT = "pbft-checkpoint"
 
 # ----------------------------------------------------------------------
 # Proactive recovery scheduler events

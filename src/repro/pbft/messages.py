@@ -11,9 +11,12 @@ __all__ = [
     "PbftPrePrepare",
     "PbftPrepare",
     "PbftCommit",
+    "PbftCheckpoint",
     "PbftViewChange",
     "PbftNewView",
     "PbftPrepared",
+    "PbftFetch",
+    "PbftOrderProof",
     "ForwardedUpdate",
 ]
 
@@ -51,6 +54,15 @@ class PbftCommit:
 
 
 @dataclass(frozen=True)
+class PbftCheckpoint:
+    """Vote that the sender's state after executing ``seq`` has ``digest``."""
+
+    sender: str
+    seq: int
+    digest: str
+
+
+@dataclass(frozen=True)
 class PbftPrepared:
     """Prepared certificate carried in a view change."""
 
@@ -67,6 +79,31 @@ class PbftViewChange:
     new_view: int
     last_executed: int
     prepared: Tuple[PbftPrepared, ...]
+
+
+@dataclass(frozen=True)
+class PbftFetch:
+    """A lagging replica asks peers for ordered slots from ``from_seq``."""
+
+    sender: str
+    from_seq: int
+
+
+@dataclass(frozen=True)
+class PbftOrderProof:
+    """Commit-certified slot served to a laggard: the pre-prepare plus a
+    quorum of commits is transferable proof of the ordering decision, so
+    the receiver can install it regardless of what view it is in."""
+
+    sender: str
+    seq: int
+    view: int
+    digest: str
+    pre_prepare: SignedMessage
+    proof: Tuple[SignedMessage, ...]
+    #: the server's own execution frontier (last_executed) at serve time;
+    #: tells the requester how far the catch-up loop still has to pull
+    frontier: int = 0
 
 
 @dataclass(frozen=True)

@@ -13,10 +13,14 @@ static request timeout. Two consequences the benchmarks demonstrate:
 
 Scope: the baseline implements the three-phase ordering, batching,
 forwarding to the leader, timeout-driven view changes with deterministic
-re-proposal derivation, and retransmission against loss. It does not
-implement checkpointing/state transfer or Byzantine-proof view-change
-validation — those are exercised through Prime, which is the system under
-test; the baseline exists to reproduce the performance comparison.
+re-proposal derivation and Byzantine-proof validation (prepared
+certificates are re-checked, a new leader's re-proposals are re-derived,
+and embedded pre-prepares must be the leader's own signatures — an
+equivocating new leader cannot rewrite history), checkpoint-based log
+truncation, and retransmission against loss. It does not implement state
+transfer — a replica that falls behind a stable checkpoint catches up by
+replaying retained slots; full snapshot transfer is exercised through
+Prime, which is the system under test.
 
 Like Prime, the node rides on the shared
 :class:`~repro.replication.runtime.ReplicationRuntime` (envelope
@@ -38,6 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..crypto.encoding import digest
 from ..crypto.provider import CryptoProvider
 from ..obs import (
+    EV_PBFT_CHECKPOINT,
     EV_PBFT_NEW_VIEW,
     EV_PBFT_TIMEOUT,
     EV_PBFT_VIEW_CHANGE,
@@ -60,11 +65,19 @@ from ..replication import (
     Transport,
     derive_reproposals,
 )
+from ..replication.quorum import (
+    QuorumTracker,
+    collect_valid_voters,
+    verify_certificate,
+)
 from ..simnet import Network, Process, Simulator
 from .messages import (
     ForwardedUpdate,
+    PbftCheckpoint,
     PbftCommit,
+    PbftFetch,
     PbftNewView,
+    PbftOrderProof,
     PbftPrepare,
     PbftPrepared,
     PbftPrePrepare,
@@ -87,6 +100,7 @@ class PbftConfig:
         check_interval_ms: float = 100.0,
         retrans_interval_ms: float = 50.0,
         forward_interval_ms: float = 200.0,
+        checkpoint_interval: int = 16,
     ) -> None:
         if len(replicas) < 3 * num_faults + 1:
             raise ValueError("PBFT needs n >= 3f + 1")
@@ -98,6 +112,8 @@ class PbftConfig:
         self.check_interval_ms = check_interval_ms
         self.retrans_interval_ms = retrans_interval_ms
         self.forward_interval_ms = forward_interval_ms
+        #: checkpoint every this many executed slots (0 disables)
+        self.checkpoint_interval = checkpoint_interval
 
     @property
     def n(self) -> int:
@@ -173,6 +189,15 @@ class PbftNode(Process):
         self._view_changes = EpochVoteTable()
         self._sent_vc_for: set = set()
         self._sent_nv_for: set = set()
+        #: the signed NewView we last adopted (re-served to laggards)
+        self._last_new_view: Optional[SignedMessage] = None
+        #: checkpoint votes: seq -> digest -> sender -> signed vote
+        self._checkpoint_votes = QuorumTracker()
+        #: highest seq with a quorum-certified checkpoint; slots at or
+        #: below it are truncated
+        self.stable_seq = 0
+        #: highest peer execution frontier learned from order proofs
+        self._known_frontier = 0
         #: head-of-line retransmission backoff (shared RetrySchedule)
         self._retrans_schedule = RetrySchedule(
             RetryPolicy(
@@ -185,6 +210,7 @@ class PbftNode(Process):
         )
         self._retrans_head: Optional[int] = None
         self._retrans_due = 0.0
+        self._started = False
         self._register_handlers()
 
     def _register_handlers(self) -> None:
@@ -195,15 +221,40 @@ class PbftNode(Process):
         reg(PbftPrePrepare, self._on_pre_prepare)
         reg(PbftPrepare, self._on_prepare, sender_check=_sender_matches_signer)
         reg(PbftCommit, self._on_commit, sender_check=_sender_matches_signer)
+        reg(PbftCheckpoint, self._on_checkpoint,
+            sender_check=_sender_matches_signer)
+        reg(PbftFetch, self._on_fetch, sender_check=_sender_matches_signer)
+        reg(PbftOrderProof, self._on_order_proof,
+            sender_check=_sender_matches_signer)
         reg(PbftViewChange, self._on_view_change,
             sender_check=_sender_matches_signer)
         reg(PbftNewView, self._on_new_view)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
+        self._started = True
+        self._start_timers()
+
+    def _start_timers(self) -> None:
         self.every(self.config.check_interval_ms, self._timeout_tick, jitter=2.0)
         self.every(self.config.retrans_interval_ms, self._retrans_tick, jitter=2.0)
         self.every(self.config.forward_interval_ms, self._forward_tick, jitter=2.0)
+
+    def on_recover(self) -> None:
+        """Rejoin after a crash. PBFT assumes stable storage for the
+        message log, so the ordering state survives; only the timers (and
+        the in-flight batch/retransmission cursors they drive) are
+        volatile and must be re-armed for the new incarnation."""
+        self._batch_timer_set = False
+        self._retrans_head = None
+        self._retrans_schedule.reset()
+        if self._started:
+            self._start_timers()
+            # Probe peers for what we missed while down: the order proofs
+            # they answer with carry their execution frontier, which arms
+            # the fetch-based catch-up loop in _retrans_tick.
+            self._broadcast(PbftFetch(self.name, self.last_executed + 1),
+                            include_self=False)
 
     @property
     def is_leader(self) -> bool:
@@ -241,6 +292,12 @@ class PbftNode(Process):
 
     def _forward_tick(self) -> None:
         """Re-forward pending updates (leader may have changed or lost them)."""
+        if self.in_view_change:
+            # No acknowledged leader: re-forwarding mid-view-change would
+            # hand the old (possibly faulty) leader fresh ammunition and,
+            # worse, let a request straddle the view boundary twice. The
+            # post-new-view re-forward covers everything still pending.
+            return
         leader = self.config.leader_of_view(self.view)
         for update, _ in list(self._pending.values()):
             self._send_to(leader, ForwardedUpdate(self.name, update))
@@ -304,6 +361,8 @@ class PbftNode(Process):
             return
         if signed.signature.signer != msg.leader:
             return
+        if msg.seq <= self.stable_seq:
+            return
         if not from_new_view and msg.seq < self._min_fresh_seq:
             return
         slot = self._slot(msg.seq)
@@ -320,6 +379,8 @@ class PbftNode(Process):
         self._check_ordered(slot, msg.view, batch_digest)
 
     def _on_prepare(self, signed: SignedMessage, msg: PbftPrepare) -> None:
+        if msg.seq <= self.stable_seq:
+            return
         slot = self._slot(msg.seq)
         slot.record_prepare(msg.view, msg.digest, msg.sender, signed)
         self._check_prepared(slot, msg.view, msg.digest)
@@ -334,6 +395,8 @@ class PbftNode(Process):
             self._broadcast(PbftCommit(self.name, view, slot.seq, batch_digest))
 
     def _on_commit(self, signed: SignedMessage, msg: PbftCommit) -> None:
+        if msg.seq <= self.stable_seq:
+            return
         slot = self._slot(msg.seq)
         slot.record_commit(msg.view, msg.digest, msg.sender, signed)
         self._check_ordered(slot, msg.view, msg.digest)
@@ -354,6 +417,7 @@ class PbftNode(Process):
         self._try_execute()
 
     def _try_execute(self) -> None:
+        interval = self.config.checkpoint_interval
         while True:
             slot = self.slots.get(self.last_executed + 1)
             if slot is None or slot.ordered is None:
@@ -362,6 +426,11 @@ class PbftNode(Process):
             for update in pre_prepare.payload.batch:
                 self._execute_update(update)
             self.last_executed += 1
+            # Checkpoint exactly at the interval boundary, inside the
+            # loop, so every replica digests the same post-seq state even
+            # when several slots execute back to back.
+            if interval > 0 and self.last_executed % interval == 0:
+                self._send_checkpoint(self.last_executed)
 
     def _execute_update(self, update: ClientUpdate) -> None:
         key = (update.client, update.client_seq)
@@ -378,24 +447,130 @@ class PbftNode(Process):
             listener(update, self.executed_counter, result)
 
     # ------------------------------------------------------------------
+    # Checkpoints (quorum-certified log truncation)
+    # ------------------------------------------------------------------
+    def _send_checkpoint(self, seq: int) -> None:
+        state = digest((seq, self.app.state_digest(), self.executed_counter))
+        self._broadcast(PbftCheckpoint(self.name, seq, state))
+
+    def _on_checkpoint(self, signed: SignedMessage, msg: PbftCheckpoint) -> None:
+        if msg.seq <= self.stable_seq:
+            return
+        self._checkpoint_votes.add(msg.seq, msg.digest, msg.sender, signed)
+        proof = self._checkpoint_votes.certificate(
+            msg.seq, msg.digest, self.config.quorum
+        )
+        if proof is not None:
+            self._make_stable(msg.seq)
+
+    def _make_stable(self, seq: int) -> None:
+        self.stable_seq = seq
+        self._checkpoint_votes.drop_upto(seq)
+        # Truncate with a retention window (a few checkpoint intervals):
+        # the retained ordered slots are what :class:`PbftOrderProof`
+        # responses serve to replicas that fell behind the checkpoint —
+        # the baseline's stand-in for full state transfer. Never truncate
+        # past our own execution frontier.
+        retain = 4 * max(1, self.config.checkpoint_interval)
+        bound = min(seq - retain, self.last_executed)
+        for old in [s for s in self.slots if s <= bound]:
+            del self.slots[old]
+        self.obs.event(self.name, EV_PBFT_CHECKPOINT, seq=seq)
+        if self.obs.enabled:
+            self.obs.gauge(f"pbft.stable_seq.{self.name}").set(float(seq))
+
+    # ------------------------------------------------------------------
+    # Laggard catch-up: fetch commit-certified slots from peers
+    # ------------------------------------------------------------------
+    def _on_fetch(self, signed: SignedMessage, msg: PbftFetch) -> None:
+        for seq in range(msg.from_seq, msg.from_seq + 8):
+            slot = self.slots.get(seq)
+            if slot is None or slot.ordered is None:
+                continue
+            view, batch_digest, pre_prepare = slot.ordered
+            proof = slot.commit_certificate(view, batch_digest, self.config.quorum)
+            if proof is None:
+                continue
+            self._send_to(msg.sender, PbftOrderProof(
+                self.name, seq, view, batch_digest, pre_prepare, proof,
+                frontier=self.last_executed,
+            ))
+
+    def _on_order_proof(self, signed: SignedMessage, msg: PbftOrderProof) -> None:
+        if msg.seq <= self.last_executed:
+            return
+        slot = self._slot(msg.seq)
+        if slot.ordered is not None:
+            return
+        pp_signed = msg.pre_prepare
+        pp = pp_signed.payload
+        if not isinstance(pp, PbftPrePrepare):
+            return
+        if pp.seq != msg.seq or pp.view != msg.view:
+            return
+        if pp.leader != self.config.leader_of_view(pp.view):
+            return
+        if pp_signed.signature.signer != pp.leader:
+            return
+        if not self.verify_signed(pp_signed):
+            return
+        if self._batch_digest(msg.seq, pp.batch) != msg.digest:
+            return
+        # A quorum of commits is transferable: any two quorums intersect
+        # in a correct replica, so a certified decision cannot conflict
+        # with anything we could still order locally — safe to install
+        # whatever view we are in.
+        ok = verify_certificate(
+            msg.proof,
+            quorum=self.config.quorum,
+            membership=self.config.replicas,
+            verify_signed=self.verify_signed,
+            expected_kind=PbftCommit,
+            check=lambda p: (
+                p.view == msg.view
+                and p.seq == msg.seq
+                and p.digest == msg.digest
+            ),
+            strict=False,
+        )
+        if not ok:
+            return
+        self._known_frontier = max(self._known_frontier, msg.frontier)
+        slot.pre_prepares.setdefault(msg.view, pp_signed)
+        slot.ordered = (msg.view, msg.digest, pp_signed)
+        self._try_execute()
+
+    # ------------------------------------------------------------------
     # Retransmission (bounded backoff over the shared RetrySchedule)
     # ------------------------------------------------------------------
     def _retrans_tick(self) -> None:
-        slot = self.slots.get(self.last_executed + 1)
-        if slot is None or slot.ordered is not None:
+        head = self.last_executed + 1
+        slot = self.slots.get(head)
+        # A quorum checkpointed past our head: the live vote traffic for
+        # it is gone, so retransmitting votes cannot unblock us — fetch
+        # commit-certified slots from peers instead. This path must run
+        # even mid-view-change: it is how a crashed-and-recovered (or
+        # view-wedged) replica re-joins execution.
+        behind = max(self.stable_seq, self._known_frontier) >= head
+        if not behind and (slot is None or slot.ordered is not None):
             if self._retrans_head is not None:
                 self._retrans_head = None
                 self._retrans_schedule.reset()
             return
         now = self.simulator.now
-        if slot.seq != self._retrans_head:
+        if head != self._retrans_head:
             # new head-of-line stall: resend immediately, then back off
-            self._retrans_head = slot.seq
+            self._retrans_head = head
             self._retrans_schedule.reset()
             self._retrans_due = now
         if now < self._retrans_due:
             return
         self._retrans_due = now + self._retrans_schedule.next_delay_ms()
+        if behind:
+            self._broadcast(PbftFetch(self.name, head), include_self=False)
+            return
+        if self.in_view_change:
+            return
         pre_prepare = slot.pre_prepares.get(self.view)
         if pre_prepare is not None:
             self.runtime.resend(pre_prepare, size_bytes=300)
@@ -416,6 +591,11 @@ class PbftNode(Process):
     def _timeout_tick(self) -> None:
         if self.in_view_change:
             return
+        if self.stable_seq > self.last_executed:
+            # A quorum is ahead of us: our stale pending entries are OUR
+            # lag, not the leader's fault — accusing it would drag the
+            # cluster through spurious views. Catch up (fetch path) first.
+            return
         now = self.simulator.now
         oldest = min((since for _, since in self._pending.values()), default=None)
         if oldest is not None and now - oldest > self.config.request_timeout_ms:
@@ -429,7 +609,17 @@ class PbftNode(Process):
         self._sent_vc_for.add(new_view)
         self.view = max(self.view, new_view)
         self.in_view_change = True
+        # Un-proposed buffered work goes back to the pending pool (it is
+        # still there — the buffer only mirrors it): the *new* leader must
+        # propose it after the view change, or a faulty old leader could
+        # make the batch straddle the boundary and execute twice.
+        self._leader_buffer.clear()
+        self._leader_inflight.clear()
         self.obs.event(self.name, EV_PBFT_VIEW_CHANGE, view=new_view)
+        if self.obs.enabled:
+            self.obs.counter(
+                f"replication.view_changes_total.{self.name}").inc()
+            self.obs.gauge(f"replication.view.{self.name}").set(float(new_view))
         prepared = []
         for seq in sorted(self.slots):
             slot = self.slots[seq]
@@ -451,8 +641,20 @@ class PbftNode(Process):
         )
 
     def _view_change_timeout(self, expected_view: int) -> None:
-        if self.in_view_change and self.view == expected_view:
-            self._start_view_change(expected_view + 1)
+        if not self.in_view_change or self.view != expected_view:
+            return
+        if not self._pending or self.stable_seq > self.last_executed:
+            # Nothing to order, or we are an execution laggard: cascading
+            # solo would run our view arbitrarily ahead of the cluster
+            # (and our ever-higher ViewChanges would eventually drag
+            # everyone along). Sit in this view and re-check; the fetch
+            # path or a peer-served NewView re-integrates us.
+            self.set_timer(
+                self.config.request_timeout_ms, self._view_change_timeout,
+                expected_view,
+            )
+            return
+        self._start_view_change(expected_view + 1)
 
     @staticmethod
     def _derive(view_changes: List[PbftViewChange]):
@@ -464,8 +666,81 @@ class PbftNode(Process):
             empty=(),
         )
 
+    # ------------------------------------------------------------------
+    # View-change validation (Byzantine-proof, mirrors Prime's)
+    # ------------------------------------------------------------------
+    def _validate_prepared(self, entry: PbftPrepared) -> bool:
+        """A prepared certificate binds (view, seq, digest) to the
+        pre-prepare content it claims: the embedded pre-prepare must be
+        the view leader's own signature over the batch whose digest the
+        quorum vouched for."""
+        pp_signed = entry.pre_prepare
+        pp = pp_signed.payload
+        if not isinstance(pp, PbftPrePrepare):
+            return False
+        if pp.seq != entry.seq or pp.view != entry.view:
+            return False
+        if pp.leader != self.config.leader_of_view(pp.view):
+            return False
+        if pp_signed.signature.signer != pp.leader:
+            return False
+        if not self.verify_signed(pp_signed):
+            return False
+        # Bind the claimed digest to the batch: without this a Byzantine
+        # replica could pair an honest certificate with a different batch
+        # and the re-proposal derivation (which reads the batch, not the
+        # digest) would rewrite history.
+        if self._batch_digest(entry.seq, pp.batch) != entry.digest:
+            return False
+        # Lenient voter scan: appended garbage must not invalidate honest
+        # votes; the leader's pre-prepare counts as its prepare vote.
+        voters = collect_valid_voters(
+            entry.proof,
+            membership=self.config.replicas,
+            verify_signed=self.verify_signed,
+            expected_kind=(PbftPrepare, PbftCommit),
+            check=lambda p: (
+                p.view == entry.view
+                and p.seq == entry.seq
+                and p.digest == entry.digest
+            ),
+            strict=False,
+            initial=(pp.leader,),
+        )
+        return voters is not None and len(voters) >= self.config.quorum
+
+    def _validate_view_change(
+        self, signed: SignedMessage, vc: PbftViewChange
+    ) -> bool:
+        if vc.sender != signed.signature.signer:
+            return False
+        if vc.sender not in self.config.replicas:
+            return False
+        seen_seqs = set()
+        for entry in vc.prepared:
+            if entry.seq in seen_seqs or entry.seq <= vc.last_executed:
+                return False
+            seen_seqs.add(entry.seq)
+            if not self._validate_prepared(entry):
+                return False
+        return True
+
     def _on_view_change(self, signed: SignedMessage, msg: PbftViewChange) -> None:
         if msg.new_view < self.view:
+            # A replica still changing into a view we already passed (a
+            # crashed leader rejoining, a laggard behind a cascade): hand
+            # it the NewView that took us here so it converges instead of
+            # cascading its timeout forever.
+            if (
+                self._last_new_view is not None
+                and self._last_new_view.payload.view == self.view
+                and msg.sender != self.name
+            ):
+                self.runtime.resend(
+                    self._last_new_view, peers=(msg.sender,), size_bytes=600
+                )
+            return
+        if not self._validate_view_change(signed, msg):
             return
         count = self._view_changes.record(msg.new_view, msg.sender, signed)
         if msg.new_view > self.view and count >= self.config.num_faults + 1:
@@ -501,6 +776,8 @@ class PbftNode(Process):
                 return
             if not self.verify_signed(vc_signed):
                 return
+            if not self._validate_view_change(vc_signed, vc):
+                return
             senders.add(vc.sender)
             payloads.append(vc)
         if len(senders) < self.config.quorum:
@@ -510,14 +787,39 @@ class PbftNode(Process):
             return
         for (seq, batch), pp_signed in zip(expected, msg.pre_prepares):
             pp = pp_signed.payload
+            if not isinstance(pp, PbftPrePrepare):
+                return
             if pp.seq != seq or pp.batch != batch or pp.view != msg.view:
+                return
+            # Each re-proposal must be the new leader's own signature: a
+            # faulty new leader that equivocates (sends different signed
+            # batches to different replicas) fails the derivation check
+            # above; one that relays someone else's signatures fails here.
+            if pp.leader != msg.leader or pp_signed.signature.signer != msg.leader:
+                return
+            if not self.verify_signed(pp_signed):
                 return
         self.view = msg.view
         self.in_view_change = False
+        self._last_new_view = signed
         self._min_fresh_seq = (expected[-1][0] if expected else self.last_executed) + 1
         self._next_seq = max(self._next_seq, self._min_fresh_seq)
+        # Restart the request timers (Castro-Liskov: the timer restarts
+        # when a new view is installed): backlogged requests get a full
+        # timeout for the new leader to order them, instead of instantly
+        # re-accusing it with their pre-view-change age.
+        now = self.simulator.now
+        self._pending = {
+            key: (update, now) for key, (update, _) in self._pending.items()
+        }
         self.obs.event(self.name, EV_PBFT_NEW_VIEW, view=msg.view)
+        if self.obs.enabled:
+            self.obs.gauge(f"replication.view.{self.name}").set(float(msg.view))
         for pp_signed in msg.pre_prepares:
             self._on_pre_prepare(pp_signed, pp_signed.payload, from_new_view=True)
+        # Adopted: drop vote bookkeeping for every view below this one.
+        self._view_changes.drop_below(self.view)
+        self._sent_vc_for = {v for v in self._sent_vc_for if v >= self.view}
+        self._sent_nv_for = {v for v in self._sent_nv_for if v >= self.view}
         # re-forward pending work to the new leader
         self._forward_tick()

@@ -51,6 +51,17 @@ class PrimeConfig:
     delivery_batching: bool = False
     # --- checkpointing ---------------------------------------------------
     checkpoint_interval_seqs: int = 50    # global seqs between checkpoints
+    # --- view-change hardening (default off: bit-identical traces) ------
+    # Retransmit our pending ViewChange/NewView every this many ms while a
+    # view change is in progress (0 disables). A lossy network can eat the
+    # one-shot broadcasts and leave the cluster wedged until the cascade
+    # timer fires; retransmission converges within the same view instead.
+    vc_retransmit_ms: float = 0.0
+    # When True, a state transfer only adopts a higher view once f+1
+    # replicas claim it (single-reply adoption trusts one possibly-lying
+    # peer), and replicas seeing f+1 higher-view messages proactively
+    # request state instead of stalling in a dead view.
+    strict_view_adoption: bool = False
 
     def __post_init__(self) -> None:
         needed = 3 * self.num_faults + 2 * self.num_recovering + 1

@@ -77,6 +77,11 @@ class LeadershipStage:
 
     def on_suspect(self, signed: SignedMessage, msg: Suspect) -> None:
         node = self.node
+        if msg.view > node.view:
+            # A peer suspecting a view ahead of ours has *installed* that
+            # view — evidence for laggard rejoin that keeps flowing even
+            # while ordering is stalled on a dead leader.
+            node.note_higher_view(msg.sender, msg.view)
         amplify, view_change = node.view_manager.add_suspect(signed, msg, node.view)
         if amplify:
             self.send_suspect("amplified")
@@ -121,12 +126,49 @@ class LeadershipStage:
             node.checkpoints.stable_proof,
             tuple(prepared),
         )
+        node._last_vc_sent = vc
         node._broadcast(vc)
+        if node.obs.enabled:
+            node.obs.counter(
+                f"replication.view_changes_total.{node.name}").inc()
+            node.obs.gauge(f"replication.view.{node.name}").set(float(new_view))
         if node._vc_timer is not None:
             node._vc_timer.cancel()
         node._vc_timer = node.set_timer(
             node.config.view_change_timeout_ms, node._view_change_timeout, new_view
         )
+        self._arm_vc_retransmit()
+
+    def _arm_vc_retransmit(self) -> None:
+        """Schedule periodic rebroadcast of our pending VC/NewView.
+
+        Off by default (``vc_retransmit_ms == 0``): the one-shot broadcast
+        is the bit-identical legacy behaviour. With hardening on, a lossy
+        network can no longer wedge the view change by eating the single
+        ViewChange or NewView message — the next retransmission converges
+        within the same view instead of waiting out the cascade timer.
+        """
+        node = self.node
+        if node.config.vc_retransmit_ms <= 0:
+            return
+        if node._vc_retrans_timer is not None:
+            node._vc_retrans_timer.cancel()
+        node._vc_retrans_timer = node.set_timer(
+            node.config.vc_retransmit_ms, node._vc_retransmit_tick
+        )
+
+    def vc_retransmit_tick(self) -> None:
+        node = self.node
+        node._vc_retrans_timer = None
+        if not node.in_view_change or node.awaiting_state:
+            return
+        vc = node._last_vc_sent
+        if vc is not None and vc.new_view == node.view:
+            node._broadcast(vc)
+        nv = node._last_nv_sent
+        if nv is not None and nv.view == node.view:
+            node._broadcast(nv)
+        self._arm_vc_retransmit()
 
     def view_change_timeout(self, expected_view: int) -> None:
         node = self.node
@@ -173,6 +215,7 @@ class LeadershipStage:
             built = node.view_manager.build_new_view(msg.new_view, node.sign_message)
             if built is not None:
                 nv, _ = built
+                node._last_nv_sent = nv
                 node._broadcast(nv)
 
     def on_new_view(self, signed: SignedMessage, msg: NewView) -> None:
@@ -200,6 +243,14 @@ class LeadershipStage:
         if node._vc_timer is not None:
             node._vc_timer.cancel()
             node._vc_timer = None
+        if node._vc_retrans_timer is not None:
+            node._vc_retrans_timer.cancel()
+            node._vc_retrans_timer = None
+        node._last_vc_sent = None
+        node._last_nv_sent = None
+        node._higher_view_seen.clear()
+        if node.obs.enabled:
+            node.obs.gauge(f"replication.view.{node.name}").set(float(view))
         node.obs.event(node.name, EV_NEW_VIEW, view=view, max_seq=max_seq)
         for pp_signed in pre_prepares:
             node.ordering.on_pre_prepare(pp_signed, pp_signed.payload, from_new_view=True)

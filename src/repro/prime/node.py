@@ -190,6 +190,16 @@ class PrimeNode(Process):
         self._ping_nonce = 0
         self._recon_rotor = 0
         self._vc_timer = None
+        self._vc_retrans_timer = None
+        self._last_vc_sent: Optional[ViewChange] = None
+        self._last_nv_sent: Optional[NewView] = None
+        #: sender -> highest view seen in their ordering-stage messages;
+        #: f+1 distinct senders above our view triggers state transfer
+        #: (strict_view_adoption only)
+        self._higher_view_seen: Dict[str, int] = {}
+        #: sender -> view claimed in their StateReply (strict adoption
+        #: requires f+1 matching claims before a view is adopted)
+        self._state_view_claims: Dict[str, int] = {}
         self._genesis_replies: Set[str] = set()
         self._state_retry_attempts = 0
         self._state_retry_timer = None
@@ -296,6 +306,16 @@ class PrimeNode(Process):
     # ------------------------------------------------------------------
     # Shared state helpers
     # ------------------------------------------------------------------
+    def note_higher_view(self, sender: str, view: int) -> None:
+        """Bookkeep evidence that a peer moved to a higher view.
+
+        Pure bookkeeping (no sends, no trace events): the recovery stage
+        reads this under ``strict_view_adoption`` to pull a laggard that
+        missed a NewView back into the adopted view via state transfer.
+        """
+        if view > self._higher_view_seen.get(sender, -1):
+            self._higher_view_seen[sender] = view
+
     def _origin_state(self, origin: str) -> OriginState:
         state = self.origins.get(origin)
         if state is None:
@@ -369,3 +389,6 @@ class PrimeNode(Process):
 
     def _view_change_timeout(self, expected_view: int) -> None:
         self.leadership.view_change_timeout(expected_view)
+
+    def _vc_retransmit_tick(self) -> None:
+        self.leadership.vc_retransmit_tick()

@@ -96,6 +96,8 @@ class OrderingStage:
         self, signed: SignedMessage, msg: PrePrepare, from_new_view: bool = False
     ) -> None:
         node = self.node
+        if msg.view > node.view:
+            node.note_higher_view(msg.leader, msg.view)
         if msg.view != node.view or (node.in_view_change and not from_new_view):
             return
         if msg.leader != node.config.leader_of_view(msg.view):
@@ -133,6 +135,8 @@ class OrderingStage:
 
     def on_prepare(self, signed: SignedMessage, msg: Prepare) -> None:
         node = self.node
+        if msg.view > node.view:
+            node.note_higher_view(msg.sender, msg.view)
         if msg.seq <= node.checkpoints.stable_seq:
             return
         slot = node._slot(msg.seq)
@@ -151,6 +155,8 @@ class OrderingStage:
 
     def on_commit(self, signed: SignedMessage, msg: Commit) -> None:
         node = self.node
+        if msg.view > node.view:
+            node.note_higher_view(msg.sender, msg.view)
         if msg.seq <= node.checkpoints.stable_seq:
             return
         slot = node._slot(msg.seq)

@@ -34,6 +34,7 @@ from typing import List, Optional, Tuple
 from ..replication.epoch import EpochVoteTable, derive_reproposals
 from ..replication.quorum import collect_valid_voters
 from .config import PrimeConfig
+from .ordering import slot_digest
 from .messages import (
     Commit,
     NewView,
@@ -133,6 +134,14 @@ class ViewChangeManager:
         if pp_signed.signature.signer != pp.leader:
             return False
         if not verify_signed(pp_signed):
+            return False
+        # Bind the claimed digest to the pre-prepare content: without this
+        # a Byzantine replica could pair an honestly-prepared digest (and
+        # its genuine certificate) with a *different* matrix, and the
+        # re-proposal derivation — which reads the matrix, not the digest —
+        # would rewrite history.
+        version = 2 if self.config.delivery_batching else 1
+        if slot_digest(entry.seq, pp.matrix, version) != entry.digest:
             return False
         # Prepare certificate: quorum of distinct replicas vouching
         # (view, seq, digest); the leader's pre-prepare counts as one.

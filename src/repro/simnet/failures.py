@@ -92,6 +92,36 @@ class FailureInjector:
         self.crash_at(start_ms, node_name)
         self.recover_at(start_ms + duration_ms, node_name)
 
+    def crash_resolved_window(
+        self,
+        resolve: Callable[[], str],
+        start_ms: float,
+        duration_ms: float,
+        label: str = "CRASH-RESOLVED",
+    ) -> None:
+        """Crash whichever node ``resolve()`` names when the window opens.
+
+        The target is chosen at *fire* time, not schedule time — this is
+        what a ``leader_kill`` needs: the adversary observes who holds the
+        leader role at the instant of attack and kills that process.
+        """
+        target_holder: dict = {}
+
+        def do_crash() -> None:
+            target = resolve()
+            target_holder["target"] = target
+            self.network.process(target).crash()
+            self._note(f"{label} CRASH {target}")
+
+        def do_recover() -> None:
+            target = target_holder.get("target")
+            if target is not None:
+                self.network.process(target).recover()
+                self._note(f"{label} RECOVER {target}")
+
+        self.simulator.schedule_at(start_ms, do_crash)
+        self.simulator.schedule_at(start_ms + duration_ms, do_recover)
+
     # ------------------------------------------------------------------
     # Partitions
     # ------------------------------------------------------------------
@@ -116,6 +146,36 @@ class FailureInjector:
             if fn is not None:
                 fn()
             self._note(f"HEAL {group_a} | {group_b}")
+
+        self.simulator.schedule_at(start_ms, cut)
+        self.simulator.schedule_at(start_ms + duration_ms, heal)
+
+    def partition_resolved_window(
+        self,
+        resolve_groups: Callable[[], tuple],
+        start_ms: float,
+        duration_ms: float,
+        label: str = "PARTITION-RESOLVED",
+    ) -> None:
+        """Partition the two groups ``resolve_groups()`` returns at fire time.
+
+        Fire-time resolution mirrors :meth:`crash_resolved_window`: a
+        ``leader_partition`` isolates whoever is leader *when the attack
+        lands*, not whoever was leader when the schedule was drawn.
+        """
+        heal_holder: dict = {}
+
+        def cut() -> None:
+            group_a, group_b = resolve_groups()
+            group_a, group_b = list(group_a), list(group_b)
+            heal_holder["heal"] = self.network.partition(group_a, group_b)
+            self._note(f"{label} PARTITION {group_a} | {group_b}")
+
+        def heal() -> None:
+            fn = heal_holder.get("heal")
+            if fn is not None:
+                fn()
+            self._note(f"{label} HEAL")
 
         self.simulator.schedule_at(start_ms, cut)
         self.simulator.schedule_at(start_ms + duration_ms, heal)

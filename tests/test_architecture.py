@@ -37,3 +37,13 @@ def test_protocol_packages_do_not_import_each_others_internals():
     # into pbft (pbft reuses prime's app/client-update helpers only).
     for path in (SRC / "repro" / "prime").glob("*.py"):
         assert "from ..pbft" not in path.read_text(), path
+
+
+def test_view_vote_tables_are_garbage_collected():
+    # Both protocols must drop view-change vote state below the adopted
+    # view after a new-view installs — the vote tables are the only
+    # unbounded-by-construction state on the view-change path.
+    pbft_text = pathlib.Path(repro.pbft.node.__file__).read_text()
+    assert "._view_changes.drop_below(" in pbft_text
+    leadership = SRC / "repro" / "prime" / "leadership.py"
+    assert ".garbage_collect(" in leadership.read_text()

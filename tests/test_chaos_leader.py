@@ -1,0 +1,119 @@
+"""Leader-failure chaos smoke: view-change recovery pinned under faults.
+
+Drives ``leader_kill`` / ``leader_partition`` faults — resolved against
+the *current* leader at fire time — through both protocols:
+
+* **Prime** inside the full Spire deployment (``ChaosEngine`` with
+  ``leader_faults=True``), with delivery batching alternating per seed so
+  both paths stay covered.
+* **PBFT** on the flat baseline cluster (``run_pbft_chaos``).
+
+Every run is gated on the :class:`ViewRecoveryMonitor` (a quorum must
+adopt a strictly higher view and ordering must resume within the bound),
+the :class:`SafetyMonitor` (agreement + exactly-once over the global
+order), and — for PBFT — per-replica double-execution bookkeeping.
+"""
+
+import time
+
+from repro.chaos import (
+    ChaosEngine,
+    ChaosOptions,
+    FaultAction,
+    FaultSchedule,
+    PbftChaosOptions,
+    run_pbft_chaos,
+)
+
+#: compact scenario shape shared with test_chaos_smoke.py
+SMOKE = dict(
+    warmup_ms=800.0,
+    chaos_ms=3000.0,
+    settle_ms=2000.0,
+    poll_interval_ms=250.0,
+    proactive_recovery=(5000.0, 400.0),
+    leader_faults=True,
+)
+SMOKE_SEEDS = range(25)
+WALL_BUDGET_S = 240.0
+
+
+def leader_options(seed: int) -> ChaosOptions:
+    # alternate batching per seed: both delivery paths see leader faults
+    return ChaosOptions(seed=seed, batching=(seed % 2 == 1), **SMOKE)
+
+
+def test_prime_leader_smoke_sweep():
+    """25 seeded leader-fault scenarios against full Spire deployments:
+    zero violations, and the sweep actually checks leader recoveries."""
+    started = time.time()
+    failures = []
+    faults_checked = 0
+    leader_kinds_seen = set()
+    for seed in SMOKE_SEEDS:
+        result = ChaosEngine(leader_options(seed)).run()
+        if result.violations:
+            failures.append((seed, [str(v) for v in result.violations]))
+        faults_checked += result.stats["view_faults_checked"]
+        leader_kinds_seen.update(
+            a.kind for a in result.schedule if a.kind.startswith("leader_")
+        )
+    wall = time.time() - started
+    assert not failures, f"violations in seeds: {failures}"
+    # non-vacuous: the monitor judged real leader faults of both kinds
+    assert faults_checked >= 10
+    assert {"leader_kill", "leader_partition"} <= leader_kinds_seen
+    assert wall < WALL_BUDGET_S, f"leader sweep too slow: {wall:.0f}s"
+
+
+def test_prime_leader_chaos_deterministic():
+    """Fire-time leader resolution stays a pure function of the seed."""
+    first = ChaosEngine(leader_options(4)).run()
+    second = ChaosEngine(leader_options(4)).run()
+    assert first.schedule == second.schedule
+    assert first.fingerprint == second.fingerprint
+    assert first.stats == second.stats
+
+
+def test_prime_mid_batch_leader_kill_exactly_once():
+    """Pinned scenario: the leader dies mid-run with traffic in flight.
+    With batching on and off, in-flight records are re-proposed and
+    executed exactly once (no duplicate-execution safety violations)."""
+    schedule = FaultSchedule((
+        FaultAction("leader_kill", 1500.0, 2000.0),
+    ))
+    for batching in (False, True):
+        options = ChaosOptions(seed=6, batching=batching, **SMOKE)
+        result = ChaosEngine(options, schedule=schedule).run()
+        assert result.ok, (batching, [str(v) for v in result.violations])
+        assert result.stats["view_faults_checked"] == 1
+        assert result.stats["executions_checked"] > 50
+
+
+def test_pbft_leader_smoke_sweep():
+    """25 seeded leader-fault runs against the PBFT baseline: zero
+    safety/view-recovery/exactly-once violations."""
+    started = time.time()
+    failures = []
+    faults_checked = 0
+    adoptions = 0
+    for seed in SMOKE_SEEDS:
+        result = run_pbft_chaos(PbftChaosOptions(seed=seed))
+        if result.violations:
+            failures.append((seed, [str(v) for v in result.violations]))
+        faults_checked += result.stats["view_faults_checked"]
+        adoptions += result.stats["new_view_adoptions"]
+    wall = time.time() - started
+    assert not failures, f"violations in seeds: {failures}"
+    assert faults_checked >= 15
+    assert adoptions >= 25
+    assert wall < WALL_BUDGET_S, f"pbft sweep too slow: {wall:.0f}s"
+
+
+def test_pbft_leader_chaos_deterministic():
+    first = run_pbft_chaos(PbftChaosOptions(seed=5))
+    second = run_pbft_chaos(PbftChaosOptions(seed=5))
+    assert first.schedule == second.schedule
+    assert first.stats == second.stats
+    assert [v.to_dict() for v in first.violations] == \
+        [v.to_dict() for v in second.violations]

@@ -11,13 +11,14 @@ from repro.simnet import LinkSpec, Network, Simulator
 
 
 class PbftCluster:
-    def __init__(self, n=6, f=1, seed=3, timeout_ms=1000.0):
+    def __init__(self, n=6, f=1, seed=3, timeout_ms=1000.0, **config_kwargs):
         self.simulator = Simulator(seed=seed)
         self.network = Network(self.simulator, LinkSpec(latency_ms=0.3, jitter_ms=0.1))
         self.crypto = FastCrypto(seed=f"pbft/{seed}")
         self.trace = EventLog(now_fn=lambda: self.simulator.now)
         names = tuple(f"replica:{i}" for i in range(n))
-        self.config = PbftConfig(names, num_faults=f, request_timeout_ms=timeout_ms)
+        self.config = PbftConfig(names, num_faults=f,
+                                 request_timeout_ms=timeout_ms, **config_kwargs)
         self.nodes = [
             PbftNode(name, self.simulator, self.network, self.config,
                      self.crypto, LoggingApp(), trace=self.trace)
@@ -180,3 +181,207 @@ def test_loss_tolerated_by_retransmission():
     logs = pbft.logs()
     assert all(len(log) == 10 for log in logs)
     assert len(set(logs)) == 1
+
+
+# ----------------------------------------------------------------------
+# View-change validation (Byzantine-proof), checkpoints, catch-up
+# ----------------------------------------------------------------------
+
+def _signed(cluster, sender, payload):
+    from repro.prime import SignedMessage
+
+    return SignedMessage(payload, cluster.crypto.sign(sender, payload))
+
+
+def _prepared_entry(cluster, seq=1, view=0, batch=None, proof_len=None,
+                    digest=None):
+    from repro.pbft.messages import PbftPrepare, PbftPrepared, PbftPrePrepare
+    from repro.pbft.node import PbftNode
+
+    if batch is None:
+        update = sign_client_update(
+            cluster.crypto, "client:x", seq, ("op", seq))
+        batch = (update,)
+    leader = cluster.config.leader_of_view(view)
+    pp_signed = _signed(cluster, leader, PbftPrePrepare(leader, view, seq, batch))
+    entry_digest = digest or PbftNode._batch_digest(seq, batch)
+    voters = [n for n in cluster.config.replicas if n != leader]
+    count = cluster.config.quorum - 1 if proof_len is None else proof_len
+    proof = tuple(
+        _signed(cluster, name, PbftPrepare(name, view, seq, entry_digest))
+        for name in voters[:count]
+    )
+    return PbftPrepared(seq, view, entry_digest, pp_signed, proof)
+
+
+def _vc_of(cluster, sender, new_view, entries, last_executed=0):
+    from repro.pbft.messages import PbftViewChange
+
+    vc = PbftViewChange(sender, new_view, last_executed, tuple(entries))
+    return _signed(cluster, sender, vc), vc
+
+
+def test_viewchange_validation_accepts_valid(pbft):
+    entry = _prepared_entry(pbft)
+    signed, vc = _vc_of(pbft, "replica:2", 1, (entry,))
+    assert pbft.nodes[0]._validate_view_change(signed, vc)
+
+
+def test_viewchange_validation_rejects_weak_proof(pbft):
+    # one prepare + the leader's implied vote is far below quorum
+    entry = _prepared_entry(pbft, proof_len=1)
+    signed, vc = _vc_of(pbft, "replica:2", 1, (entry,))
+    assert not pbft.nodes[0]._validate_view_change(signed, vc)
+
+
+def test_viewchange_validation_rejects_digest_mismatch(pbft):
+    # quorum vouched for a digest that does not match the batch content
+    entry = _prepared_entry(pbft, digest="forged-digest")
+    signed, vc = _vc_of(pbft, "replica:2", 1, (entry,))
+    assert not pbft.nodes[0]._validate_view_change(signed, vc)
+
+
+def test_viewchange_validation_rejects_wrong_leader_pre_prepare(pbft):
+    from repro.pbft.messages import PbftPrepared, PbftPrePrepare
+    from repro.pbft.node import PbftNode
+
+    good = _prepared_entry(pbft)
+    batch = good.pre_prepare.payload.batch
+    # replica:3 is not the leader of view 0 but signs its pre-prepare
+    evil_pp = _signed(pbft, "replica:3", PbftPrePrepare(
+        "replica:3", 0, good.seq, batch))
+    forged = PbftPrepared(
+        good.seq, 0, PbftNode._batch_digest(good.seq, batch), evil_pp, good.proof)
+    signed, vc = _vc_of(pbft, "replica:2", 1, (forged,))
+    assert not pbft.nodes[0]._validate_view_change(signed, vc)
+
+
+def test_viewchange_validation_rejects_sender_mismatch_and_dup_seqs(pbft):
+    entry = _prepared_entry(pbft)
+    signed, vc = _vc_of(pbft, "replica:2", 1, (entry,))
+    relabeled = _signed(pbft, "replica:3", vc)   # signer != vc.sender
+    assert not pbft.nodes[0]._validate_view_change(relabeled, vc)
+    dup_signed, dup_vc = _vc_of(pbft, "replica:2", 1, (entry, entry))
+    assert not pbft.nodes[0]._validate_view_change(dup_signed, dup_vc)
+
+
+def test_new_view_from_equivocating_leader_rejected(pbft):
+    """A faulty new leader embedding a pre-prepare it did not sign (or
+    one signed by someone else) must not be adopted."""
+    from repro.pbft.messages import PbftNewView, PbftPrePrepare
+
+    node = pbft.nodes[2]
+    vcs = []
+    for name in pbft.config.replicas[:pbft.config.quorum]:
+        vc_signed, _ = _vc_of(pbft, name, 1, ())
+        vcs.append(vc_signed)
+    # leader of view 1 is replica:1; the embedded proposal is replica:3's
+    evil_pp = _signed(pbft, "replica:3", PbftPrePrepare("replica:3", 1, 1, ()))
+    nv = PbftNewView("replica:1", 1, tuple(vcs), (evil_pp,))
+    node._on_new_view(_signed(pbft, "replica:1", nv), nv)
+    assert node.view == 0
+    assert not node.in_view_change
+
+
+def test_checkpoint_truncates_log():
+    pbft = PbftCluster(seed=17, checkpoint_interval=4).start()
+    for i in range(40):
+        pbft.submit(("op", i))
+        pbft.simulator.run_for(20)
+    pbft.simulator.run_for(2000)
+    assert all(len(node.app.log) == 40 for node in pbft.nodes)
+    # a quorum certified checkpoints; logs kept only the retention window
+    for node in pbft.nodes:
+        assert node.stable_seq >= 36
+        assert min(node.slots) > 4          # old slots truncated
+        assert len(node.slots) <= 4 * 4 + 8  # retention window + frontier
+    assert pbft.trace.count(kind="pbft-checkpoint") >= len(pbft.nodes)
+
+
+def test_recovered_laggard_catches_up_via_order_proofs():
+    """A replica that slept through ordering rejoins by fetching
+    commit-certified slots (order proofs), not by re-running ordering."""
+    pbft = PbftCluster(seed=19, checkpoint_interval=16).start()
+    lagger = pbft.nodes[3]
+    lagger.crash()
+    for i in range(30):
+        pbft.submit(("op", i))
+        pbft.simulator.run_for(20)
+    pbft.simulator.run_for(1000)
+    assert all(len(log) == 30 for log in pbft.logs())   # quorum progressed
+    lagger.recover()
+    pbft.simulator.run_for(4000)
+    assert len(lagger.app.log) == 30
+    assert tuple(lagger.app.log) == tuple(pbft.nodes[1].app.log)
+
+
+def test_vote_table_gc_after_new_view():
+    """Satellite: adopted views drop their vote-table epochs (no unbounded
+    growth across view changes)."""
+    pbft = PbftCluster(seed=5).start()
+    pbft.simulator.run_for(100)
+    pbft.nodes[0].crash()
+    for i in range(10):
+        pbft.submit(("op", i))
+        pbft.simulator.run_for(100)
+    pbft.simulator.run_for(6000)
+    moved = [n for n in pbft.nodes if n.is_up and n.view >= 1]
+    assert len(moved) >= pbft.config.quorum
+    for node in moved:
+        assert all(epoch >= node.view for epoch in node._view_changes)
+        assert len(node._view_changes) <= 2
+
+
+def test_view_metrics_recorded():
+    pbft = PbftCluster(seed=5).start()
+    pbft.simulator.run_for(100)
+    pbft.nodes[0].crash()
+    for i in range(10):
+        pbft.submit(("op", i))
+        pbft.simulator.run_for(100)
+    pbft.simulator.run_for(6000)
+    node = next(n for n in pbft.nodes if n.is_up and n.view >= 1)
+    assert node.obs.counter(
+        f"replication.view_changes_total.{node.name}").value >= 1
+    assert node.obs.gauge(f"replication.view.{node.name}").value >= 1.0
+
+
+def test_in_view_change_suppresses_forwarding(pbft):
+    node = pbft.nodes[2]
+    update = sign_client_update(pbft.crypto, "client:s", 1, ("op",))
+    node.submit(update)
+    node.in_view_change = True
+    sent_before = pbft.network.stats.sent
+    node._forward_tick()
+    assert pbft.network.stats.sent == sent_before
+    node.in_view_change = False
+    node._forward_tick()
+    assert pbft.network.stats.sent > sent_before
+
+
+@pytest.mark.parametrize("batching", [True, False])
+def test_mid_batch_leader_kill_executes_exactly_once(batching):
+    """Kill the leader while a batch is in flight: every update executes
+    exactly once on every replica after recovery, batching on or off."""
+    kwargs = (dict(batch_interval_ms=20.0, batch_max_updates=64) if batching
+              else dict(batch_interval_ms=1.0, batch_max_updates=1))
+    pbft = PbftCluster(seed=23, **kwargs).start()
+    pbft.simulator.run_for(100)
+    counts = {}
+    for node in pbft.nodes:
+        def listener(u, i, r, name=node.name):
+            key = (name, u.client, u.client_seq)
+            counts[key] = counts.get(key, 0) + 1
+        node.execution_listeners.append(listener)
+    for i in range(8):
+        pbft.submit(("mid", i))
+    pbft.simulator.run_for(6.0)   # batch pre-prepared but not yet committed
+    pbft.nodes[0].crash()
+    for i in range(8):
+        pbft.submit(("post", i))
+        pbft.simulator.run_for(50)
+    pbft.simulator.run_for(8000)
+    logs = pbft.logs()
+    assert all(len(log) == 16 for log in logs)
+    assert len(set(logs)) == 1
+    assert counts and all(count == 1 for count in counts.values())

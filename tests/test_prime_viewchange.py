@@ -120,3 +120,19 @@ def test_second_view_change_when_next_leader_also_fails(cluster):
     assert all(node.view >= 2 for node in healthy)
     reference = cluster.assert_safety(only_up=True)
     assert len(reference) == 6
+
+
+def test_view_change_records_metrics(cluster):
+    """Satellite: every view transition moves the per-replica view gauge
+    and bumps the view_changes_total counter."""
+    cluster.run_for(500)
+    cluster.nodes[0].crash()
+    cluster.pump(10, gap_ms=30, node_index=1)
+    cluster.run_for(3000)
+    moved = [node for node in cluster.nodes[1:] if node.view >= 1]
+    assert moved
+    for node in moved:
+        assert node.obs.counter(
+            f"replication.view_changes_total.{node.name}").value >= 1
+        assert node.obs.gauge(
+            f"replication.view.{node.name}").value == float(node.view)

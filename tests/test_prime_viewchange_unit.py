@@ -40,12 +40,15 @@ def make_matrix(signed, upto=7):
 
 
 def make_prepared_entry(config, signed, seq=5, view=0, matrix=None):
+    from repro.prime.ordering import slot_digest
+
     if matrix is None:
         matrix = make_matrix(signed)
     leader = config.leader_of_view(view)
     pp = PrePrepare(leader, view, seq, matrix)
     pp_signed = signed(leader, pp)
-    entry_digest = digest((seq, tuple()))
+    # validation binds the entry digest to the pre-prepare content
+    entry_digest = slot_digest(seq, matrix, 1)
     proof = tuple(
         signed(f"r{i}", Prepare(f"r{i}", view, seq, entry_digest))
         for i in range(1, config.quorum + 1)
@@ -251,3 +254,130 @@ def test_garbage_collect_drops_old_views(setup):
     manager.garbage_collect(2)
     assert 0 not in manager.suspects
     assert 2 in manager.suspects
+
+
+# ----------------------------------------------------------------------
+# Consecutive leader failures
+# ----------------------------------------------------------------------
+
+def test_three_consecutive_failed_leaders_preserve_prepared(setup):
+    """An entry prepared in view 0 survives three failed leaders in a
+    row: each hop's quorum re-carries it, and the fourth leader's
+    NewView finally re-proposes it."""
+    config, crypto, manager, signed, verify = setup
+    entry = make_prepared_entry(config, signed, seq=1, view=0)
+    for view in (1, 2, 3):
+        # quorum accuses into `view`; its leader crashes before NewView
+        mgr = ViewChangeManager(config, config.leader_of_view(view))
+        for index in range(config.quorum):
+            vc = ViewChange(f"r{index}", view, 0, (), (entry,))
+            mgr.add_view_change(signed(f"r{index}", vc), vc)
+        built = mgr.build_new_view(
+            view, lambda p, v=view: signed(config.leader_of_view(v), p))
+        assert built is not None   # each leader COULD have completed...
+    # ...but none did; the view-4 leader completes the hop chain
+    leader4 = config.leader_of_view(4)
+    final = ViewChangeManager(config, leader4)
+    for index in range(config.quorum):
+        vc = ViewChange(f"r{index}", 4, 0, (), (entry,))
+        final.add_view_change(signed(f"r{index}", vc), vc)
+    nv, max_seq = final.build_new_view(4, lambda p: signed(leader4, p))
+    assert max_seq == 1
+    observer = ViewChangeManager(config, "r5")
+    verified = observer.verify_new_view(
+        signed(leader4, nv), nv, verify, lambda s, p: True)
+    assert verified is not None
+    pre_prepares, _, _ = verified
+    assert [(pp.payload.seq, pp.payload.matrix) for pp in pre_prepares] == \
+        [(1, entry.pre_prepare.payload.matrix)]
+
+
+def test_suspect_streak_across_views(setup):
+    """A replica tracks suspicion through view 0 -> 1 -> 2: each view's
+    quorum of suspects independently triggers its view change."""
+    config, crypto, manager, signed, verify = setup
+    for view in (0, 1, 2):
+        triggered = False
+        for index in range(config.quorum):
+            message = Suspect(f"r{index}", view, "dead-leader")
+            _, view_change = manager.add_suspect(
+                signed(f"r{index}", message), message, current_view=view)
+            triggered = triggered or view_change
+        assert triggered, f"view {view} quorum did not trigger"
+        manager.garbage_collect(view + 1)
+    assert 0 not in manager.suspects and 1 not in manager.suspects
+
+
+# ----------------------------------------------------------------------
+# derive_re_proposals property tests
+# ----------------------------------------------------------------------
+
+def _random_vcs(config, signed, rng, new_view):
+    """Random ViewChanges: per sender, a random subset of seqs, each
+    prepared in a random view with view-distinct content."""
+    vcs = []
+    for index in range(2, 2 + rng.randint(2, config.quorum)):
+        entries = []
+        for seq in sorted(rng.sample(range(1, 10), rng.randint(0, 5))):
+            view = rng.randint(0, 3)
+            entries.append(make_prepared_entry(
+                config, signed, seq=seq, view=view,
+                matrix=make_matrix(signed, upto=100 * view + seq)))
+        vcs.append(ViewChange(f"r{index}", new_view, 0, (), tuple(entries)))
+    return vcs
+
+
+def test_derive_property_highest_view_wins(setup):
+    import random
+
+    config, crypto, manager, signed, verify = setup
+    rng = random.Random(7)
+    for _ in range(15):
+        vcs = _random_vcs(config, signed, rng, new_view=4)
+        start, proposals = ViewChangeManager.derive_re_proposals(vcs)
+        best = {}
+        for vc in vcs:
+            for entry in vc.prepared:
+                if entry.seq not in best or entry.view > best[entry.seq].view:
+                    best[entry.seq] = entry
+        for seq, matrix in proposals:
+            if seq in best:
+                assert matrix == best[seq].pre_prepare.payload.matrix, seq
+
+
+def test_derive_property_no_seq_gaps(setup):
+    import random
+
+    config, crypto, manager, signed, verify = setup
+    rng = random.Random(11)
+    for _ in range(15):
+        vcs = _random_vcs(config, signed, rng, new_view=4)
+        start, proposals = ViewChangeManager.derive_re_proposals(vcs)
+        seqs = [seq for seq, _ in proposals]
+        assert seqs == list(range(start + 1, start + 1 + len(seqs)))
+        prepared_seqs = {e.seq for vc in vcs for e in vc.prepared}
+        if prepared_seqs:
+            assert seqs and seqs[-1] == max(prepared_seqs)
+
+
+def test_derive_property_idempotent_replay(setup):
+    """Re-proposing the derived outcome and deriving again is a fixed
+    point: a second view change right after the first re-proposes the
+    same (seq, matrix) assignment, so replay cannot reorder history."""
+    import random
+
+    config, crypto, manager, signed, verify = setup
+    rng = random.Random(13)
+    for _ in range(10):
+        vcs = _random_vcs(config, signed, rng, new_view=4)
+        start, proposals = ViewChangeManager.derive_re_proposals(vcs)
+        replayed = []
+        for seq, matrix in proposals:
+            replayed.append(make_prepared_entry(
+                config, signed, seq=seq, view=4, matrix=matrix))
+        second = [
+            ViewChange(f"r{i}", 5, start, (), tuple(replayed))
+            for i in range(2, 5)
+        ]
+        start2, proposals2 = ViewChangeManager.derive_re_proposals(second)
+        assert (start2, proposals2) == (start, proposals)
