@@ -9,6 +9,11 @@ watchdog. The expected result is **zero violations across the whole
 sweep**; any violation is dumped as a replayable scenario file under
 ``benchmarks/results/`` and shrunk to a minimal reproducer.
 
+The sweep executes through the shared :mod:`repro.parallel` campaign
+runner: serial by default, fanned across cores with ``CHAOS_WORKERS=n``
+(the merged report is identical at any worker count — see
+``tests/test_parallel_campaign.py``).
+
 This sweep is opt-in (``pytest benchmarks/bench_chaos_sweep.py --chaos``)
 because it runs minutes of simulation; the tier-1 smoke version lives in
 ``tests/test_chaos_smoke.py``. Scale with ``CHAOS_SWEEP_COUNT``.
@@ -21,6 +26,7 @@ from collections import Counter
 import pytest
 
 from repro.chaos import ChaosEngine, ChaosOptions, dump_scenario, shrink_schedule
+from repro.parallel import resolve_workers, run_campaign, seed_tasks
 
 from common import RESULTS_DIR, reporter
 
@@ -30,39 +36,63 @@ SWEEP_COUNT = int(os.environ.get("CHAOS_SWEEP_COUNT", "200"))
 @pytest.mark.chaos
 def test_chaos_sweep():
     emit = reporter("chaos_sweep")
+    workers = resolve_workers(default=1)
     started = time.time()
-    failures = []
+    report = run_campaign(
+        seed_tasks("chaos", ChaosOptions(), range(SWEEP_COUNT)),
+        workers=workers,
+    )
+    wall = time.time() - started
+
     kind_coverage = Counter()
     totals = Counter()
-    for seed in range(SWEEP_COUNT):
-        result = ChaosEngine(ChaosOptions(seed=seed)).run()
-        kind_coverage.update(action.kind for action in result.schedule)
-        totals["actions"] += len(result.schedule)
-        totals["executions_checked"] += result.stats["executions_checked"]
+    failures = []
+    for record in report.records:
+        if not record.ok:
+            failures.append(record)
+            continue
+        stats = record.stats
+        kind_coverage.update(stats["fault_kinds"])
+        totals["executions_checked"] += stats["executions_checked"]
         totals["deliveries_verified"] += (
-            result.stats["hmi_verified"] + result.stats["proxy_verified"]
+            stats["hmi_verified"] + stats["proxy_verified"]
         )
-        totals["deferred_rejuvenations"] += result.stats["deferred_rejuvenations"]
-        totals["quiet_checked_ms"] += result.stats["quiet_checked_ms"]
+        totals["deferred_rejuvenations"] += stats["deferred_rejuvenations"]
+        totals["quiet_checked_ms"] += stats["quiet_checked_ms"]
+
+    # Violating seeds get a replayable dump + minimal reproducer. The
+    # campaign record carries violations but not the live result, so the
+    # (expected-never) failure path re-runs the scenario in-process.
+    failed_seeds = []
+    for record in failures:
+        seed = getattr(record, "seed", None)
+        if seed is None:
+            seed = int(record.task_id.rsplit("-", 1)[1])
+        failed_seeds.append(seed)
+        result = ChaosEngine(ChaosOptions(seed=seed)).run()
         if result.violations:
             path = dump_scenario(
                 result, os.path.join(RESULTS_DIR, f"chaos_violation_{seed}.json")
             )
             shrunk = shrink_schedule(result.options, result.schedule)
-            failures.append((seed, result.violations, path, len(shrunk.schedule)))
             emit(f"seed {seed}: {len(result.violations)} violation(s), "
                  f"scenario dumped to {path}, "
                  f"shrunk to {len(shrunk.schedule)} action(s)")
-    wall = time.time() - started
+        else:
+            emit(f"seed {seed}: campaign failure {record.to_dict()}")
 
+    percentiles = report.wall_percentiles_ms()
     emit(f"chaos sweep: {SWEEP_COUNT} scenarios, f=1 k=1 (6 replicas, "
-         f"4-site WAN), {wall:.0f}s wall")
-    emit(f"fault actions applied: {totals['actions']}  "
-         f"kind coverage: {dict(sorted(kind_coverage.items()))}")
+         f"4-site WAN), {wall:.0f}s wall at {workers} worker(s) "
+         f"({SWEEP_COUNT / wall:.2f} scenarios/s, per-scenario "
+         f"p50 {percentiles['p50']:.0f} ms / p99 {percentiles['p99']:.0f} ms)")
+    emit(f"merged campaign fingerprint: {report.fingerprint}")
+    emit(f"fault kind coverage (scenarios touched): "
+         f"{dict(sorted(kind_coverage.items()))}")
     emit(f"executions cross-checked: {totals['executions_checked']}  "
          f"threshold-verified deliveries: {totals['deliveries_verified']}")
     emit(f"rejuvenations deferred for quorum: {totals['deferred_rejuvenations']}  "
          f"quiet time under delivery watchdog: "
          f"{totals['quiet_checked_ms'] / 1000.0:.1f}s")
     emit(f"invariant violations: {len(failures)} (expected 0)")
-    assert not failures, f"violations in seeds {[f[0] for f in failures]}"
+    assert not failures, f"violations in seeds {failed_seeds}"

@@ -34,6 +34,7 @@ from repro.obs import (
     EV_REJUVENATE_DONE,
     EV_REJUVENATE_START,
 )
+from repro.parallel import CampaignTask, resolve_workers, run_campaign
 from repro.simnet import DosAttack, FailureInjector
 
 from common import once, reporter, write_scenario_report
@@ -140,6 +141,32 @@ def _run_one(family, strategy, seed, fault_ms, run_ms):
     return result, deployment
 
 
+def run_cell(options, schedule):
+    """Campaign-runner entry for one matrix cell (module-path runner
+    ``"bench_feedback_control:run_cell"``; the benchmarks dir is on
+    ``sys.path`` in spawned workers). ``options`` is a plain dict; the
+    scenario report for the showcase cell is written in-worker and its
+    paths returned in the payload."""
+    result, deployment = _run_one(
+        options["family"], options["strategy"], options["seed"],
+        options["fault_ms"], options["run_ms"],
+    )
+    report_paths = None
+    if options.get("write_report"):
+        report_paths = write_scenario_report(
+            "feedback_control", deployment,
+            title="feedback-driven recovery, leader-kill "
+                  f"fault (seed {options['seed']})",
+            extra={
+                "family": options["family"],
+                "fault_ms": options["fault_ms"],
+                "exposure_ms": result["exposure"],
+                "mttd_ms": result["mttd"],
+            },
+        )
+    return {"ok": True, "stats": result, "report_paths": report_paths}
+
+
 def _mean(values):
     values = [v for v in values if v is not None]
     return sum(values) / len(values) if values else None
@@ -156,37 +183,49 @@ def test_feedback_control(benchmark, request):
     emit = reporter("feedback_control")
 
     def scenario():
-        rows = {}
-        report_paths = None
+        # One campaign task per (family, strategy, seed) cell; the matrix
+        # fans across cores with CHAOS_WORKERS and merges in task order.
+        tasks = []
         for family in FAMILIES:
             for strategy in ("periodic", "feedback"):
-                runs = []
                 for seed, fault_ms in cases:
-                    result, deployment = _run_one(
-                        family, strategy, seed, fault_ms, run_ms,
-                    )
-                    runs.append(result)
-                    if (family, strategy) == ("leader_kill", "feedback") \
-                            and seed == cases[0][0]:
-                        report_paths = write_scenario_report(
-                            "feedback_control", deployment,
-                            title="feedback-driven recovery, leader-kill "
-                                  f"fault (seed {seed})",
-                            extra={
-                                "family": family,
-                                "fault_ms": fault_ms,
-                                "exposure_ms": result["exposure"],
-                                "mttd_ms": result["mttd"],
-                            },
-                        )
-                rows[(family, strategy)] = {
-                    "mttd": _mean([r["mttd"] for r in runs]),
-                    "mttr": _mean([r["mttr"] for r in runs]),
-                    "exposure": _mean([r["exposure"] for r in runs]),
-                    "availability": _mean([r["availability"] for r in runs]),
-                    "rejuvenations": _mean([r["rejuvenations"] for r in runs]),
-                    "capped": sum(1 for r in runs if r["capped"]),
-                }
+                    tasks.append(CampaignTask(
+                        task_id=f"fc/{family}/{strategy}/seed-{seed}",
+                        runner="bench_feedback_control:run_cell",
+                        options={
+                            "family": family,
+                            "strategy": strategy,
+                            "seed": seed,
+                            "fault_ms": fault_ms,
+                            "run_ms": run_ms,
+                            "write_report": (
+                                (family, strategy)
+                                == ("leader_kill", "feedback")
+                                and seed == cases[0][0]
+                            ),
+                        },
+                    ))
+        campaign = run_campaign(tasks, workers=resolve_workers(default=1))
+        assert campaign.ok, [f.to_dict() for f in campaign.failures]
+
+        by_cell = {}
+        report_paths = None
+        for task, record in zip(tasks, campaign.results):
+            cell = (task.options["family"], task.options["strategy"])
+            by_cell.setdefault(cell, []).append(record.stats)
+            if record.payload and record.payload.get("report_paths"):
+                report_paths = record.payload["report_paths"]
+        rows = {
+            cell: {
+                "mttd": _mean([r["mttd"] for r in runs]),
+                "mttr": _mean([r["mttr"] for r in runs]),
+                "exposure": _mean([r["exposure"] for r in runs]),
+                "availability": _mean([r["availability"] for r in runs]),
+                "rejuvenations": _mean([r["rejuvenations"] for r in runs]),
+                "capped": sum(1 for r in runs if r["capped"]),
+            }
+            for cell, runs in by_cell.items()
+        }
         return rows, report_paths
 
     rows, report_paths = once(benchmark, scenario)

@@ -16,6 +16,7 @@ Quickstart::
 """
 
 from .engine import (
+    HOST_STAT_KEYS,
     LEADER_FAULT_KINDS,
     OVERLAY_FAULT_KINDS,
     ChaosEngine,
@@ -49,6 +50,7 @@ __all__ = [
     "ChaosEngine",
     "ChaosOptions",
     "ChaosResult",
+    "HOST_STAT_KEYS",
     "ChaosProfile",
     "generate_schedule",
     "SafetyMonitor",

@@ -142,6 +142,12 @@ class ChaosOptions:
         return ChaosOptions(**kwargs)
 
 
+#: stat keys that measure the *host* (wall clock), not the simulation —
+#: excluded from deterministic dumps, fingerprints and replay comparison,
+#: mirroring the ``ScenarioReport`` convention from PR 5
+HOST_STAT_KEYS = frozenset({"wall_runtime_s"})
+
+
 @dataclass
 class ChaosResult:
     """Outcome of one chaos run."""
@@ -152,10 +158,22 @@ class ChaosResult:
     fingerprint: str
     stats: Dict[str, Any]
     injector_log: List[str] = field(default_factory=list)
+    #: deterministic-only ``Observability.snapshot()`` image of the run's
+    #: deployment, carried so campaign aggregation can merge per-scenario
+    #: observability without holding live simulator handles
+    obs_snapshot: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def deterministic_stats(self) -> Dict[str, Any]:
+        """The stats minus host-dependent entries (wall-clock timing)."""
+        return {
+            key: value for key, value in self.stats.items()
+            if key not in HOST_STAT_KEYS
+        }
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -163,7 +181,7 @@ class ChaosResult:
             "schedule": self.schedule.to_list(),
             "violations": [v.to_dict() for v in self.violations],
             "fingerprint": self.fingerprint,
-            "stats": self.stats,
+            "stats": self.deterministic_stats,
         }
 
 
@@ -304,6 +322,8 @@ class ChaosEngine:
         violations.sort(key=lambda v: (v.time_ms, v.monitor, v.kind))
 
         stats = self._stats(deployment, safety, gate, quorum, watchdog)
+        stats["wall_runtime_s"] = round(deployment.wall_runtime_s, 4)
+        stats["fault_kinds"] = sorted({action.kind for action in schedule})
         stats["floor_rejuvenations_checked"] = floor.rejuvenations_checked
         stats["view_faults_checked"] = view_recovery.faults_checked
         stats["view_recovery_latencies_ms"] = [
@@ -323,6 +343,7 @@ class ChaosEngine:
             fingerprint=fingerprint,
             stats=stats,
             injector_log=injector.log,
+            obs_snapshot=deployment.obs.snapshot(deterministic_only=True),
         )
 
     # ------------------------------------------------------------------

@@ -69,6 +69,15 @@ class Violation:
             "details": {key: value for key, value in self.details},
         }
 
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Violation":
+        return Violation(
+            monitor=data["monitor"],
+            kind=data["kind"],
+            time_ms=data["time_ms"],
+            details=tuple(sorted(data.get("details", {}).items())),
+        )
+
     def __str__(self) -> str:  # pragma: no cover - debug aid
         detail = " ".join(f"{k}={v}" for k, v in self.details)
         return f"[t={self.time_ms:10.1f}ms] {self.monitor}/{self.kind} {detail}"

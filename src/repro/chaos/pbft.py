@@ -19,14 +19,18 @@ time, so cascades land on whoever actually leads by then.
 from __future__ import annotations
 
 import dataclasses
+import json
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..crypto import FastCrypto
-from ..obs import EV_PBFT_NEW_VIEW, EventLog
+from ..crypto.encoding import digest
+from ..obs import EV_PBFT_NEW_VIEW, EventLog, Observability
 from ..pbft import PbftConfig, PbftNode
 from ..prime import LoggingApp, sign_client_update
 from ..simnet import FailureInjector, LinkSpec, Network, Simulator
+from .engine import HOST_STAT_KEYS
 from .generator import ChaosProfile, generate_schedule
 from .monitors import SafetyMonitor, ViewRecoveryMonitor, Violation
 from .schedule import FaultSchedule
@@ -65,6 +69,13 @@ class PbftChaosOptions:
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
 
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "PbftChaosOptions":
+        known = {f.name for f in dataclasses.fields(PbftChaosOptions)}
+        return PbftChaosOptions(
+            **{k: v for k, v in data.items() if k in known}
+        )
+
 
 @dataclass
 class PbftChaosResult:
@@ -75,10 +86,21 @@ class PbftChaosResult:
     violations: List[Violation]
     stats: Dict[str, Any]
     injector_log: List[str] = field(default_factory=list)
+    fingerprint: str = ""
+    obs_snapshot: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def deterministic_stats(self) -> Dict[str, Any]:
+        """Stats with host-dependent wall-clock values stripped."""
+        return {
+            key: value
+            for key, value in self.stats.items()
+            if key not in HOST_STAT_KEYS
+        }
 
 
 def _majority_view(nodes: List[PbftNode]) -> int:
@@ -91,6 +113,7 @@ def run_pbft_chaos(
     schedule: Optional[FaultSchedule] = None,
 ) -> PbftChaosResult:
     opts = options or PbftChaosOptions()
+    wall_start = time.perf_counter()
     simulator = Simulator(seed=opts.seed)
     network = Network(simulator, LinkSpec(latency_ms=0.3, jitter_ms=0.1))
     crypto = FastCrypto(seed=f"pbft-chaos/{opts.seed}")
@@ -229,11 +252,32 @@ def run_pbft_chaos(
         ],
         "executions_checked": safety.checked,
         "new_view_adoptions": len(adoptions),
+        "fault_kinds": sorted({action.kind for action in schedule}),
     }
+    stats["wall_runtime_s"] = round(time.perf_counter() - wall_start, 4)
+    deterministic = {
+        key: value for key, value in stats.items() if key not in HOST_STAT_KEYS
+    }
+    fingerprint = digest(
+        "pbft-chaos:"
+        + json.dumps(
+            {
+                "options": opts.to_dict(),
+                "schedule": schedule.to_list(),
+                "violations": [v.to_dict() for v in violations],
+                "stats": deterministic,
+            },
+            sort_keys=True,
+        ),
+    )
     return PbftChaosResult(
         options=opts,
         schedule=schedule,
         violations=violations,
         stats=stats,
         injector_log=injector.log,
+        fingerprint=fingerprint,
+        obs_snapshot=Observability.for_trace(trace).snapshot(
+            deterministic_only=True
+        ),
     )

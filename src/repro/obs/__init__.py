@@ -69,9 +69,18 @@ from .instruments import (
     IntervalCounter,
     LatencyStats,
     LatencyTracker,
+    MergedImage,
     MetricRegistry,
+    merge_instrument_images,
+    merge_metric_snapshots,
 )
-from .recorder import NULL_OBS, NullObservability, Observability, resolve_obs
+from .recorder import (
+    NULL_OBS,
+    NullObservability,
+    Observability,
+    merge_obs_snapshots,
+    resolve_obs,
+)
 from .spans import Span, SpanRecord, SpanRecorder
 
 __all__ = [
@@ -86,6 +95,10 @@ __all__ = [
     "LatencyStats",
     "LatencyTracker",
     "IntervalCounter",
+    "MergedImage",
+    "merge_instrument_images",
+    "merge_metric_snapshots",
+    "merge_obs_snapshots",
     "Event",
     "EventLog",
     "NullEventLog",

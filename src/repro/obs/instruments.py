@@ -30,7 +30,10 @@ __all__ = [
     "Histogram",
     "LatencyTracker",
     "IntervalCounter",
+    "MergedImage",
     "MetricRegistry",
+    "merge_instrument_images",
+    "merge_metric_snapshots",
 ]
 
 
@@ -315,6 +318,116 @@ class IntervalCounter(_Instrument):
         return {"total": total, "intervals": len(self._counts)}
 
 
+# ----------------------------------------------------------------------
+# Snapshot merging (parallel campaign aggregation)
+# ----------------------------------------------------------------------
+# Snapshot images are plain JSON data, so cross-process aggregation works
+# on the images themselves: counters add, watermarks take min/max, and
+# sample-derived statistics that cannot be combined from two summaries
+# (percentiles) are dropped rather than silently mis-merged. The rules
+# are keyed by field name, which is uniform across instrument families.
+
+#: image keys that accumulate across sources
+_MERGE_ADD_KEYS = frozenset({
+    "count", "sum", "total", "intervals", "duplicates", "outstanding",
+    "overflowed", "dropped", "recorded",
+})
+#: sample-derived keys that cannot be recombined from two summaries;
+#: ``mean`` is recomputed from sum/count where possible
+_MERGE_DERIVED_KEYS = frozenset({"mean", "median", "p90", "p99", "p999"})
+
+
+def merge_instrument_images(base: Any, other: Any) -> Any:
+    """Merge two instrument snapshot images of the same instrument.
+
+    Integers (counters) add. Dict images merge field-wise: additive keys
+    sum, ``min``/``max`` take the watermark union, ``value`` is
+    last-writer-wins (merge in task order for determinism), and
+    percentile keys are dropped (``mean`` is recomputed from ``sum`` and
+    ``count`` when both survive). ``base`` may be ``None`` to seed the
+    fold.
+    """
+    if base is None:
+        return other if not isinstance(other, dict) else dict(other)
+    if isinstance(base, (int, float)) and isinstance(other, (int, float)):
+        return base + other
+    if not isinstance(base, dict) or not isinstance(other, dict):
+        raise TypeError(
+            f"cannot merge instrument images {type(base).__name__} "
+            f"and {type(other).__name__}"
+        )
+    merged: Dict[str, Any] = {}
+    for key in sorted(set(base) | set(other)):
+        if key in _MERGE_DERIVED_KEYS:
+            continue
+        a, b = base.get(key), other.get(key)
+        if a is None:
+            merged[key] = b
+        elif b is None:
+            merged[key] = a
+        elif key in _MERGE_ADD_KEYS:
+            merged[key] = a + b
+        elif key == "min":
+            merged[key] = min(a, b)
+        elif key == "max":
+            merged[key] = max(a, b)
+        elif key == "value" or a != b:
+            merged[key] = b
+        else:
+            merged[key] = a
+    if merged.get("count") and "sum" in merged:
+        merged["mean"] = merged["sum"] / merged["count"]
+    return merged
+
+
+def merge_metric_snapshots(
+    images: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Fold a sequence of ``MetricRegistry.snapshot()`` images into one.
+
+    A single-element sequence passes through untouched (full fidelity,
+    percentiles included); two or more merge per instrument name under
+    :func:`merge_instrument_images`. The fold runs in sequence order, so
+    callers that feed task-ordered images get a deterministic result
+    regardless of which process produced each image.
+    """
+    if len(images) == 1:
+        return dict(sorted(images[0].items()))
+    merged: Dict[str, Any] = {}
+    for image in images:
+        for name, snap in image.items():
+            if name in merged:
+                merged[name] = merge_instrument_images(merged[name], snap)
+            else:
+                merged[name] = snap if not isinstance(snap, dict) else dict(snap)
+    return dict(sorted(merged.items()))
+
+
+class MergedImage(_Instrument):
+    """An instrument holding a merged snapshot image from foreign
+    registries — the receiving end of cross-process aggregation for
+    families whose live state (samples) did not travel with the image."""
+
+    kind = "merged"
+
+    def __init__(
+        self, name: str, image: Optional[Dict[str, Any]] = None,
+        deterministic: bool = True,
+    ) -> None:
+        super().__init__(name, deterministic)
+        self.image: Optional[Dict[str, Any]] = (
+            dict(image) if image is not None else None
+        )
+        self.sources = 1 if image is not None else 0
+
+    def merge(self, image: Dict[str, Any]) -> None:
+        self.image = merge_instrument_images(self.image, image)
+        self.sources += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        return dict(self.image or {})
+
+
 class MetricRegistry:
     """Central, name-keyed store of every instrument of one system.
 
@@ -373,6 +486,36 @@ class MetricRegistry:
             self._instruments[instrument.name] = instrument
             return instrument
         return existing
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a foreign registry's ``snapshot()`` image into this one.
+
+        Counters (integer images) accumulate into live :class:`Counter`
+        instruments; gauge images merge watermark-aware into live
+        :class:`Gauge` instruments; every other family lands in a
+        :class:`MergedImage` (their sample state did not travel with the
+        image, so the merged summary is the honest representation). This
+        is the aggregation primitive the parallel campaign runner uses to
+        combine per-worker observability.
+        """
+        for name in sorted(snapshot):
+            image = snapshot[name]
+            if image is None:
+                continue
+            if isinstance(image, (int, float)) and not isinstance(image, bool):
+                self.counter(name).inc(image)
+            elif isinstance(image, dict) and set(image) == {
+                "value", "min", "max"
+            }:
+                gauge = self.gauge(name)
+                gauge.set(image["min"])
+                gauge.set(image["max"])
+                gauge.set(image["value"])
+            else:
+                merged = self._get_or_create(
+                    name, lambda: MergedImage(name), MergedImage
+                )
+                merged.merge(image)
 
     def names(self) -> List[str]:
         return sorted(self._instruments)

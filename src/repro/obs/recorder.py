@@ -28,10 +28,54 @@ from .instruments import (
     LatencyStats,
     LatencyTracker,
     MetricRegistry,
+    merge_metric_snapshots,
 )
 from .spans import NULL_SPAN, Span, SpanRecorder
 
-__all__ = ["Observability", "NullObservability", "NULL_OBS", "resolve_obs"]
+__all__ = [
+    "Observability",
+    "NullObservability",
+    "NULL_OBS",
+    "merge_obs_snapshots",
+    "resolve_obs",
+]
+
+
+def merge_obs_snapshots(
+    images: Sequence[Tuple[str, Dict[str, Any]]],
+) -> Dict[str, Any]:
+    """Merge per-task ``Observability.snapshot()`` images into one.
+
+    ``images`` is a task-ordered sequence of ``(task_id, image)`` pairs —
+    the order fixes every last-writer-wins merge rule, so the result is
+    deterministic regardless of which worker produced which image.
+    Metrics merge under :func:`merge_metric_snapshots`; event-log
+    summaries concatenate (counts and per-kind totals add) with a
+    ``by_task`` breakdown keyed by task id so per-worker trace volume
+    stays attributable after aggregation.
+    """
+    metrics = merge_metric_snapshots(
+        [image.get("metrics", {}) for _, image in images]
+    )
+    kinds: Dict[str, int] = {}
+    recorded = dropped = 0
+    by_task: Dict[str, int] = {}
+    for task_id, image in images:
+        events = image.get("events", {})
+        recorded += events.get("recorded", 0)
+        dropped += events.get("dropped", 0)
+        by_task[task_id] = events.get("recorded", 0)
+        for kind, count in events.get("kinds", {}).items():
+            kinds[kind] = kinds.get(kind, 0) + count
+    return {
+        "metrics": metrics,
+        "events": {
+            "recorded": recorded,
+            "dropped": dropped,
+            "kinds": dict(sorted(kinds.items())),
+            "by_task": by_task,
+        },
+    }
 
 
 class Observability:

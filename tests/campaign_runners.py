@@ -1,0 +1,53 @@
+"""Custom campaign runners used by ``test_parallel_campaign.py``.
+
+These live in a plain module (not a ``test_*`` file) so spawned workers
+can import them by ``"campaign_runners:<name>"`` path — the tests dir is
+on ``sys.path`` under pytest, and spawn children inherit the parent's
+resolved ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def echo(options, schedule):
+    """Deterministic payload derived from options; optional sleep.
+
+    ``options`` is a plain dict: ``value`` keys the payload, ``delay_s``
+    shuffles completion order under parallel execution, and the
+    ``wall_runtime_s`` stat checks the host-key stripping path.
+    """
+    delay = options.get("delay_s", 0.0)
+    if delay:
+        time.sleep(delay)
+    return {
+        "ok": True,
+        "fingerprint": f"echo-{options['value']}",
+        "stats": {"value": options["value"], "wall_runtime_s": delay},
+        "obs_snapshot": {
+            "metrics": {"echo.calls": 1},
+            "events": {"recorded": 2, "dropped": 0, "kinds": {"echo": 2}},
+        },
+    }
+
+
+def crash(options, schedule):
+    """Hard-kill the worker process (no Python-level cleanup)."""
+    os._exit(23)
+
+
+def hang(options, schedule):
+    """Overrun any reasonable per-task deadline."""
+    time.sleep(120.0)
+    return {"ok": True}
+
+
+def boom(options, schedule):
+    raise ValueError("scripted runner failure")
+
+
+def unpicklable(options, schedule):
+    """Result payload that cannot cross the process boundary."""
+    return {"ok": True, "closure": lambda: None}

@@ -24,6 +24,12 @@ from repro.chaos import (
     PbftChaosOptions,
     run_pbft_chaos,
 )
+from repro.parallel import (
+    CampaignTask,
+    resolve_workers,
+    run_campaign,
+    seed_tasks,
+)
 
 #: compact scenario shape shared with test_chaos_smoke.py
 SMOKE = dict(
@@ -45,23 +51,35 @@ def leader_options(seed: int) -> ChaosOptions:
 
 def test_prime_leader_smoke_sweep():
     """25 seeded leader-fault scenarios against full Spire deployments:
-    zero violations, and the sweep actually checks leader recoveries."""
+    zero violations, and the sweep actually checks leader recoveries.
+
+    Runs through the shared campaign runner (``CHAOS_WORKERS`` fans it
+    across cores in CI); batching alternates per seed, so the tasks are
+    built explicitly rather than via ``seed_tasks``."""
     started = time.time()
-    failures = []
-    faults_checked = 0
-    leader_kinds_seen = set()
-    for seed in SMOKE_SEEDS:
-        result = ChaosEngine(leader_options(seed)).run()
-        if result.violations:
-            failures.append((seed, [str(v) for v in result.violations]))
-        faults_checked += result.stats["view_faults_checked"]
-        leader_kinds_seen.update(
-            a.kind for a in result.schedule if a.kind.startswith("leader_")
-        )
+    report = run_campaign(
+        [
+            CampaignTask(f"leader/seed-{seed}", "chaos", leader_options(seed))
+            for seed in SMOKE_SEEDS
+        ],
+        workers=resolve_workers(default=1),
+    )
     wall = time.time() - started
+    failures = [
+        (record.task_id, [str(v) for v in record.violations])
+        for record in report.records
+        if not record.ok
+    ]
     assert not failures, f"violations in seeds: {failures}"
     # non-vacuous: the monitor judged real leader faults of both kinds
-    assert faults_checked >= 10
+    results = report.results
+    assert sum(r.stats["view_faults_checked"] for r in results) >= 10
+    leader_kinds_seen = set()
+    for result in results:
+        leader_kinds_seen.update(
+            kind for kind in result.stats["fault_kinds"]
+            if kind.startswith("leader_")
+        )
     assert {"leader_kill", "leader_partition"} <= leader_kinds_seen
     assert wall < WALL_BUDGET_S, f"leader sweep too slow: {wall:.0f}s"
 
@@ -72,7 +90,7 @@ def test_prime_leader_chaos_deterministic():
     second = ChaosEngine(leader_options(4)).run()
     assert first.schedule == second.schedule
     assert first.fingerprint == second.fingerprint
-    assert first.stats == second.stats
+    assert first.deterministic_stats == second.deterministic_stats
 
 
 def test_prime_mid_batch_leader_kill_exactly_once():
@@ -94,19 +112,20 @@ def test_pbft_leader_smoke_sweep():
     """25 seeded leader-fault runs against the PBFT baseline: zero
     safety/view-recovery/exactly-once violations."""
     started = time.time()
-    failures = []
-    faults_checked = 0
-    adoptions = 0
-    for seed in SMOKE_SEEDS:
-        result = run_pbft_chaos(PbftChaosOptions(seed=seed))
-        if result.violations:
-            failures.append((seed, [str(v) for v in result.violations]))
-        faults_checked += result.stats["view_faults_checked"]
-        adoptions += result.stats["new_view_adoptions"]
+    report = run_campaign(
+        seed_tasks("pbft_chaos", PbftChaosOptions(), SMOKE_SEEDS),
+        workers=resolve_workers(default=1),
+    )
     wall = time.time() - started
+    failures = [
+        (record.task_id, [str(v) for v in record.violations])
+        for record in report.records
+        if not record.ok
+    ]
     assert not failures, f"violations in seeds: {failures}"
-    assert faults_checked >= 15
-    assert adoptions >= 25
+    results = report.results
+    assert sum(r.stats["view_faults_checked"] for r in results) >= 15
+    assert sum(r.stats["new_view_adoptions"] for r in results) >= 25
     assert wall < WALL_BUDGET_S, f"pbft sweep too slow: {wall:.0f}s"
 
 
@@ -114,6 +133,7 @@ def test_pbft_leader_chaos_deterministic():
     first = run_pbft_chaos(PbftChaosOptions(seed=5))
     second = run_pbft_chaos(PbftChaosOptions(seed=5))
     assert first.schedule == second.schedule
-    assert first.stats == second.stats
+    assert first.fingerprint == second.fingerprint
+    assert first.deterministic_stats == second.deterministic_stats
     assert [v.to_dict() for v in first.violations] == \
         [v.to_dict() for v in second.violations]

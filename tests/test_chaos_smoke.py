@@ -24,6 +24,7 @@ from repro.chaos import (
     shrink_schedule,
 )
 from repro.crypto.provider import ThresholdSignature
+from repro.parallel import resolve_workers, run_campaign, seed_tasks
 
 #: compact-but-complete scenario shape for the smoke budget
 SMOKE = dict(
@@ -42,27 +43,32 @@ def smoke_options(seed: int) -> ChaosOptions:
 
 
 def test_chaos_smoke_sweep():
-    """>= 25 seeded scenarios, zero invariant violations, bounded wall time."""
+    """>= 25 seeded scenarios, zero invariant violations, bounded wall time.
+
+    Runs through the shared campaign runner (serial by default; set
+    ``CHAOS_WORKERS`` to fan the sweep across cores, as CI does)."""
     started = time.time()
-    failures = []
-    executions_checked = 0
-    deliveries_verified = 0
-    fault_kinds_seen = set()
-    for seed in SMOKE_SEEDS:
-        result = ChaosEngine(smoke_options(seed)).run()
-        if result.violations:
-            failures.append((seed, [str(v) for v in result.violations]))
-        executions_checked += result.stats["executions_checked"]
-        deliveries_verified += (
-            result.stats["hmi_verified"] + result.stats["proxy_verified"]
-        )
-        fault_kinds_seen.update(a.kind for a in result.schedule)
+    report = run_campaign(
+        seed_tasks("chaos", ChaosOptions(**SMOKE), SMOKE_SEEDS),
+        workers=resolve_workers(default=1),
+    )
     wall = time.time() - started
+    failures = [
+        (result.task_id, [str(v) for v in result.violations])
+        for result in report.records
+        if not result.ok
+    ]
     assert not failures, f"invariant violations in seeds: {failures}"
     # the sweep must be non-vacuous: monitors saw real traffic and the
     # generator exercised a healthy slice of the fault taxonomy
-    assert executions_checked > 1000
-    assert deliveries_verified > 100
+    results = report.results
+    assert sum(r.stats["executions_checked"] for r in results) > 1000
+    assert sum(
+        r.stats["hmi_verified"] + r.stats["proxy_verified"] for r in results
+    ) > 100
+    fault_kinds_seen = set()
+    for result in results:
+        fault_kinds_seen.update(result.stats["fault_kinds"])
     assert len(fault_kinds_seen) >= 6
     assert wall < WALL_BUDGET_S, f"smoke sweep too slow: {wall:.0f}s"
 
@@ -75,7 +81,8 @@ def test_chaos_run_is_deterministic():
     assert first.fingerprint == second.fingerprint
     assert [v.to_dict() for v in first.violations] == \
         [v.to_dict() for v in second.violations]
-    assert first.stats == second.stats
+    # wall_runtime_s is a host fact and excluded from the deterministic view
+    assert first.deterministic_stats == second.deterministic_stats
 
 
 def test_scenario_dump_replays_byte_for_byte(tmp_path):
